@@ -1,0 +1,134 @@
+// Augmentation-method comparison supporting the paper's Sec. I claim that
+// conventional text augmentation (EDA: synonym replacement / random swap /
+// random deletion) and simple synthetic value generation are NOT effective
+// for form extraction, while key-phrase-targeted FieldSwap is.
+//
+// Also measures the name-derived ("LLM-style") key phrase source — the
+// paper's future-work question of replacing the human expert with phrase
+// suggestions generated from field names alone.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/baselines.h"
+#include "core/phrase_suggest.h"
+#include "core/pipeline.h"
+#include "synth/generator.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace fieldswap {
+namespace {
+
+void Run() {
+  PrintBanner("Ablation: augmentation baselines (Earnings)",
+              "EDA / value-swap roughly neutral; FieldSwap clearly positive "
+              "(the paper's Sec. I motivation)");
+
+  CandidateScoringModel candidate_model = BenchCandidateModel();
+  ExperimentConfig config = BenchConfig(/*default_subsets=*/1,
+                                        /*default_trials=*/1);
+  config.train_sizes = {10, 50};
+  DomainSpec spec = EarningsSpec();
+  ExperimentRunner runner(spec, config, &candidate_model);
+
+  TablePrinter table(
+      {"augmentation", "macro@10", "micro@10", "macro@50", "micro@50"});
+
+  // Baseline and FieldSwap variants via the standard runner.
+  for (ExperimentSetting setting :
+       {BaselineSetting(), FieldSwapSetting(MappingStrategy::kTypeToType),
+        FieldSwapSetting(MappingStrategy::kHumanExpert)}) {
+    LearningCurve curve = runner.Run(setting);
+    table.AddRow({curve.setting_label,
+                  FormatDouble(curve.by_size.at(10).macro_f1_mean, 1),
+                  FormatDouble(curve.by_size.at(10).micro_f1_mean, 1),
+                  FormatDouble(curve.by_size.at(50).macro_f1_mean, 1),
+                  FormatDouble(curve.by_size.at(50).micro_f1_mean, 1)});
+  }
+
+  // Name-derived phrases ("LLM-style" expert): measure suggestion quality
+  // directly — the fraction of fields whose name-derived phrases include a
+  // true key phrase, with zero access to documents.
+  {
+    KeyPhraseConfig suggested = SuggestKeyPhraseConfig(
+        spec.Schema(), {"employee_name", "employer_name", "employee_address",
+                        "employer_address"});
+    int hits = 0, fields = 0;
+    for (const FieldDef& def : spec.fields) {
+      if (def.phrases.empty()) continue;
+      ++fields;
+      auto it = suggested.find(def.spec.name);
+      if (it == suggested.end()) continue;
+      bool match = false;
+      for (const KeyPhrase& phrase : it->second) {
+        for (const std::string& truth : def.phrases) {
+          if (EqualsIgnoreCase(phrase.Text(), truth)) match = true;
+        }
+      }
+      if (match) ++hits;
+    }
+    std::cout << "Name-derived phrase suggestion covers " << hits << "/"
+              << fields
+              << " phrase-bearing Earnings fields with a true key phrase "
+                 "(zero training data).\n\n";
+  }
+
+  // EDA and value-swap: identical trainer, synthetic pool swapped out.
+  // (Uses the runner's corpora indirectly by regenerating the same seeds.)
+  table.Print(std::cout);
+  std::cout << "\nEDA / value-swap comparison (1 subset, 1 trial, same "
+               "protocol):\n";
+
+  TablePrinter table2(
+      {"augmentation", "macro@10", "micro@10", "macro@50", "micro@50"});
+  for (const char* kind : {"eda", "value-swap"}) {
+    std::vector<std::string> cells{std::string("augment: ") + kind};
+    for (int size : {10, 50}) {
+      // Rebuild the subset exactly as ExperimentRunner does (same seed
+      // formula) so numbers are comparable.
+      auto originals = GenerateCorpus(spec, spec.train_pool_size,
+                                      config.seed, spec.name + "-train");
+      Rng rng(config.seed + 7919 * static_cast<uint64_t>(size) + 104729 * 0);
+      auto picks = rng.SampleWithoutReplacement(originals.size(),
+                                                static_cast<size_t>(size));
+      std::vector<Document> subset;
+      for (size_t p : picks) subset.push_back(originals[p]);
+
+      std::vector<Document> synthetics;
+      if (std::string(kind) == "eda") {
+        EdaOptions options;
+        synthetics = GenerateEdaAugmentations(subset, options);
+      } else {
+        ValueSwapOptions options;
+        synthetics =
+            GenerateValueSwapAugmentations(subset, spec.Schema(), options);
+      }
+
+      SequenceModelConfig model_config = config.model;
+      model_config.seed = config.seed + 1;
+      SequenceLabelingModel model(model_config, spec.Schema());
+      TrainOptions train = config.train;
+      train.total_steps =
+          std::max(config.min_steps, config.steps_per_doc * size);
+      train.seed = model_config.seed ^ 0x5eed;
+      TrainSequenceModel(model, subset, synthetics, train);
+      EvalResult eval = EvaluateModel(model, runner.test_docs());
+      cells.push_back(FormatDouble(eval.macro_f1 * 100, 1));
+      cells.push_back(FormatDouble(eval.micro_f1 * 100, 1));
+    }
+    table2.AddRow(cells);
+  }
+  table2.Print(std::cout);
+  std::cout << "\nExpected: EDA/value-swap land near the baseline row above "
+               "(token edits don't teach key-phrase anchoring), while "
+               "FieldSwap rows improve on it.\n";
+}
+
+}  // namespace
+}  // namespace fieldswap
+
+int main() {
+  fieldswap::Run();
+  return 0;
+}

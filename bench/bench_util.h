@@ -1,0 +1,47 @@
+#ifndef FIELDSWAP_BENCH_BENCH_UTIL_H_
+#define FIELDSWAP_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "eval/experiment.h"
+
+namespace fieldswap {
+
+/// Prints a banner naming the paper artifact this binary regenerates.
+inline void PrintBanner(const std::string& artifact,
+                        const std::string& paper_expectation) {
+  std::cout << "================================================================\n"
+            << "FieldSwap reproduction - " << artifact << "\n"
+            << "Paper expectation: " << paper_expectation << "\n"
+            << "================================================================\n\n";
+}
+
+/// Shared experiment configuration for the learning-curve benches. Defaults
+/// are sized for a single CPU core; raise FIELDSWAP_SUBSETS /
+/// FIELDSWAP_TRIALS / FIELDSWAP_TEST_DOCS to approach the paper's protocol
+/// (3 subsets x 3 trials on the full test sets).
+inline ExperimentConfig BenchConfig(int default_subsets, int default_trials) {
+  ExperimentConfig config;
+  config.num_subsets = default_subsets;
+  config.num_trials = default_trials;
+  config.test_size = 50;
+  config.min_steps = 1500;
+  config.steps_per_doc = 20;
+  ApplyEnvOverrides(config);
+  return config;
+}
+
+/// Loads (or trains once and caches) the invoice-pretrained candidate model
+/// shared by all automatic-FieldSwap benches.
+inline CandidateScoringModel BenchCandidateModel() {
+  std::cout << "[setup] loading/pre-training out-of-domain candidate model "
+               "(cached in fieldswap_candidate_model.ckpt)...\n";
+  CandidateScoringModel model = GetOrTrainCachedCandidateModel();
+  std::cout << "[setup] candidate model ready.\n\n";
+  return model;
+}
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,174 @@
+// Google-benchmark microbenchmarks of the core operations: document
+// generation, OCR line detection, neighbor queries, phrase search, the
+// FieldSwap swap itself, sparsemax, attention forward/backward, and
+// candidate encoding. These quantify the cost of the augmentation pipeline
+// relative to model training (augmentation is cheap; training dominates).
+
+#include <benchmark/benchmark.h>
+
+#include "core/human_expert.h"
+#include "core/key_phrases.h"
+#include "core/swap.h"
+#include "model/annotators.h"
+#include "model/candidate_model.h"
+#include "nn/autodiff.h"
+#include "nn/ops.h"
+#include "nn/sparsemax.h"
+#include "ocr/line_detector.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+
+namespace fieldswap {
+namespace {
+
+const Document& EarningsDoc() {
+  static const Document* doc = new Document(
+      GenerateDocument(EarningsSpec(), "bench", 0, Rng(1)));
+  return *doc;
+}
+
+void BM_GenerateDocument(benchmark::State& state) {
+  DomainSpec spec = EarningsSpec();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Document doc = GenerateDocument(spec, "b", 0, Rng(seed++));
+    benchmark::DoNotOptimize(doc.num_tokens());
+  }
+}
+BENCHMARK(BM_GenerateDocument);
+
+void BM_DetectLines(benchmark::State& state) {
+  Document doc = EarningsDoc();
+  for (auto _ : state) {
+    auto lines = DetectLines(doc);
+    benchmark::DoNotOptimize(lines.size());
+  }
+}
+BENCHMARK(BM_DetectLines);
+
+void BM_NeighborIndices(benchmark::State& state) {
+  const Document& doc = EarningsDoc();
+  const BBox& anchor = doc.token(doc.num_tokens() / 2).box;
+  for (auto _ : state) {
+    auto neighbors = doc.NeighborIndices(anchor, 20);
+    benchmark::DoNotOptimize(neighbors.size());
+  }
+}
+BENCHMARK(BM_NeighborIndices);
+
+void BM_FindPhrase(benchmark::State& state) {
+  const Document& doc = EarningsDoc();
+  std::vector<std::string> phrase{"Base", "Salary"};
+  for (auto _ : state) {
+    auto matches = doc.FindPhrase(phrase);
+    benchmark::DoNotOptimize(matches.size());
+  }
+}
+BENCHMARK(BM_FindPhrase);
+
+void BM_SwapOnce(benchmark::State& state) {
+  DomainSpec spec = EarningsSpec();
+  HumanExpertConfig expert = MakeHumanExpertConfig(spec);
+  // Find a document where the swap applies.
+  Document doc = GenerateDocument(spec, "b", 0, Rng(7));
+  KeyPhrase target;
+  target.words = {"Bonus"};
+  FieldSwapOptions options;
+  for (auto _ : state) {
+    auto synthetic = SwapOnce(doc, "current.salary", "current.bonus", target,
+                              expert.phrases, options);
+    benchmark::DoNotOptimize(synthetic.has_value());
+  }
+}
+BENCHMARK(BM_SwapOnce);
+
+void BM_GenerateCandidates(benchmark::State& state) {
+  const Document& doc = EarningsDoc();
+  for (auto _ : state) {
+    auto candidates = GenerateCandidates(doc);
+    benchmark::DoNotOptimize(candidates.size());
+  }
+}
+BENCHMARK(BM_GenerateCandidates);
+
+void BM_Sparsemax(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> z(static_cast<size_t>(state.range(0)));
+  for (double& v : z) v = rng.Uniform(-1, 1);
+  for (auto _ : state) {
+    auto p = Sparsemax(z, 8.0);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Sparsemax)->Arg(24)->Arg(128);
+
+void BM_NeighborAttentionForward(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int d = 32;
+  Rng rng(4);
+  Var q = Constant(Matrix::Gaussian(t, d, 1.0f, rng));
+  Var k = Constant(Matrix::Gaussian(t, d, 1.0f, rng));
+  Var v = Constant(Matrix::Gaussian(t, d, 1.0f, rng));
+  std::vector<std::vector<int>> neighbors(static_cast<size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    for (int j = std::max(0, i - 6); j < std::min(t, i + 6); ++j) {
+      neighbors[static_cast<size_t>(i)].push_back(j);
+    }
+  }
+  for (auto _ : state) {
+    Var out = NeighborAttention(q, k, v, neighbors);
+    benchmark::DoNotOptimize(out->value.data());
+  }
+}
+BENCHMARK(BM_NeighborAttentionForward)->Arg(64)->Arg(160);
+
+void BM_NeighborAttentionBackward(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int d = 32;
+  Rng rng(5);
+  std::vector<std::vector<int>> neighbors(static_cast<size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    for (int j = std::max(0, i - 6); j < std::min(t, i + 6); ++j) {
+      neighbors[static_cast<size_t>(i)].push_back(j);
+    }
+  }
+  for (auto _ : state) {
+    Var q = Parameter(Matrix::Gaussian(t, d, 1.0f, rng));
+    Var k = Parameter(Matrix::Gaussian(t, d, 1.0f, rng));
+    Var v = Parameter(Matrix::Gaussian(t, d, 1.0f, rng));
+    Var loss = MeanAll(NeighborAttention(q, k, v, neighbors));
+    Backward(loss);
+    benchmark::DoNotOptimize(q->grad.data());
+  }
+}
+BENCHMARK(BM_NeighborAttentionBackward)->Arg(160);
+
+void BM_CandidateEncode(benchmark::State& state) {
+  CandidateModelConfig config;
+  CandidateScoringModel model(config, {"f"});
+  const Document& doc = EarningsDoc();
+  Candidate cand =
+      CandidateFromSpan(doc.annotations().back(), FieldType::kMoney);
+  for (auto _ : state) {
+    CandidateEncoding enc = model.Encode(doc, cand);
+    benchmark::DoNotOptimize(enc.neighborhood.data());
+  }
+}
+BENCHMARK(BM_CandidateEncode);
+
+void BM_FullAugmentationHumanExpert(benchmark::State& state) {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 10, 11, "aug");
+  HumanExpertConfig expert = MakeHumanExpertConfig(spec);
+  DomainSchema schema = spec.Schema();
+  FieldSwapOptions options;
+  for (auto _ : state) {
+    auto synthetics = GenerateSyntheticDocuments(
+        docs, expert.phrases, expert.pairs, options);
+    benchmark::DoNotOptimize(synthetics.size());
+  }
+}
+BENCHMARK(BM_FullAugmentationHumanExpert);
+
+}  // namespace
+}  // namespace fieldswap

@@ -1,0 +1,63 @@
+// Automatic key phrase inference (Sec. II-A of the paper), end to end:
+//   1. pre-train the candidate scoring model on out-of-domain invoices;
+//   2. apply it to a small in-domain (Earnings) training set;
+//   3. print the per-example important tokens for one labeled instance and
+//      the aggregated, ranked key phrases per field.
+//
+//   $ ./build/examples/keyphrase_inference
+
+#include <iostream>
+
+#include "core/key_phrases.h"
+#include "eval/experiment.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+#include "util/strings.h"
+
+using namespace fieldswap;
+
+int main() {
+  std::cout << "Pre-training the candidate model on synthetic invoices "
+               "(out-of-domain, Sec. IV-B)...\n";
+  CandidateScoringModel model =
+      PretrainInvoiceCandidateModel(/*corpus_size=*/150, /*seed=*/99);
+
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 20, 31337, "kp");
+
+  // Per-example view: important tokens for one current.salary instance.
+  for (const Document& doc : docs) {
+    auto spans = doc.AnnotationsFor("current.salary");
+    if (spans.empty()) continue;
+    Candidate candidate = CandidateFromSpan(spans[0], FieldType::kMoney);
+    auto important = ImportantTokens(model, doc, candidate,
+                                     /*sparsemax_scale=*/8.0);
+    std::cout << "\nImportant tokens for the current.salary instance \""
+              << doc.TextOf(spans[0]) << "\" in " << doc.id() << ":\n";
+    for (const TokenImportance& ti : important) {
+      std::cout << "    \"" << doc.token(ti.token_index).text
+                << "\"  score=" << FormatDouble(ti.score, 3) << "\n";
+    }
+    break;
+  }
+
+  // Corpus-level aggregation (Eq. 1) with the paper's hyperparameters.
+  KeyPhraseInferenceOptions options;  // top-k 3, theta 0.2
+  KeyPhraseConfig config = InferKeyPhrases(model, docs, spec.Schema(), options);
+
+  std::cout << "\nInferred key phrases (top-" << options.top_k
+            << ", theta=" << options.threshold << "):\n";
+  for (const auto& [field, phrases] : config) {
+    std::cout << "  " << field << ":";
+    for (const KeyPhrase& phrase : phrases) {
+      std::cout << "  [\"" << phrase.Text() << "\" "
+                << FormatDouble(phrase.importance, 3) << "]";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nCompare with the generator's true vocabularies — table-row "
+               "labels (Base Salary, Overtime, ...) should rank on top;\n"
+               "no-key-phrase fields (employee_name, employer_address) "
+               "attract spurious phrases, the failure mode Fig. 6 studies.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Paystub augmentation: the motivating scenario from Fig. 1 of the paper.
+// Generates a synthetic Earnings (paystub) corpus, runs the full FieldSwap
+// pipeline in the human-expert configuration, and shows before/after
+// documents including the contradictory-pair protection (the discarded
+// current.vacation <-> year_to_date.vacation swap).
+//
+//   $ ./build/examples/paystub_augmentation
+
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+
+using namespace fieldswap;
+
+namespace {
+
+void PrintLines(const Document& doc, int max_lines = 40) {
+  int shown = 0;
+  for (const auto& line : doc.lines()) {
+    if (shown++ >= max_lines) break;
+    std::cout << "    ";
+    for (int ti : line.token_indices) std::cout << doc.token(ti).text << " ";
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 8, /*seed=*/2024, "paystub");
+
+  // Show one original paystub.
+  const Document* sample = nullptr;
+  for (const Document& doc : docs) {
+    if (doc.HasField("current.salary")) {
+      sample = &doc;
+      break;
+    }
+  }
+  if (sample == nullptr) sample = &docs[0];
+  std::cout << "An original synthetic paystub (" << sample->id() << "):\n";
+  PrintLines(*sample);
+
+  // Run FieldSwap with the human expert configuration (Sec. III): curated
+  // phrases, no-key-phrase fields excluded, current/ytd pairs pruned.
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kHumanExpert;
+  AugmentationResult result = RunFieldSwap(docs, spec, nullptr, options);
+
+  std::cout << "\nHuman-expert FieldSwap on " << docs.size()
+            << " paystubs generated " << result.stats.generated
+            << " synthetics (discarded " << result.stats.discarded_unchanged
+            << " unchanged swaps — the same-key-phrase protection of "
+               "Sec. II-C).\n";
+
+  std::cout << "\nField pairs (first 10 of " << result.pairs.size() << "):\n";
+  int shown = 0;
+  for (const FieldPair& pair : result.pairs) {
+    if (pair.source == pair.target) continue;  // skip identity pairs
+    if (shown++ >= 10) break;
+    std::cout << "    " << pair.source << " -> " << pair.target << "\n";
+  }
+
+  // Show a synthetic derived from the sampled original.
+  for (const Document& synthetic : result.synthetics) {
+    if (synthetic.id().rfind(sample->id() + "#", 0) != 0) continue;
+    std::cout << "\nOne synthetic derived from it (" << synthetic.id()
+              << "):\n";
+    PrintLines(synthetic);
+    std::cout << "  relabeled annotations:\n";
+    for (const auto& span : synthetic.annotations()) {
+      std::cout << "    [" << span.field << "] = \""
+                << synthetic.TextOf(span) << "\"\n";
+    }
+    break;
+  }
+  return 0;
+}

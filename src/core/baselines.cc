@@ -1,0 +1,134 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "synth/values.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+/// A small form-domain thesaurus for EDA synonym replacement.
+struct SynonymEntry {
+  const char* word;
+  const char* synonym;
+};
+
+constexpr SynonymEntry kSynonyms[] = {
+    {"statement", "summary"}, {"amount", "sum"},      {"total", "overall"},
+    {"pay", "wage"},          {"date", "day"},        {"period", "interval"},
+    {"number", "no"},         {"balance", "remainder"},
+    {"due", "payable"},       {"gross", "pretax"},    {"net", "takehome"},
+    {"payment", "remittance"}, {"contact", "representative"},
+    {"beginning", "start"},   {"ending", "end"},      {"questions", "inquiries"},
+};
+
+bool IsAnnotated(const Document& doc, int token_index) {
+  for (const EntitySpan& span : doc.annotations()) {
+    if (span.Covers(token_index)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EdaSynonymFor(const std::string& word, Rng& rng) {
+  (void)rng;
+  std::string lower = ToLower(TrimPunctuation(word));
+  for (const SynonymEntry& entry : kSynonyms) {
+    if (lower == entry.word) {
+      // Preserve leading capitalization.
+      std::string out = entry.synonym;
+      if (!word.empty() && std::isupper(static_cast<unsigned char>(word[0]))) {
+        out[0] = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(out[0])));
+      }
+      return out;
+    }
+  }
+  return word;
+}
+
+std::vector<Document> GenerateEdaAugmentations(
+    const std::vector<Document>& train_docs, const EdaOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Document> augmented;
+  for (const Document& original : train_docs) {
+    for (int copy = 0; copy < options.copies_per_doc; ++copy) {
+      Document doc = original;
+      doc.set_id(original.id() + "#eda:" + std::to_string(copy));
+
+      // Synonym replacement on unannotated tokens.
+      for (int i = 0; i < doc.num_tokens(); ++i) {
+        if (IsAnnotated(doc, i)) continue;
+        if (!rng.Bernoulli(options.synonym_prob)) continue;
+        std::string replaced = EdaSynonymFor(doc.token(i).text, rng);
+        doc.mutable_tokens()[static_cast<size_t>(i)].text = replaced;
+      }
+
+      // Random swaps of two unannotated tokens (text only; boxes stay, which
+      // is exactly the layout-destroying behaviour that makes EDA a poor
+      // fit for form documents).
+      for (int s = 0; s < options.random_swaps; ++s) {
+        if (doc.num_tokens() < 2) break;
+        int a = static_cast<int>(rng.Index(static_cast<size_t>(doc.num_tokens())));
+        int b = static_cast<int>(rng.Index(static_cast<size_t>(doc.num_tokens())));
+        if (a == b || IsAnnotated(doc, a) || IsAnnotated(doc, b)) continue;
+        std::swap(doc.mutable_tokens()[static_cast<size_t>(a)].text,
+                  doc.mutable_tokens()[static_cast<size_t>(b)].text);
+      }
+
+      // Random deletion, back to front so indices stay valid. Annotation
+      // indices are remapped by ReplaceTokenRange semantics: we emulate
+      // deletion by replacing the token with an empty-ish marker instead of
+      // splicing, to keep line structure simple — EDA deletes words, so we
+      // blank the text.
+      for (int i = doc.num_tokens() - 1; i >= 0; --i) {
+        if (IsAnnotated(doc, i)) continue;
+        if (!rng.Bernoulli(options.deletion_prob)) continue;
+        doc.mutable_tokens()[static_cast<size_t>(i)].text = "";
+      }
+
+      augmented.push_back(std::move(doc));
+    }
+  }
+  return augmented;
+}
+
+std::vector<Document> GenerateValueSwapAugmentations(
+    const std::vector<Document>& train_docs, const DomainSchema& schema,
+    const ValueSwapOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Document> augmented;
+  for (const Document& original : train_docs) {
+    for (int copy = 0; copy < options.copies_per_doc; ++copy) {
+      Document doc = original;
+      doc.set_id(original.id() + "#valueswap:" + std::to_string(copy));
+      ValueSampler sampler(rng.Split(static_cast<uint64_t>(copy) * 31 + 1));
+
+      // Replace annotation values back to front so earlier spans' indices
+      // stay valid while token counts change.
+      std::vector<EntitySpan> spans = doc.annotations();
+      std::sort(spans.begin(), spans.end(),
+                [](const EntitySpan& a, const EntitySpan& b) {
+                  return a.first_token > b.first_token;
+                });
+      for (const EntitySpan& span : spans) {
+        FieldType type = schema.TypeOf(span.field);
+        std::vector<std::string> value =
+            sampler.ForType(type, MoneyStyle::kDollarSign, DateStyle::kSlashed);
+        int first = span.first_token;
+        int count = span.num_tokens;
+        std::string field = span.field;
+        // ReplaceTokenRange drops the overlapping annotation; re-add it.
+        doc.ReplaceTokenRange(first, count, value);
+        doc.AddAnnotation(
+            EntitySpan{field, first, static_cast<int>(value.size())});
+      }
+      augmented.push_back(std::move(doc));
+    }
+  }
+  return augmented;
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,54 @@
+#ifndef FIELDSWAP_CORE_BASELINES_H_
+#define FIELDSWAP_CORE_BASELINES_H_
+
+#include <vector>
+
+#include "doc/document.h"
+#include "doc/schema.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// Conventional text-augmentation baselines the paper argues are *not*
+/// effective for form extraction (Sec. I): EDA-style token edits (Wei &
+/// Zou 2019) and synthetic field-value generation. Implemented so the
+/// claim can be measured (bench/ablation_baselines).
+
+/// EDA configuration. Each augmented copy applies, per eligible token, the
+/// given probabilities of synonym replacement, deletion, and a number of
+/// random adjacent-token swaps. Ground-truth value tokens are never edited
+/// (deleting a labeled token would corrupt the annotation itself; this is
+/// the most charitable adaptation of EDA to span labeling).
+struct EdaOptions {
+  double synonym_prob = 0.1;
+  double deletion_prob = 0.1;
+  int random_swaps = 2;
+  /// Augmented copies per original document.
+  int copies_per_doc = 4;
+  uint64_t seed = 77;
+};
+
+/// Generates EDA-augmented copies of each document.
+std::vector<Document> GenerateEdaAugmentations(
+    const std::vector<Document>& train_docs, const EdaOptions& options);
+
+/// Replaces a word with a domain-plausible synonym, if one is known;
+/// returns the input otherwise. Exposed for testing.
+std::string EdaSynonymFor(const std::string& word, Rng& rng);
+
+/// Value-swap baseline ("synthetic field value generation", Sec. I):
+/// each augmented copy keeps layout and key phrases intact but replaces
+/// every labeled value with a freshly sampled value of the same base type.
+struct ValueSwapOptions {
+  int copies_per_doc = 4;
+  uint64_t seed = 78;
+};
+
+/// Generates value-swap copies. `schema` supplies each field's base type.
+std::vector<Document> GenerateValueSwapAugmentations(
+    const std::vector<Document>& train_docs, const DomainSchema& schema,
+    const ValueSwapOptions& options);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_CORE_BASELINES_H_

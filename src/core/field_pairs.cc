@@ -1,0 +1,60 @@
+#include "core/field_pairs.h"
+
+#include "util/logging.h"
+
+namespace fieldswap {
+
+std::string_view MappingStrategyName(MappingStrategy strategy) {
+  switch (strategy) {
+    case MappingStrategy::kFieldToField:
+      return "field-to-field";
+    case MappingStrategy::kTypeToType:
+      return "type-to-type";
+    case MappingStrategy::kAllToAll:
+      return "all-to-all";
+    case MappingStrategy::kHumanExpert:
+      return "human expert";
+  }
+  return "unknown";
+}
+
+std::vector<FieldPair> BuildFieldPairs(const DomainSchema& schema,
+                                       MappingStrategy strategy,
+                                       const KeyPhraseConfig& phrases) {
+  FS_CHECK(strategy != MappingStrategy::kHumanExpert)
+      << "use MakeHumanExpertConfig for the human expert strategy";
+
+  auto has_phrases = [&](const std::string& field) {
+    auto it = phrases.find(field);
+    return it != phrases.end() && !it->second.empty();
+  };
+
+  std::vector<FieldPair> pairs;
+  for (const FieldSpec& source : schema.fields()) {
+    if (!has_phrases(source.name)) continue;
+    switch (strategy) {
+      case MappingStrategy::kFieldToField:
+        pairs.push_back(FieldPair{source.name, source.name});
+        break;
+      case MappingStrategy::kTypeToType:
+        for (const FieldSpec& target : schema.fields()) {
+          if (target.type == source.type && has_phrases(target.name)) {
+            pairs.push_back(FieldPair{source.name, target.name});
+          }
+        }
+        break;
+      case MappingStrategy::kAllToAll:
+        for (const FieldSpec& target : schema.fields()) {
+          if (has_phrases(target.name)) {
+            pairs.push_back(FieldPair{source.name, target.name});
+          }
+        }
+        break;
+      case MappingStrategy::kHumanExpert:
+        break;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace fieldswap

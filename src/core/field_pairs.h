@@ -1,0 +1,39 @@
+#ifndef FIELDSWAP_CORE_FIELD_PAIRS_H_
+#define FIELDSWAP_CORE_FIELD_PAIRS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/key_phrases.h"
+#include "doc/schema.h"
+
+namespace fieldswap {
+
+/// A source-to-target swap mapping — input (2) of FieldSwap (Sec. II).
+struct FieldPair {
+  std::string source;
+  std::string target;
+
+  friend bool operator==(const FieldPair& a, const FieldPair& b) = default;
+};
+
+/// Field pair mapping strategies evaluated in the paper (Sec. II-B, III).
+enum class MappingStrategy {
+  kFieldToField,  // each field maps only to itself
+  kTypeToType,    // all ordered pairs sharing a base type (incl. self)
+  kAllToAll,      // every ordered pair (nearly always worse; ablation)
+  kHumanExpert,   // curated phrases + pruned pairs (Sec. III)
+};
+
+std::string_view MappingStrategyName(MappingStrategy strategy);
+
+/// Builds the pair list for a non-expert strategy. Only fields that have at
+/// least one key phrase in `phrases` participate (a field with no phrase
+/// can be neither source nor target).
+std::vector<FieldPair> BuildFieldPairs(const DomainSchema& schema,
+                                       MappingStrategy strategy,
+                                       const KeyPhraseConfig& phrases);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_CORE_FIELD_PAIRS_H_

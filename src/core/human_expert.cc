@@ -1,0 +1,35 @@
+#include "core/human_expert.h"
+
+#include "util/strings.h"
+
+namespace fieldswap {
+
+HumanExpertConfig MakeHumanExpertConfig(const DomainSpec& spec) {
+  HumanExpertConfig config;
+
+  for (const FieldDef& def : spec.fields) {
+    if (def.swap_group.empty() || def.phrases.empty()) continue;
+    std::vector<KeyPhrase> phrases;
+    for (const std::string& phrase : def.phrases) {
+      KeyPhrase kp;
+      kp.words = SplitWhitespace(phrase);
+      kp.importance = 1.0;  // expert-supplied phrases are trusted
+      phrases.push_back(std::move(kp));
+    }
+    config.phrases[def.spec.name] = std::move(phrases);
+  }
+
+  // Type-to-type pairs restricted to the same swap group.
+  for (const FieldDef& source : spec.fields) {
+    if (source.swap_group.empty() || source.phrases.empty()) continue;
+    for (const FieldDef& target : spec.fields) {
+      if (target.swap_group.empty() || target.phrases.empty()) continue;
+      if (source.spec.type != target.spec.type) continue;
+      if (source.swap_group != target.swap_group) continue;
+      config.pairs.push_back(FieldPair{source.spec.name, target.spec.name});
+    }
+  }
+  return config;
+}
+
+}  // namespace fieldswap

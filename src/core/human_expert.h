@@ -1,0 +1,30 @@
+#ifndef FIELDSWAP_CORE_HUMAN_EXPERT_H_
+#define FIELDSWAP_CORE_HUMAN_EXPERT_H_
+
+#include "core/field_pairs.h"
+#include "core/key_phrases.h"
+#include "synth/spec.h"
+
+namespace fieldswap {
+
+/// A human-expert FieldSwap configuration (Sec. III): curated key phrases
+/// plus a pruned field-pair list.
+struct HumanExpertConfig {
+  KeyPhraseConfig phrases;
+  std::vector<FieldPair> pairs;
+};
+
+/// Simulates the paper's human expert from the generator's ground truth:
+///  - supplies the field's full key-phrase vocabulary, including variants
+///    that never appear in a small training sample (the expert's "domain
+///    knowledge");
+///  - excludes fields without clear key phrases (empty phrase vocabulary /
+///    empty swap group) from FieldSwap entirely;
+///  - starts from type-to-type pairs and prunes pairs whose fields live in
+///    different tables or sections (different swap groups), removing the
+///    contradictory current.X / year_to_date.X pairs.
+HumanExpertConfig MakeHumanExpertConfig(const DomainSpec& spec);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_CORE_HUMAN_EXPERT_H_

@@ -1,0 +1,173 @@
+#include "core/key_phrases.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/sparsemax.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+double Cosine(const float* a, const float* b, int n) {
+  double dot = 0, na = 0, nb = 0;
+  for (int i = 0; i < n; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0 || nb <= 0) return 0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+/// Normalized text of a phrase for aggregation keys: lowercase, tokens
+/// punctuation-trimmed, space-joined.
+std::string NormalizePhrase(const std::vector<std::string>& words) {
+  std::vector<std::string> cleaned;
+  for (const std::string& w : words) {
+    std::string_view core = TrimPunctuation(w);
+    if (!core.empty()) cleaned.push_back(ToLower(core));
+  }
+  return JoinStrings(cleaned, " ");
+}
+
+/// Display words of a phrase: per-token punctuation-trimmed.
+std::vector<std::string> CleanWords(const std::vector<std::string>& words) {
+  std::vector<std::string> cleaned;
+  for (const std::string& w : words) {
+    std::string_view core = TrimPunctuation(w);
+    if (!core.empty()) cleaned.emplace_back(core);
+  }
+  return cleaned;
+}
+
+bool TokenInAnyAnnotation(const Document& doc, int token_index) {
+  for (const EntitySpan& span : doc.annotations()) {
+    if (span.Covers(token_index)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string KeyPhrase::Text() const { return JoinStrings(words, " "); }
+
+std::vector<TokenImportance> ImportantTokens(
+    const CandidateScoringModel& model, const Document& doc,
+    const Candidate& candidate, double sparsemax_scale) {
+  CandidateEncoding encoding = model.Encode(doc, candidate);
+  const int t = static_cast<int>(encoding.neighbor_ids.size());
+  const int d = encoding.neighborhood.cols();
+
+  std::vector<double> cosines(static_cast<size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    cosines[static_cast<size_t>(i)] = Cosine(
+        encoding.neighborhood.Row(0), encoding.neighbor_encodings.Row(i), d);
+  }
+  std::vector<double> scores = Sparsemax(cosines, sparsemax_scale);
+
+  std::vector<TokenImportance> important;
+  for (int i = 0; i < t; ++i) {
+    if (scores[static_cast<size_t>(i)] > 0) {
+      important.push_back(TokenImportance{
+          encoding.neighbor_ids[static_cast<size_t>(i)],
+          scores[static_cast<size_t>(i)]});
+    }
+  }
+  return important;
+}
+
+KeyPhraseConfig InferKeyPhrases(const CandidateScoringModel& model,
+                                const std::vector<Document>& train_docs,
+                                const DomainSchema& schema,
+                                const KeyPhraseInferenceOptions& options) {
+  // Aggregation state per (field, normalized phrase).
+  struct Aggregate {
+    std::vector<std::string> display_words;
+    double log_one_minus_sum = 0;  // sum_i log(1 - Score_i)
+  };
+  std::map<std::string, std::map<std::string, Aggregate>> per_field;
+
+  for (const Document& doc : train_docs) {
+    for (const EntitySpan& span : doc.annotations()) {
+      if (!schema.Has(span.field)) continue;
+      Candidate candidate =
+          CandidateFromSpan(span, schema.TypeOf(span.field));
+      std::vector<TokenImportance> important = ImportantTokens(
+          model, doc, candidate, options.sparsemax_scale);
+      if (important.empty()) continue;
+
+      // Token index -> importance score for quick lookup.
+      std::map<int, double> score_of;
+      for (const TokenImportance& ti : important) {
+        score_of[ti.token_index] = ti.score;
+      }
+
+      // Expand each important token to its OCR line (Sec. II-A3); a line
+      // yields one phrase per example, built from the line tokens that are
+      // not part of any field's ground truth (Sec. II-A5).
+      std::vector<int> seen_lines;
+      for (const TokenImportance& ti : important) {
+        int line_id = doc.token(ti.token_index).line;
+        if (line_id < 0) continue;
+        if (std::find(seen_lines.begin(), seen_lines.end(), line_id) !=
+            seen_lines.end()) {
+          continue;
+        }
+        seen_lines.push_back(line_id);
+        if (TokenInAnyAnnotation(doc, ti.token_index)) continue;
+
+        const Line& line = doc.lines()[static_cast<size_t>(line_id)];
+        std::vector<std::string> words;
+        double score_sum = 0;
+        int token_count = 0;
+        for (int token_index : line.token_indices) {
+          if (TokenInAnyAnnotation(doc, token_index)) continue;
+          words.push_back(doc.token(token_index).text);
+          auto it = score_of.find(token_index);
+          if (it != score_of.end()) score_sum += it->second;
+          ++token_count;
+        }
+        if (token_count == 0) continue;
+        std::string key = NormalizePhrase(words);
+        if (key.empty()) continue;
+        // Phrase importance score: average token importance within the
+        // phrase (tokens without a score contribute zero).
+        double phrase_score = score_sum / static_cast<double>(token_count);
+        phrase_score = std::min(phrase_score, 0.999);
+        if (phrase_score <= 0) continue;
+
+        Aggregate& agg = per_field[span.field][key];
+        if (agg.display_words.empty()) agg.display_words = CleanWords(words);
+        agg.log_one_minus_sum += std::log(1.0 - phrase_score);
+      }
+    }
+  }
+
+  // Rank by Importance(F, P) = 1 - exp(sum log(1 - score)), apply the
+  // threshold, keep top k.
+  KeyPhraseConfig config;
+  for (auto& [field, phrases] : per_field) {
+    std::vector<KeyPhrase> ranked;
+    for (auto& [key, agg] : phrases) {
+      KeyPhrase phrase;
+      phrase.words = agg.display_words;
+      phrase.importance = 1.0 - std::exp(agg.log_one_minus_sum);
+      if (phrase.importance >= options.threshold) {
+        ranked.push_back(std::move(phrase));
+      }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const KeyPhrase& a, const KeyPhrase& b) {
+                return a.importance > b.importance;
+              });
+    if (static_cast<int>(ranked.size()) > options.top_k) {
+      ranked.resize(static_cast<size_t>(options.top_k));
+    }
+    if (!ranked.empty()) config[field] = std::move(ranked);
+  }
+  return config;
+}
+
+}  // namespace fieldswap

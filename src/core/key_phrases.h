@@ -1,0 +1,63 @@
+#ifndef FIELDSWAP_CORE_KEY_PHRASES_H_
+#define FIELDSWAP_CORE_KEY_PHRASES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+#include "doc/schema.h"
+#include "model/candidate_model.h"
+
+namespace fieldswap {
+
+/// A key phrase for a field: its words (display form) and the aggregated
+/// importance from Eq. (1) of the paper.
+struct KeyPhrase {
+  std::vector<std::string> words;
+  double importance = 0;
+
+  std::string Text() const;
+};
+
+/// Per-field ranked key phrases — input (1) of FieldSwap (Sec. II).
+using KeyPhraseConfig = std::map<std::string, std::vector<KeyPhrase>>;
+
+/// Hyperparameters of automatic key phrase inference (Sec. II-A, IV-B).
+struct KeyPhraseInferenceOptions {
+  /// Keep the top k phrases per field (paper: 3).
+  int top_k = 3;
+  /// Drop phrases whose aggregated importance is below this (paper: 0.2).
+  double threshold = 0.2;
+  /// Sharpness multiplier applied before Sparsemax over cosine scores.
+  double sparsemax_scale = 8.0;
+};
+
+/// One neighbor's importance to a labeled example.
+struct TokenImportance {
+  int token_index = 0;
+  double score = 0;  // post-Sparsemax, in [0, 1]
+};
+
+/// Importance scores of a labeled example's neighbors: cosine similarity
+/// between the model's Neighborhood Encoding and each per-neighbor
+/// encoding, sparsified with Sparsemax. Only entries with non-zero score
+/// (the "important tokens") are returned.
+std::vector<TokenImportance> ImportantTokens(
+    const CandidateScoringModel& model, const Document& doc,
+    const Candidate& candidate, double sparsemax_scale);
+
+/// Automatic key phrase inference over a labeled training set (Fig. 3 step
+/// 1): per labeled example, find important tokens with the out-of-domain
+/// candidate model, expand them to OCR-line phrases, exclude tokens that
+/// belong to any field's ground truth, then aggregate per (field, phrase)
+/// with Importance(F,P) = 1 - exp(sum_i log(1 - Score(F,P,C_i))) and keep
+/// the top-k phrases above the threshold.
+KeyPhraseConfig InferKeyPhrases(const CandidateScoringModel& model,
+                                const std::vector<Document>& train_docs,
+                                const DomainSchema& schema,
+                                const KeyPhraseInferenceOptions& options);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_CORE_KEY_PHRASES_H_

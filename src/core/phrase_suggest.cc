@@ -1,0 +1,113 @@
+#include "core/phrase_suggest.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+std::string TitleCase(const std::string& word) {
+  if (word.empty()) return word;
+  std::string out = word;
+  out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+/// "sales_pay" -> {"Sales", "Pay"}.
+std::vector<std::string> NameWords(const std::string& name) {
+  std::vector<std::string> words;
+  for (const std::string& piece : SplitString(name, '_')) {
+    words.push_back(TitleCase(piece));
+  }
+  return words;
+}
+
+void AddUnique(std::vector<KeyPhrase>& phrases,
+               std::vector<std::string> words) {
+  if (words.empty()) return;
+  for (const KeyPhrase& existing : phrases) {
+    if (existing.words == words) return;
+  }
+  KeyPhrase phrase;
+  phrase.words = std::move(words);
+  phrase.importance = 0.8;  // suggested, not observed
+  phrases.push_back(std::move(phrase));
+}
+
+}  // namespace
+
+std::vector<KeyPhrase> SuggestPhrasesFromName(const std::string& field_name,
+                                              FieldType type) {
+  std::vector<KeyPhrase> phrases;
+
+  // Dotted names are column-prefixed table fields: "year_to_date.sales_pay"
+  // -> prefix "year_to_date", suffix "sales_pay".
+  std::string prefix, suffix = field_name;
+  auto dot = field_name.find('.');
+  if (dot != std::string::npos) {
+    prefix = field_name.substr(0, dot);
+    suffix = field_name.substr(dot + 1);
+  }
+
+  std::vector<std::string> suffix_words = NameWords(suffix);
+  AddUnique(phrases, suffix_words);
+
+  // Without the generic trailing type word ("Sales Pay" -> "Sales").
+  if (suffix_words.size() >= 2) {
+    static constexpr std::string_view kGeneric[] = {"Pay", "Amount", "Date",
+                                                    "Number", "Balance"};
+    for (std::string_view generic : kGeneric) {
+      if (suffix_words.back() == generic) {
+        AddUnique(phrases, std::vector<std::string>(suffix_words.begin(),
+                                                    suffix_words.end() - 1));
+      }
+    }
+    // Trailing bigram ("payment_due_date" -> "Due Date").
+    if (suffix_words.size() >= 3) {
+      AddUnique(phrases, {suffix_words[suffix_words.size() - 2],
+                          suffix_words.back()});
+    }
+  }
+
+  // Prefixed variants for table fields: "YTD Sales Pay" etc.
+  if (!prefix.empty()) {
+    std::vector<std::string> prefix_words = NameWords(prefix);
+    if (prefix == "year_to_date") {
+      std::vector<std::string> ytd{"YTD"};
+      ytd.insert(ytd.end(), suffix_words.begin(), suffix_words.end());
+      AddUnique(phrases, std::move(ytd));
+      prefix_words = {"Year", "to", "Date"};
+    }
+    std::vector<std::string> full = prefix_words;
+    full.insert(full.end(), suffix_words.begin(), suffix_words.end());
+    AddUnique(phrases, std::move(full));
+  }
+
+  // Type-specific generic phrasings.
+  if (type == FieldType::kMoney && !suffix_words.empty() &&
+      suffix_words.back() != "Amount") {
+    std::vector<std::string> amount = suffix_words;
+    amount.push_back("Amount");
+    AddUnique(phrases, std::move(amount));
+  }
+  return phrases;
+}
+
+KeyPhraseConfig SuggestKeyPhraseConfig(
+    const DomainSchema& schema, const std::vector<std::string>& exclude) {
+  KeyPhraseConfig config;
+  for (const FieldSpec& field : schema.fields()) {
+    if (std::find(exclude.begin(), exclude.end(), field.name) !=
+        exclude.end()) {
+      continue;
+    }
+    std::vector<KeyPhrase> phrases =
+        SuggestPhrasesFromName(field.name, field.type);
+    if (!phrases.empty()) config[field.name] = std::move(phrases);
+  }
+  return config;
+}
+
+}  // namespace fieldswap

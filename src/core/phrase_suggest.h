@@ -1,0 +1,35 @@
+#ifndef FIELDSWAP_CORE_PHRASE_SUGGEST_H_
+#define FIELDSWAP_CORE_PHRASE_SUGGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/key_phrases.h"
+#include "doc/schema.h"
+
+namespace fieldswap {
+
+/// Name-derived key phrase suggestion — the paper's future-work question
+/// "is it possible to use an LLM instead of a human expert to generate a
+/// set of key phrases based on field names or descriptions?" answered with
+/// a deterministic generator: it derives candidate phrases purely from the
+/// schema (field names and base types), with no access to documents or to
+/// the corpus's true vocabularies.
+///
+/// For "year_to_date.sales_pay" it produces e.g. "Sales Pay", "YTD Sales
+/// Pay", "Year to Date Sales Pay"; for "payment_due_date" it produces
+/// "Payment Due Date", "Payment Due", "Due Date". Useful as a zero-cost
+/// middle ground between fully automatic inference (which cannot discover
+/// phrases absent from a small training set) and a human expert.
+std::vector<KeyPhrase> SuggestPhrasesFromName(const std::string& field_name,
+                                              FieldType type);
+
+/// Builds a full config for all schema fields. Fields whose names carry no
+/// phrase-like content (heuristic: *_name / *_address header fields) can be
+/// excluded via `exclude`.
+KeyPhraseConfig SuggestKeyPhraseConfig(const DomainSchema& schema,
+                                       const std::vector<std::string>& exclude = {});
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_CORE_PHRASE_SUGGEST_H_

@@ -1,0 +1,31 @@
+#include "core/pipeline.h"
+
+#include "util/logging.h"
+
+namespace fieldswap {
+
+AugmentationResult RunFieldSwap(const std::vector<Document>& train_docs,
+                                const DomainSpec& spec,
+                                const CandidateScoringModel* candidate_model,
+                                const FieldSwapPipelineOptions& options) {
+  AugmentationResult result;
+
+  if (options.strategy == MappingStrategy::kHumanExpert) {
+    HumanExpertConfig expert = MakeHumanExpertConfig(spec);
+    result.phrases = std::move(expert.phrases);
+    result.pairs = std::move(expert.pairs);
+  } else {
+    FS_CHECK(candidate_model != nullptr)
+        << "automatic strategies need the pre-trained candidate model";
+    result.phrases = InferKeyPhrases(*candidate_model, train_docs,
+                                     spec.Schema(), options.inference);
+    result.pairs =
+        BuildFieldPairs(spec.Schema(), options.strategy, result.phrases);
+  }
+
+  result.synthetics = GenerateSyntheticDocuments(
+      train_docs, result.phrases, result.pairs, options.swap, &result.stats);
+  return result;
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,201 @@
+#include "core/swap.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+/// Case- and punctuation-insensitive word-by-word phrase equality.
+bool SamePhrase(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!EqualsIgnoreCase(TrimPunctuation(a[i]), TrimPunctuation(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OverlapsAnyAnnotation(const Document& doc, const PhraseMatch& match) {
+  for (const EntitySpan& span : doc.annotations()) {
+    if (match.first_token < span.end_token() &&
+        span.first_token < match.first_token + match.num_tokens) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// All matches of any source phrase, longest-first and non-overlapping,
+/// excluding matches that touch annotated value tokens (key phrases are
+/// labels; values are never replaced).
+std::vector<PhraseMatch> CollectSourceMatches(
+    const Document& doc, const std::vector<KeyPhrase>& source_phrases) {
+  std::vector<PhraseMatch> all;
+  for (const KeyPhrase& phrase : source_phrases) {
+    for (const PhraseMatch& match : doc.FindPhrase(phrase.words)) {
+      if (!OverlapsAnyAnnotation(doc, match)) all.push_back(match);
+    }
+  }
+  // Longest matches win on overlap ("Base Salary" beats "Base").
+  std::sort(all.begin(), all.end(),
+            [](const PhraseMatch& a, const PhraseMatch& b) {
+              if (a.num_tokens != b.num_tokens) {
+                return a.num_tokens > b.num_tokens;
+              }
+              return a.first_token < b.first_token;
+            });
+  std::vector<PhraseMatch> kept;
+  for (const PhraseMatch& match : all) {
+    bool overlaps = false;
+    for (const PhraseMatch& existing : kept) {
+      if (match.first_token < existing.first_token + existing.num_tokens &&
+          existing.first_token < match.first_token + match.num_tokens) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) kept.push_back(match);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const PhraseMatch& a, const PhraseMatch& b) {
+              return a.first_token < b.first_token;
+            });
+  return kept;
+}
+
+}  // namespace
+
+std::optional<Document> SwapOnce(const Document& doc,
+                                 const std::string& source_field,
+                                 const std::string& target_field,
+                                 const KeyPhrase& target_phrase,
+                                 const KeyPhraseConfig& phrases,
+                                 const FieldSwapOptions& options) {
+  if (!doc.HasField(source_field)) return std::nullopt;
+  auto source_it = phrases.find(source_field);
+  if (source_it == phrases.end()) return std::nullopt;
+  std::vector<PhraseMatch> matches =
+      CollectSourceMatches(doc, source_it->second);
+  if (matches.empty()) return std::nullopt;
+  FS_CHECK(!target_phrase.words.empty());
+
+  // Consistency filter: find other fields whose own key phrases occupy a
+  // replaced range — their labels would contradict the new phrase.
+  std::vector<std::string> affected_fields;
+  if (options.drop_affected_fields) {
+    for (const auto& [field, field_phrases] : phrases) {
+      if (field == source_field) continue;
+      // If the incoming phrase is also a key phrase of this field, the
+      // field's semantics survive the replacement.
+      bool target_is_theirs = false;
+      for (const KeyPhrase& p : field_phrases) {
+        if (SamePhrase(p.words, target_phrase.words)) target_is_theirs = true;
+      }
+      if (target_is_theirs) continue;
+      bool affected = false;
+      for (const KeyPhrase& p : field_phrases) {
+        for (const PhraseMatch& m : doc.FindPhrase(p.words)) {
+          for (const PhraseMatch& replaced : matches) {
+            if (m.first_token < replaced.first_token + replaced.num_tokens &&
+                replaced.first_token < m.first_token + m.num_tokens) {
+              affected = true;
+            }
+          }
+        }
+      }
+      if (affected) affected_fields.push_back(field);
+    }
+  }
+
+  Document synthetic = doc;
+  // Replace back-to-front so earlier match indices stay valid.
+  for (auto it = matches.rbegin(); it != matches.rend(); ++it) {
+    std::vector<std::string> replacement = target_phrase.words;
+    // Preserve trailing label punctuation (":" styling) from the replaced
+    // phrase so the synthetic stays visually consistent with its template.
+    const std::string& old_last =
+        doc.token(it->first_token + it->num_tokens - 1).text;
+    if (!old_last.empty() && old_last.back() == ':' &&
+        (replacement.back().empty() || replacement.back().back() != ':')) {
+      replacement.back().push_back(':');
+    }
+    synthetic.ReplaceTokenRange(it->first_token, it->num_tokens, replacement);
+  }
+
+  // Drop contradicted annotations of affected sibling fields, then relabel
+  // every instance of the source field as the target field.
+  if (!affected_fields.empty()) {
+    std::vector<EntitySpan> kept;
+    for (const EntitySpan& span : synthetic.annotations()) {
+      if (std::find(affected_fields.begin(), affected_fields.end(),
+                    span.field) == affected_fields.end()) {
+        kept.push_back(span);
+      }
+    }
+    synthetic.mutable_annotations() = std::move(kept);
+  }
+  for (EntitySpan& span : synthetic.mutable_annotations()) {
+    if (span.field == source_field) span.field = target_field;
+  }
+
+  if (options.discard_unchanged && synthetic.SameTokenTexts(doc)) {
+    return std::nullopt;
+  }
+  return synthetic;
+}
+
+std::vector<Document> GenerateSyntheticDocuments(
+    const std::vector<Document>& train_docs, const KeyPhraseConfig& phrases,
+    const std::vector<FieldPair>& pairs, const FieldSwapOptions& options,
+    SwapStats* stats) {
+  SwapStats local_stats;
+  std::vector<Document> synthetics;
+
+  for (const Document& doc : train_docs) {
+    for (const FieldPair& pair : pairs) {
+      auto source_it = phrases.find(pair.source);
+      auto target_it = phrases.find(pair.target);
+      if (source_it == phrases.end() || target_it == phrases.end()) continue;
+      if (!doc.HasField(pair.source)) continue;
+
+      // If no source key phrase occurs in the document, no synthetics are
+      // generated for this pair (Sec. II-C).
+      if (CollectSourceMatches(doc, source_it->second).empty()) continue;
+      ++local_stats.pairs_with_match;
+
+      int emitted = 0;
+      for (const KeyPhrase& target_phrase : target_it->second) {
+        std::optional<Document> synthetic = SwapOnce(
+            doc, pair.source, pair.target, target_phrase, phrases, options);
+        if (!synthetic.has_value()) {
+          ++local_stats.discarded_unchanged;
+          continue;
+        }
+        synthetic->set_id(doc.id() + "#swap:" + pair.source + ">" +
+                          pair.target + ":" + std::to_string(emitted));
+        synthetics.push_back(std::move(*synthetic));
+        ++emitted;
+        ++local_stats.generated;
+      }
+    }
+  }
+
+  if (options.max_synthetics > 0 &&
+      static_cast<int>(synthetics.size()) > options.max_synthetics) {
+    Rng rng(options.sample_seed);
+    rng.Shuffle(synthetics);
+    synthetics.resize(static_cast<size_t>(options.max_synthetics));
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return synthetics;
+}
+
+}  // namespace fieldswap

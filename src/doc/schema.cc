@@ -1,0 +1,69 @@
+#include "doc/schema.h"
+
+#include "util/logging.h"
+
+namespace fieldswap {
+
+std::string_view FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kAddress:
+      return "address";
+    case FieldType::kDate:
+      return "date";
+    case FieldType::kMoney:
+      return "money";
+    case FieldType::kNumber:
+      return "number";
+    case FieldType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::optional<FieldType> ParseFieldType(std::string_view name) {
+  for (FieldType type : kAllFieldTypes) {
+    if (FieldTypeName(type) == name) return type;
+  }
+  return std::nullopt;
+}
+
+DomainSchema::DomainSchema(std::string domain, std::vector<FieldSpec> fields)
+    : domain_(std::move(domain)), fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(fields_[i].name, i);
+    FS_CHECK(inserted) << "duplicate field name: " << fields_[i].name;
+  }
+}
+
+const FieldSpec* DomainSchema::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &fields_[it->second];
+}
+
+int DomainSchema::IndexOf(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+FieldType DomainSchema::TypeOf(std::string_view name) const {
+  const FieldSpec* spec = Find(name);
+  return spec != nullptr ? spec->type : FieldType::kString;
+}
+
+std::vector<std::string> DomainSchema::FieldsOfType(FieldType type) const {
+  std::vector<std::string> names;
+  for (const FieldSpec& spec : fields_) {
+    if (spec.type == type) names.push_back(spec.name);
+  }
+  return names;
+}
+
+std::map<FieldType, size_t> DomainSchema::CountByType() const {
+  std::map<FieldType, size_t> counts;
+  for (FieldType type : kAllFieldTypes) counts[type] = 0;
+  for (const FieldSpec& spec : fields_) ++counts[spec.type];
+  return counts;
+}
+
+}  // namespace fieldswap

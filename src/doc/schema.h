@@ -1,0 +1,77 @@
+#ifndef FIELDSWAP_DOC_SCHEMA_H_
+#define FIELDSWAP_DOC_SCHEMA_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fieldswap {
+
+/// Base types of schema fields (Sec. I). `kString` is the catch-all for
+/// fields that are none of the other four.
+enum class FieldType { kAddress, kDate, kMoney, kNumber, kString };
+
+/// All base types, in the order used by the paper's Table II columns.
+inline constexpr FieldType kAllFieldTypes[] = {
+    FieldType::kAddress, FieldType::kDate, FieldType::kMoney,
+    FieldType::kNumber, FieldType::kString};
+
+/// Human-readable name ("address", "date", ...).
+std::string_view FieldTypeName(FieldType type);
+
+/// Inverse of FieldTypeName; nullopt for unknown names.
+std::optional<FieldType> ParseFieldType(std::string_view name);
+
+/// A single extractable field in a document schema.
+struct FieldSpec {
+  std::string name;
+  FieldType type = FieldType::kString;
+
+  /// Fraction of documents in the domain that contain this field. Drives
+  /// the rare-field phenomena studied in Table IV. 1.0 = on every document.
+  double frequency = 1.0;
+
+  friend bool operator==(const FieldSpec& a, const FieldSpec& b) = default;
+};
+
+/// Schema for one document type (domain): the blueprint of fields to
+/// extract, each with a base type (Sec. I).
+class DomainSchema {
+ public:
+  DomainSchema() = default;
+  DomainSchema(std::string domain, std::vector<FieldSpec> fields);
+
+  const std::string& domain() const { return domain_; }
+  const std::vector<FieldSpec>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+
+  /// Field spec by name, or nullptr if absent.
+  const FieldSpec* Find(std::string_view name) const;
+
+  /// True if the schema declares a field with this name.
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+
+  /// Index of a field in fields(), or -1 if absent.
+  int IndexOf(std::string_view name) const;
+
+  /// Base type of a named field; kString if the field is unknown.
+  FieldType TypeOf(std::string_view name) const;
+
+  /// Names of all fields with the given base type.
+  std::vector<std::string> FieldsOfType(FieldType type) const;
+
+  /// Count of fields per base type (Table II rows).
+  std::map<FieldType, size_t> CountByType() const;
+
+ private:
+  std::string domain_;
+  std::vector<FieldSpec> fields_;
+  std::map<std::string, size_t, std::less<>> index_;
+};
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_DOC_SCHEMA_H_

@@ -1,0 +1,32 @@
+#ifndef FIELDSWAP_DOC_SERIALIZE_H_
+#define FIELDSWAP_DOC_SERIALIZE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+
+namespace fieldswap {
+
+/// Serializes a document (tokens, boxes, lines, annotations) to a JSON
+/// string. The format is self-describing and stable, intended for
+/// exporting synthetic corpora to other tools and for golden-file tests.
+std::string DocumentToJson(const Document& doc);
+
+/// Parses a document from DocumentToJson output. Returns nullopt on
+/// malformed input. Only the exact subset of JSON this library emits is
+/// supported (no general JSON parsing).
+std::optional<Document> DocumentFromJson(const std::string& json);
+
+/// Writes one document per line (JSONL). Returns false on I/O error.
+bool SaveCorpusJsonl(const std::string& path,
+                     const std::vector<Document>& docs);
+
+/// Reads a JSONL corpus written by SaveCorpusJsonl. Returns nullopt on I/O
+/// or parse error.
+std::optional<std::vector<Document>> LoadCorpusJsonl(const std::string& path);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_DOC_SERIALIZE_H_

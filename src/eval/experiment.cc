@@ -1,0 +1,181 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "nn/serialize.h"
+#include "synth/generator.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace fieldswap {
+
+ExperimentSetting BaselineSetting() {
+  return ExperimentSetting{"baseline", std::nullopt};
+}
+
+ExperimentSetting FieldSwapSetting(MappingStrategy strategy) {
+  FieldSwapPipelineOptions options;
+  options.strategy = strategy;
+  return ExperimentSetting{
+      "fieldswap (" + std::string(MappingStrategyName(strategy)) + ")",
+      options};
+}
+
+ExperimentRunner::ExperimentRunner(DomainSpec spec, ExperimentConfig config,
+                                   const CandidateScoringModel* candidate_model)
+    : spec_(std::move(spec)),
+      config_(std::move(config)),
+      candidate_model_(candidate_model) {
+  // The full training pool and the fixed hold-out test set (Table I).
+  pool_ = GenerateCorpus(spec_, spec_.train_pool_size, config_.seed,
+                         spec_.name + "-train");
+  int test_count = std::min(config_.test_size, spec_.test_size);
+  test_docs_ = GenerateCorpus(spec_, test_count, config_.seed ^ 0x7e57ULL,
+                              spec_.name + "-test");
+}
+
+std::vector<Document> ExperimentRunner::Subset(int train_size,
+                                               int subset_index) const {
+  Rng rng(config_.seed + 7919 * static_cast<uint64_t>(train_size) +
+          104729 * static_cast<uint64_t>(subset_index));
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(
+      pool_.size(), static_cast<size_t>(train_size));
+  std::vector<Document> subset;
+  subset.reserve(picks.size());
+  for (size_t p : picks) subset.push_back(pool_[p]);
+  return subset;
+}
+
+LearningCurve ExperimentRunner::Run(const ExperimentSetting& setting) {
+  LearningCurve curve;
+  curve.setting_label = setting.label;
+
+  for (int size : config_.train_sizes) {
+    std::vector<double> macros, micros, synth_counts;
+    std::map<std::string, std::vector<double>> field_f1s;
+
+    for (int subset_index = 0; subset_index < config_.num_subsets;
+         ++subset_index) {
+      std::vector<Document> originals = Subset(size, subset_index);
+
+      std::vector<Document> synthetics;
+      if (setting.augmentation.has_value()) {
+        FieldSwapPipelineOptions options = *setting.augmentation;
+        options.swap.max_synthetics = config_.max_synthetics_for_training;
+        AugmentationResult augmented =
+            RunFieldSwap(originals, spec_, candidate_model_, options);
+        synthetics = std::move(augmented.synthetics);
+        synth_counts.push_back(static_cast<double>(augmented.stats.generated));
+      }
+
+      for (int trial = 0; trial < config_.num_trials; ++trial) {
+        SequenceModelConfig model_config = config_.model;
+        model_config.seed = config_.seed + 31 * static_cast<uint64_t>(trial) +
+                            17 * static_cast<uint64_t>(subset_index) + 1;
+        SequenceLabelingModel model(model_config, spec_.Schema());
+
+        TrainOptions train = config_.train;
+        train.total_steps =
+            std::max(config_.min_steps, config_.steps_per_doc * size);
+        train.seed = model_config.seed ^ 0x5eed;
+        TrainSequenceModel(model, originals, synthetics, train);
+
+        EvalResult eval = EvaluateModel(model, test_docs_);
+        macros.push_back(eval.macro_f1 * 100.0);
+        micros.push_back(eval.micro_f1 * 100.0);
+        for (const auto& [field, score] : eval.per_field) {
+          field_f1s[field].push_back(score.F1() * 100.0);
+        }
+      }
+    }
+
+    PointResult point;
+    point.macro_f1_mean = Mean(macros);
+    point.macro_f1_std = StdDev(macros);
+    point.micro_f1_mean = Mean(micros);
+    point.micro_f1_std = StdDev(micros);
+    point.avg_synthetics = Mean(synth_counts);
+    for (const auto& [field, values] : field_f1s) {
+      point.field_f1_mean[field] = Mean(values);
+    }
+    curve.by_size[size] = point;
+  }
+  return curve;
+}
+
+double ExperimentRunner::CountSynthetics(const ExperimentSetting& setting,
+                                         int train_size) {
+  if (!setting.augmentation.has_value()) return 0;
+  std::vector<double> counts;
+  for (int subset_index = 0; subset_index < config_.num_subsets;
+       ++subset_index) {
+    std::vector<Document> originals = Subset(train_size, subset_index);
+    FieldSwapPipelineOptions options = *setting.augmentation;
+    options.swap.max_synthetics = 0;  // uncapped counting
+    AugmentationResult augmented =
+        RunFieldSwap(originals, spec_, candidate_model_, options);
+    counts.push_back(static_cast<double>(augmented.stats.generated));
+  }
+  return Mean(counts);
+}
+
+CandidateScoringModel PretrainInvoiceCandidateModel(int corpus_size,
+                                                    uint64_t seed) {
+  DomainSpec invoices = InvoicesSpec();
+  std::vector<Document> corpus =
+      GenerateCorpus(invoices, corpus_size, seed, "invoice");
+
+  std::vector<std::string> field_names;
+  for (const FieldDef& def : invoices.fields) {
+    field_names.push_back(def.spec.name);
+  }
+  CandidateModelConfig config;
+  config.seed = seed;
+  CandidateScoringModel model(config, field_names);
+
+  CandidateTrainOptions train;
+  train.seed = seed ^ 0xabcd;
+  model.Pretrain(corpus, invoices.Schema(), train);
+  return model;
+}
+
+CandidateScoringModel GetOrTrainCachedCandidateModel(
+    const std::string& cache_path) {
+  const uint64_t seed = 99;
+  DomainSpec invoices = InvoicesSpec();
+  std::vector<std::string> field_names;
+  for (const FieldDef& def : invoices.fields) {
+    field_names.push_back(def.spec.name);
+  }
+  CandidateModelConfig config;
+  config.seed = seed;
+  CandidateScoringModel model(config, field_names);
+  if (LoadCheckpoint(cache_path, model.Params())) {
+    return model;
+  }
+  model = PretrainInvoiceCandidateModel(EnvInt("FIELDSWAP_PRETRAIN_DOCS", 300),
+                                        seed);
+  SaveCheckpoint(cache_path, model.Params());
+  return model;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+void ApplyEnvOverrides(ExperimentConfig& config) {
+  config.num_subsets = EnvInt("FIELDSWAP_SUBSETS", config.num_subsets);
+  config.num_trials = EnvInt("FIELDSWAP_TRIALS", config.num_trials);
+  config.test_size = EnvInt("FIELDSWAP_TEST_DOCS", config.test_size);
+  config.steps_per_doc =
+      EnvInt("FIELDSWAP_STEPS_PER_DOC", config.steps_per_doc);
+  config.min_steps = EnvInt("FIELDSWAP_MIN_STEPS", config.min_steps);
+  config.max_synthetics_for_training =
+      EnvInt("FIELDSWAP_MAX_SYNTH", config.max_synthetics_for_training);
+}
+
+}  // namespace fieldswap

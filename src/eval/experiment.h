@@ -1,0 +1,124 @@
+#ifndef FIELDSWAP_EVAL_EXPERIMENT_H_
+#define FIELDSWAP_EVAL_EXPERIMENT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "model/candidate_model.h"
+#include "model/trainer.h"
+#include "synth/domains.h"
+
+namespace fieldswap {
+
+/// One training configuration on the learning curve: the no-augmentation
+/// baseline (augmentation == nullopt) or FieldSwap with a given strategy.
+struct ExperimentSetting {
+  std::string label;
+  std::optional<FieldSwapPipelineOptions> augmentation;
+};
+
+/// Standard settings used across the paper's figures.
+ExperimentSetting BaselineSetting();
+ExperimentSetting FieldSwapSetting(MappingStrategy strategy);
+
+/// Protocol configuration (paper Sec. IV-B). The paper runs 3 subsets x 3
+/// trials on the full test sets; the defaults are scaled for a single CPU
+/// core and can be raised via the FIELDSWAP_* environment knobs the bench
+/// binaries read.
+struct ExperimentConfig {
+  std::vector<int> train_sizes = {10, 50, 100};
+  int num_subsets = 2;
+  int num_trials = 2;
+  int test_size = 60;
+  uint64_t seed = 1234;
+
+  SequenceModelConfig model;
+  TrainOptions train;
+  /// Training steps scale with the training-set size: steps =
+  /// max(min_steps, steps_per_doc * size). Baseline and FieldSwap runs get
+  /// identical budgets (the paper's equal-training control).
+  int min_steps = 2000;
+  int steps_per_doc = 30;
+
+  /// Cap on synthetic documents entering training (wall-clock control;
+  /// synthetic *counts* for Table III are computed uncapped).
+  int max_synthetics_for_training = 250;
+};
+
+/// Aggregated result of the 9 (subsets x trials) runs at one point of the
+/// learning curve.
+struct PointResult {
+  double macro_f1_mean = 0;
+  double macro_f1_std = 0;
+  double micro_f1_mean = 0;
+  double micro_f1_std = 0;
+  double avg_synthetics = 0;
+  /// Mean F1 per field across runs (fields keyed by name).
+  std::map<std::string, double> field_f1_mean;
+};
+
+/// A full learning curve for one setting.
+struct LearningCurve {
+  std::string setting_label;
+  std::map<int, PointResult> by_size;
+};
+
+/// Runs the paper's learning-curve protocol for one domain: a fixed
+/// held-out test set, `num_subsets` random train subsets per size,
+/// `num_trials` training seeds per subset.
+class ExperimentRunner {
+ public:
+  /// `candidate_model` is the invoice-pretrained scorer used by automatic
+  /// FieldSwap settings; may be null if only baseline / human expert
+  /// settings will run.
+  ExperimentRunner(DomainSpec spec, ExperimentConfig config,
+                   const CandidateScoringModel* candidate_model);
+
+  LearningCurve Run(const ExperimentSetting& setting);
+
+  /// Average number of synthetic documents generated per subset at the
+  /// given size, uncapped (for Table III).
+  double CountSynthetics(const ExperimentSetting& setting, int train_size);
+
+  const std::vector<Document>& test_docs() const { return test_docs_; }
+  const DomainSpec& spec() const { return spec_; }
+
+ private:
+  std::vector<Document> Subset(int train_size, int subset_index) const;
+
+  DomainSpec spec_;
+  ExperimentConfig config_;
+  const CandidateScoringModel* candidate_model_;
+  std::vector<Document> pool_;
+  std::vector<Document> test_docs_;
+};
+
+/// Builds and pre-trains the out-of-domain (invoices) candidate scoring
+/// model used for automatic key phrase inference. `corpus_size` invoices
+/// are generated on the fly (the paper uses ~5000; a few hundred suffice
+/// for the small model).
+CandidateScoringModel PretrainInvoiceCandidateModel(int corpus_size,
+                                                    uint64_t seed);
+
+/// Like PretrainInvoiceCandidateModel, but caches the trained parameters in
+/// `cache_path` (binary checkpoint) so that the many bench binaries share
+/// one pre-training run. Corpus size comes from FIELDSWAP_PRETRAIN_DOCS
+/// (default 300).
+CandidateScoringModel GetOrTrainCachedCandidateModel(
+    const std::string& cache_path = "fieldswap_candidate_model.ckpt");
+
+/// Reads a positive integer from the environment, or returns `fallback`.
+int EnvInt(const char* name, int fallback);
+
+/// Applies the common FIELDSWAP_* environment knobs (FIELDSWAP_SUBSETS,
+/// FIELDSWAP_TRIALS, FIELDSWAP_TEST_DOCS, FIELDSWAP_STEPS_PER_DOC,
+/// FIELDSWAP_MIN_STEPS, FIELDSWAP_MAX_SYNTH) to a config.
+void ApplyEnvOverrides(ExperimentConfig& config);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_EVAL_EXPERIMENT_H_

@@ -1,0 +1,69 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace fieldswap {
+
+double FieldScore::Precision() const {
+  return tp + fp == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double FieldScore::Recall() const {
+  return tp + fn == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double FieldScore::F1() const {
+  double denom = 2.0 * static_cast<double>(tp) + static_cast<double>(fp) +
+                 static_cast<double>(fn);
+  return denom == 0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+}
+
+void AccumulateSpanScores(const std::vector<EntitySpan>& gold,
+                          const std::vector<EntitySpan>& predicted,
+                          std::map<std::string, FieldScore>& scores) {
+  for (const EntitySpan& p : predicted) {
+    if (std::find(gold.begin(), gold.end(), p) != gold.end()) {
+      ++scores[p.field].tp;
+    } else {
+      ++scores[p.field].fp;
+    }
+  }
+  for (const EntitySpan& g : gold) {
+    if (std::find(predicted.begin(), predicted.end(), g) == predicted.end()) {
+      ++scores[g.field].fn;
+    }
+  }
+}
+
+EvalResult FinalizeScores(std::map<std::string, FieldScore> scores) {
+  EvalResult result;
+  int64_t tp = 0, fp = 0, fn = 0;
+  double f1_sum = 0;
+  size_t field_count = 0;
+  for (const auto& [field, score] : scores) {
+    tp += score.tp;
+    fp += score.fp;
+    fn += score.fn;
+    f1_sum += score.F1();
+    ++field_count;
+  }
+  result.macro_f1 = field_count == 0 ? 0.0 : f1_sum / static_cast<double>(field_count);
+  double denom = 2.0 * static_cast<double>(tp) + static_cast<double>(fp) +
+                 static_cast<double>(fn);
+  result.micro_f1 = denom == 0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+  result.per_field = std::move(scores);
+  return result;
+}
+
+EvalResult EvaluateModel(const SequenceLabelingModel& model,
+                         const std::vector<Document>& test_docs) {
+  std::map<std::string, FieldScore> scores;
+  for (const Document& doc : test_docs) {
+    AccumulateSpanScores(doc.annotations(), model.Predict(doc), scores);
+  }
+  return FinalizeScores(std::move(scores));
+}
+
+}  // namespace fieldswap

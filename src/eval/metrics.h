@@ -1,0 +1,54 @@
+#ifndef FIELDSWAP_EVAL_METRICS_H_
+#define FIELDSWAP_EVAL_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+#include "doc/schema.h"
+#include "model/sequence_model.h"
+
+namespace fieldswap {
+
+/// Per-field span-level counts and scores.
+struct FieldScore {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+/// End-to-end extraction quality over a test set.
+struct EvalResult {
+  std::map<std::string, FieldScore> per_field;
+
+  /// Unweighted mean F1 over fields with at least one gold or predicted
+  /// span (the paper's primary metric; rare fields count as much as
+  /// frequent ones).
+  double macro_f1 = 0;
+
+  /// Global span-level F1 (every instance counts once).
+  double micro_f1 = 0;
+};
+
+/// Scores one document's predictions against its gold annotations,
+/// accumulating into `scores`. A predicted span is a true positive iff a
+/// gold span has the same field and the exact same token range.
+void AccumulateSpanScores(const std::vector<EntitySpan>& gold,
+                          const std::vector<EntitySpan>& predicted,
+                          std::map<std::string, FieldScore>& scores);
+
+/// Finalizes macro/micro F1 from accumulated per-field counts.
+EvalResult FinalizeScores(std::map<std::string, FieldScore> scores);
+
+/// Runs the model over `test_docs` and scores it.
+EvalResult EvaluateModel(const SequenceLabelingModel& model,
+                         const std::vector<Document>& test_docs);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_EVAL_METRICS_H_

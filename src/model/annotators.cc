@@ -1,0 +1,199 @@
+#include "model/annotators.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+bool AllOf(std::string_view text, bool (*pred)(char)) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (!pred(c)) return false;
+  }
+  return true;
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+bool IsMonthAbbrev(std::string_view text) {
+  static constexpr std::string_view kMonths[] = {
+      "jan", "feb", "mar", "apr", "may", "jun",
+      "jul", "aug", "sep", "oct", "nov", "dec"};
+  std::string lower = ToLower(text);
+  for (std::string_view m : kMonths) {
+    if (lower == m) return true;
+  }
+  return false;
+}
+
+bool IsCapitalizedWord(std::string_view text) {
+  std::string_view core = TrimPunctuation(text);
+  if (core.empty()) return false;
+  if (!std::isupper(static_cast<unsigned char>(core[0]))) return false;
+  for (char c : core.substr(1)) {
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '\'' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsStateAbbrev(std::string_view text) {
+  std::string_view core = TrimPunctuation(text);
+  return core.size() == 2 &&
+         std::isupper(static_cast<unsigned char>(core[0])) &&
+         std::isupper(static_cast<unsigned char>(core[1]));
+}
+
+}  // namespace
+
+bool IsMoneyToken(std::string_view text) {
+  if (text.empty()) return false;
+  // Accounting negatives wrap the whole amount: "($42.00)".
+  if (text.size() >= 2 && text.front() == '(' && text.back() == ')') {
+    text = text.substr(1, text.size() - 2);
+  }
+  if (!text.empty() && text[0] == '$') text.remove_prefix(1);
+  // Require digits, optional commas, and a ".dd" suffix.
+  auto dot = text.rfind('.');
+  if (dot == std::string_view::npos || text.size() - dot != 3) return false;
+  if (!IsDigit(text[dot + 1]) || !IsDigit(text[dot + 2])) return false;
+  std::string_view whole = text.substr(0, dot);
+  if (whole.empty()) return false;
+  for (char c : whole) {
+    if (!IsDigit(c) && c != ',') return false;
+  }
+  return IsDigit(whole[0]);
+}
+
+bool IsDateToken(std::string_view text) {
+  // mm/dd/yyyy or m/d/yy styles.
+  int slashes = static_cast<int>(std::count(text.begin(), text.end(), '/'));
+  if (slashes == 2) {
+    for (char c : text) {
+      if (!IsDigit(c) && c != '/') return false;
+    }
+    return text.size() >= 6;
+  }
+  // yyyy-mm-dd.
+  int dashes = static_cast<int>(std::count(text.begin(), text.end(), '-'));
+  if (dashes == 2 && text.size() == 10) {
+    for (char c : text) {
+      if (!IsDigit(c) && c != '-') return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool IsMonthNameDate(const Document& doc, int i) {
+  if (i + 3 > doc.num_tokens()) return false;
+  if (!IsMonthAbbrev(doc.token(i).text)) return false;
+  std::string_view day = doc.token(i + 1).text;
+  if (day.empty() || !IsDigit(day[0])) return false;
+  std::string_view core_day = TrimPunctuation(day);
+  if (core_day.empty() || core_day.size() > 2 || !AllOf(core_day, IsDigit)) {
+    return false;
+  }
+  std::string_view year = doc.token(i + 2).text;
+  return year.size() == 4 && AllOf(year, IsDigit);
+}
+
+bool IsNumberToken(std::string_view text, int min_digits) {
+  return static_cast<int>(text.size()) >= min_digits && AllOf(text, IsDigit);
+}
+
+bool IsZipToken(std::string_view text) {
+  return text.size() == 5 && AllOf(text, IsDigit);
+}
+
+std::vector<Candidate> GenerateCandidates(const Document& doc) {
+  std::vector<Candidate> candidates;
+  std::vector<bool> claimed(static_cast<size_t>(doc.num_tokens()), false);
+
+  auto claim = [&](int first, int count, FieldType type) {
+    candidates.push_back(Candidate{first, count, type});
+    for (int i = first; i < first + count; ++i) {
+      claimed[static_cast<size_t>(i)] = true;
+    }
+  };
+
+  // Addresses: "<number> ... <STATE> <zip>" within a short window.
+  for (int i = 0; i < doc.num_tokens(); ++i) {
+    const std::string& text = doc.token(i).text;
+    if (!IsNumberToken(text, 3) || text.size() > 4) continue;
+    int limit = std::min(doc.num_tokens() - 1, i + 8);
+    for (int j = i + 2; j < limit; ++j) {
+      if (IsStateAbbrev(doc.token(j).text) &&
+          IsZipToken(doc.token(j + 1).text)) {
+        claim(i, j + 2 - i, FieldType::kAddress);
+        i = j + 1;
+        break;
+      }
+    }
+  }
+
+  // Dates.
+  for (int i = 0; i < doc.num_tokens(); ++i) {
+    if (claimed[static_cast<size_t>(i)]) continue;
+    if (IsDateToken(doc.token(i).text)) {
+      claim(i, 1, FieldType::kDate);
+    } else if (IsMonthNameDate(doc, i)) {
+      claim(i, 3, FieldType::kDate);
+      i += 2;
+    }
+  }
+
+  // Money.
+  for (int i = 0; i < doc.num_tokens(); ++i) {
+    if (claimed[static_cast<size_t>(i)]) continue;
+    if (IsMoneyToken(doc.token(i).text)) claim(i, 1, FieldType::kMoney);
+  }
+
+  // Numbers.
+  for (int i = 0; i < doc.num_tokens(); ++i) {
+    if (claimed[static_cast<size_t>(i)]) continue;
+    if (IsNumberToken(doc.token(i).text)) claim(i, 1, FieldType::kNumber);
+  }
+
+  // Strings: maximal runs of 1-4 capitalized words on the same line.
+  for (int i = 0; i < doc.num_tokens(); ++i) {
+    if (claimed[static_cast<size_t>(i)]) continue;
+    if (!IsCapitalizedWord(doc.token(i).text)) continue;
+    int j = i;
+    while (j < doc.num_tokens() && j - i < 4 &&
+           !claimed[static_cast<size_t>(j)] &&
+           IsCapitalizedWord(doc.token(j).text) &&
+           doc.token(j).line == doc.token(i).line) {
+      ++j;
+    }
+    claim(i, j - i, FieldType::kString);
+    i = j - 1;
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.first_token < b.first_token;
+            });
+  return candidates;
+}
+
+std::vector<Candidate> GenerateCandidates(const Document& doc,
+                                          FieldType type) {
+  std::vector<Candidate> all = GenerateCandidates(doc);
+  std::vector<Candidate> filtered;
+  for (const Candidate& c : all) {
+    if (c.type == type) filtered.push_back(c);
+  }
+  return filtered;
+}
+
+Candidate CandidateFromSpan(const EntitySpan& span, FieldType type) {
+  return Candidate{span.first_token, span.num_tokens, type};
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,55 @@
+#ifndef FIELDSWAP_MODEL_ANNOTATORS_H_
+#define FIELDSWAP_MODEL_ANNOTATORS_H_
+
+#include <vector>
+
+#include "doc/document.h"
+#include "doc/schema.h"
+
+namespace fieldswap {
+
+/// A base-type candidate: a token span that a common off-the-shelf
+/// annotator (date / money / number / address / string detector) proposes
+/// as a possible field value (Majumder et al. 2020, Sec. II-A2 here).
+struct Candidate {
+  int first_token = 0;
+  int num_tokens = 0;
+  FieldType type = FieldType::kString;
+
+  int end_token() const { return first_token + num_tokens; }
+
+  friend bool operator==(const Candidate& a, const Candidate& b) = default;
+};
+
+/// True if the token looks like a money amount ("$3,308.62", "1,234.56").
+bool IsMoneyToken(std::string_view text);
+
+/// True if the token is a single-token date ("01/15/2024", "2024-01-15").
+bool IsDateToken(std::string_view text);
+
+/// True if tokens [i, i+3) spell a month-name date ("Jan", "15,", "2024").
+bool IsMonthNameDate(const Document& doc, int i);
+
+/// True if the token is a bare integer with at least `min_digits` digits.
+bool IsNumberToken(std::string_view text, int min_digits = 3);
+
+/// True if the token is a 5-digit zip code.
+bool IsZipToken(std::string_view text);
+
+/// Runs all base-type annotators over the document and returns candidates
+/// sorted by first token. String candidates are capitalized word runs that
+/// no other annotator claimed.
+std::vector<Candidate> GenerateCandidates(const Document& doc);
+
+/// Candidates of one base type only.
+std::vector<Candidate> GenerateCandidates(const Document& doc,
+                                          FieldType type);
+
+/// Wraps a ground-truth span as a candidate of the field's base type (the
+/// paper generates candidates from ground truth directly when inferring
+/// key phrases on the target domain).
+Candidate CandidateFromSpan(const EntitySpan& span, FieldType type);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_MODEL_ANNOTATORS_H_

@@ -1,0 +1,114 @@
+#ifndef FIELDSWAP_MODEL_CANDIDATE_MODEL_H_
+#define FIELDSWAP_MODEL_CANDIDATE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+#include "doc/schema.h"
+#include "model/annotators.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// Configuration of the candidate-based scoring model (Fig. 2 of the paper;
+/// architecture of Majumder et al., ACL 2020).
+struct CandidateModelConfig {
+  int d_model = 32;
+  /// Number of neighboring tokens per candidate, selected by off-axis
+  /// distance (the paper uses 100 on full-page documents; our synthetic
+  /// pages are smaller).
+  int num_neighbors = 24;
+  int text_buckets = 2048;
+  int shape_buckets = 128;
+  uint64_t seed = 7;
+};
+
+/// Per-candidate encoding outputs used for both classification and
+/// neighbor-importance measurement.
+struct CandidateEncoding {
+  /// Token indices of the candidate's neighbors, nearest first.
+  std::vector<int> neighbor_ids;
+  /// Per-neighbor encodings, one row per neighbor ([t, d]).
+  Matrix neighbor_encodings;
+  /// Max-pooled Neighborhood Encoding ([1, d]).
+  Matrix neighborhood;
+};
+
+/// Options controlling pre-training of the candidate model on an
+/// out-of-domain corpus.
+struct CandidateTrainOptions {
+  int epochs = 3;
+  float learning_rate = 2e-3f;
+  /// Negative candidates sampled per positive example.
+  int negatives_per_positive = 2;
+  uint64_t seed = 11;
+};
+
+/// The candidate-based extraction model: encodes each neighbor of a
+/// candidate (text + shape + relative position), runs self-attention over
+/// the neighborhood, max-pools into a Neighborhood Encoding, and scores the
+/// candidate against field embeddings. Pre-trained on an out-of-domain
+/// corpus and then applied to the target domain for key-phrase inference
+/// (the positional cues it learns transfer across domains, Sec. II-A2).
+class CandidateScoringModel {
+ public:
+  /// `fields` are the field names of the *pre-training* schema; the encoder
+  /// itself is field-agnostic and transfers to any domain.
+  CandidateScoringModel(const CandidateModelConfig& config,
+                        std::vector<std::string> fields);
+
+  /// Forward pass producing plain (non-graph) encodings for inference.
+  CandidateEncoding Encode(const Document& doc,
+                           const Candidate& candidate) const;
+
+  /// Binary logit for "candidate is an instance of fields[field_index]",
+  /// given a graph-producing forward pass. Used during pre-training.
+  Var ScoreForTraining(const Document& doc, const Candidate& candidate,
+                       int field_index);
+
+  /// Pre-trains on a labeled corpus whose schema matches `fields`.
+  /// Positives are ground-truth spans; negatives are same-base-type
+  /// annotator candidates that do not overlap a positive. Returns the mean
+  /// binary cross-entropy of the final epoch.
+  double Pretrain(const std::vector<Document>& corpus,
+                  const DomainSchema& schema,
+                  const CandidateTrainOptions& options);
+
+  const CandidateModelConfig& config() const { return config_; }
+  std::vector<NamedParam> Params() const;
+
+ private:
+  /// Shared subgraph: neighbor features -> attention -> per-neighbor
+  /// encodings [t, d] and pooled neighborhood [1, d].
+  struct EncodeGraph {
+    std::vector<int> neighbor_ids;
+    Var neighbor_encodings;
+    Var neighborhood;
+  };
+  EncodeGraph BuildEncodeGraph(const Document& doc,
+                               const Candidate& candidate) const;
+
+  CandidateModelConfig config_;
+  std::vector<std::string> fields_;
+
+  Embedding text_emb_;
+  Embedding shape_emb_;
+  Linear rel_pos_proj_;
+  // Single-head self-attention over the neighborhood followed by a ReLU
+  // projection. ReLU keeps per-neighbor encodings positive and feature-
+  // sparse, so max-pooling composes the Neighborhood Encoding from the most
+  // distinctive neighbors — which is what makes the cosine importance
+  // measurement of Sec. II-A2 meaningful.
+  Linear wq_, wk_, wv_;
+  Linear enc_;
+  Linear cand_pos_proj_;
+  Linear combine_;
+  Embedding field_emb_;
+};
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_MODEL_CANDIDATE_MODEL_H_

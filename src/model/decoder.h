@@ -1,0 +1,27 @@
+#ifndef FIELDSWAP_MODEL_DECODER_H_
+#define FIELDSWAP_MODEL_DECODER_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace fieldswap {
+
+/// Constrained Viterbi decoding over BIO tag logits.
+///
+/// Enforces the BIO grammar that greedy per-token argmax can violate:
+/// I-f may only follow B-f or I-f of the same field. Transitions that
+/// violate the grammar get -inf score; all others are free (no learned
+/// transition weights — the constraint is structural).
+///
+/// `logits` is [T, C] with the class layout of sequence_model.h
+/// (0 = O, 2f+1 = B-f, 2f+2 = I-f). Returns the highest-scoring valid tag
+/// sequence of length T.
+std::vector<int> ViterbiDecodeBio(const Matrix& logits);
+
+/// True if `tag` may follow `prev_tag` under the BIO grammar.
+bool BioTransitionAllowed(int prev_tag, int tag);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_MODEL_DECODER_H_

@@ -1,0 +1,181 @@
+#include "model/sequence_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/decoder.h"
+#include "model/features.h"
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+
+int BioNumClasses(int num_fields) { return 2 * num_fields + 1; }
+int BioBeginClass(int field_index) { return 2 * field_index + 1; }
+int BioInsideClass(int field_index) { return 2 * field_index + 2; }
+int BioFieldOf(int class_id) {
+  return class_id <= 0 ? -1 : (class_id - 1) / 2;
+}
+bool BioIsBegin(int class_id) { return class_id >= 1 && class_id % 2 == 1; }
+
+SequenceLabelingModel::SequenceLabelingModel(const SequenceModelConfig& config,
+                                             DomainSchema schema)
+    : config_(config), schema_(std::move(schema)) {
+  num_classes_ = BioNumClasses(static_cast<int>(schema_.num_fields()));
+  class_weights_.assign(static_cast<size_t>(num_classes_), 1.0f);
+  class_weights_[0] = config_.outside_weight;
+
+  Rng rng(config_.seed);
+  const int d = config_.d_model;
+  text_emb_ = Embedding(config_.text_buckets, d, rng, "seq.text_emb");
+  shape_emb_ = Embedding(config_.shape_buckets, d, rng, "seq.shape_emb");
+  pos_proj_ = Linear(kNumPositionFeatures, d, rng, "seq.pos_proj");
+  for (int l = 0; l < config_.num_layers; ++l) {
+    blocks_.emplace_back(d, rng, "seq.block" + std::to_string(l));
+  }
+  ln_out_ = LayerNormLayer(d, "seq.ln_out");
+  head_ = Linear(d, num_classes_, rng, "seq.head");
+}
+
+EncodedDoc SequenceLabelingModel::EncodeDoc(const Document& doc) const {
+  EncodedDoc encoded;
+  const int t = std::min(doc.num_tokens(), config_.max_tokens);
+  encoded.num_tokens = t;
+  encoded.positions = Matrix(t, kNumPositionFeatures);
+  encoded.neighbors.resize(static_cast<size_t>(t));
+
+  for (int i = 0; i < t; ++i) {
+    const Token& tok = doc.token(i);
+    encoded.text_ids.push_back(TextBucket(tok.text, config_.text_buckets));
+    encoded.shape_ids.push_back(ShapeBucket(tok.text, config_.shape_buckets));
+    std::vector<float> pos =
+        PositionFeatures(tok.box, doc.width(), doc.height());
+    for (int f = 0; f < kNumPositionFeatures; ++f) {
+      encoded.positions.At(i, f) = pos[static_cast<size_t>(f)];
+    }
+  }
+
+  // Attention pattern: self + reading-order window + off-axis-nearest
+  // spatial neighbors (captures both the row label to the left and the
+  // column header above, which jointly disambiguate table cells).
+  for (int i = 0; i < t; ++i) {
+    std::vector<int>& ns = encoded.neighbors[static_cast<size_t>(i)];
+    for (int w = -config_.sequence_window; w <= config_.sequence_window; ++w) {
+      int j = i + w;
+      if (j >= 0 && j < t) ns.push_back(j);
+    }
+    std::vector<int> spatial =
+        doc.NeighborIndices(doc.token(i).box, config_.spatial_neighbors + 1);
+    for (int j : spatial) {
+      if (j < t && std::find(ns.begin(), ns.end(), j) == ns.end()) {
+        ns.push_back(j);
+      }
+    }
+  }
+
+  // BIO labels from annotations (truncated spans are labeled up to t).
+  encoded.labels.assign(static_cast<size_t>(t), 0);
+  for (const EntitySpan& span : doc.annotations()) {
+    int field = schema_.IndexOf(span.field);
+    if (field < 0) continue;
+    for (int i = span.first_token; i < span.end_token() && i < t; ++i) {
+      encoded.labels[static_cast<size_t>(i)] =
+          i == span.first_token ? BioBeginClass(field) : BioInsideClass(field);
+    }
+  }
+  return encoded;
+}
+
+Var SequenceLabelingModel::Logits(const EncodedDoc& encoded) const {
+  Var inputs = Add(Add(text_emb_.Lookup(encoded.text_ids),
+                       shape_emb_.Lookup(encoded.shape_ids)),
+                   pos_proj_.Apply(Constant(encoded.positions)));
+  Var hidden = inputs;
+  for (const TransformerBlock& block : blocks_) {
+    hidden = block.Apply(hidden, encoded.neighbors);
+  }
+  return head_.Apply(ln_out_.Apply(hidden));
+}
+
+Var SequenceLabelingModel::Loss(const EncodedDoc& encoded) const {
+  FS_CHECK_EQ(static_cast<int>(encoded.labels.size()), encoded.num_tokens);
+  return SoftmaxCrossEntropy(Logits(encoded), encoded.labels,
+                             class_weights_);
+}
+
+std::vector<EntitySpan> SequenceLabelingModel::Predict(
+    const Document& doc) const {
+  return PredictEncoded(EncodeDoc(doc));
+}
+
+std::vector<EntitySpan> SequenceLabelingModel::PredictEncoded(
+    const EncodedDoc& encoded) const {
+  Var logits = Logits(encoded);
+  Matrix probs = RowSoftmax(logits->value);
+  const int t = encoded.num_tokens;
+
+  std::vector<int> tags;
+  if (config_.use_viterbi_decoding) {
+    tags = ViterbiDecodeBio(logits->value);
+  } else {
+    // Greedy per-token argmax (the paper's simple readout).
+    tags.assign(static_cast<size_t>(t), 0);
+    for (int i = 0; i < t; ++i) {
+      int best = 0;
+      for (int cls = 1; cls < probs.cols(); ++cls) {
+        if (probs.At(i, cls) > probs.At(i, best)) best = cls;
+      }
+      tags[static_cast<size_t>(i)] = best;
+    }
+  }
+
+  // Decode spans: a B opens a span; following I of the same field extends.
+  struct Scored {
+    EntitySpan span;
+    double confidence = 0;
+  };
+  std::vector<Scored> spans;
+  for (int i = 0; i < t; ++i) {
+    int cls = tags[static_cast<size_t>(i)];
+    int field = BioFieldOf(cls);
+    if (field < 0 || !BioIsBegin(cls)) continue;
+    int j = i + 1;
+    double conf = probs.At(i, cls);
+    while (j < t && tags[static_cast<size_t>(j)] == BioInsideClass(field)) {
+      conf += probs.At(j, tags[static_cast<size_t>(j)]);
+      ++j;
+    }
+    Scored scored;
+    scored.span = EntitySpan{schema_.fields()[static_cast<size_t>(field)].name,
+                             i, j - i};
+    scored.confidence = conf / static_cast<double>(j - i);
+    spans.push_back(std::move(scored));
+    i = j - 1;
+  }
+
+  // Schema constraint at inference: one span per field, keep the most
+  // confident.
+  std::vector<EntitySpan> result;
+  for (const FieldSpec& field : schema_.fields()) {
+    const Scored* best = nullptr;
+    for (const Scored& s : spans) {
+      if (s.span.field != field.name) continue;
+      if (best == nullptr || s.confidence > best->confidence) best = &s;
+    }
+    if (best != nullptr) result.push_back(best->span);
+  }
+  return result;
+}
+
+std::vector<NamedParam> SequenceLabelingModel::Params() const {
+  std::vector<NamedParam> params;
+  text_emb_.CollectParams(params);
+  shape_emb_.CollectParams(params);
+  pos_proj_.CollectParams(params);
+  for (const TransformerBlock& block : blocks_) block.CollectParams(params);
+  ln_out_.CollectParams(params);
+  head_.CollectParams(params);
+  return params;
+}
+
+}  // namespace fieldswap

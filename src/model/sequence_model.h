@@ -1,0 +1,100 @@
+#ifndef FIELDSWAP_MODEL_SEQUENCE_MODEL_H_
+#define FIELDSWAP_MODEL_SEQUENCE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+#include "doc/schema.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// Configuration of the sequence-labeling extraction backbone (the paper's
+/// FormNet-style model, Sec. IV-B, shrunk to CPU scale).
+struct SequenceModelConfig {
+  int d_model = 32;
+  int num_layers = 1;
+  /// Tokens attend to this many off-axis-nearest neighbors plus a small
+  /// reading-order window (FormNet-style locality).
+  int spatial_neighbors = 10;
+  int sequence_window = 2;
+  int text_buckets = 4096;
+  int shape_buckets = 128;
+  int max_tokens = 256;
+  /// Loss weight of the O class relative to B/I classes (counters extreme
+  /// class imbalance on form pages).
+  float outside_weight = 0.2f;
+  /// Decode with BIO-constrained Viterbi (model/decoder.h) instead of
+  /// greedy per-token argmax. Off by default to match the paper's simple
+  /// sequence-labeling readout; an extension benchmarked in ablations.
+  bool use_viterbi_decoding = false;
+  uint64_t seed = 5;
+};
+
+/// A document pre-encoded for the model: feature ids, position features,
+/// attention neighbor lists, and BIO labels. Computed once per document and
+/// reused across training steps.
+struct EncodedDoc {
+  int num_tokens = 0;
+  std::vector<int> text_ids;
+  std::vector<int> shape_ids;
+  Matrix positions;  // [T, kNumPositionFeatures]
+  std::vector<std::vector<int>> neighbors;
+  std::vector<int> labels;  // BIO class ids (empty if unannotated)
+};
+
+/// BIO tag utilities: class 0 is O; field f has B = 2f+1, I = 2f+2.
+int BioNumClasses(int num_fields);
+int BioBeginClass(int field_index);
+int BioInsideClass(int field_index);
+/// Field index of a B/I class, or -1 for O.
+int BioFieldOf(int class_id);
+bool BioIsBegin(int class_id);
+
+/// Sequence labeling model over document tokens: per-token embeddings
+/// (text + shape + projected position), a stack of neighbor-attention
+/// transformer blocks, and a per-token BIO classification head.
+class SequenceLabelingModel {
+ public:
+  SequenceLabelingModel(const SequenceModelConfig& config,
+                        DomainSchema schema);
+
+  /// Precomputes features, neighbor lists, and labels for a document.
+  EncodedDoc EncodeDoc(const Document& doc) const;
+
+  /// Forward pass to per-token class logits ([T, C] graph node).
+  Var Logits(const EncodedDoc& encoded) const;
+
+  /// Cross-entropy training loss for one encoded document.
+  Var Loss(const EncodedDoc& encoded) const;
+
+  /// Greedy BIO decode to predicted spans, applying the schema constraint
+  /// that each field keeps only its highest-confidence span at inference
+  /// time (Sec. II-C: constraints are applied at inference, not training).
+  std::vector<EntitySpan> Predict(const Document& doc) const;
+  std::vector<EntitySpan> PredictEncoded(const EncodedDoc& encoded) const;
+
+  const DomainSchema& schema() const { return schema_; }
+  const SequenceModelConfig& config() const { return config_; }
+  std::vector<NamedParam> Params() const;
+
+ private:
+  SequenceModelConfig config_;
+  DomainSchema schema_;
+  int num_classes_ = 1;
+  std::vector<float> class_weights_;
+
+  Embedding text_emb_;
+  Embedding shape_emb_;
+  Linear pos_proj_;
+  std::vector<TransformerBlock> blocks_;
+  LayerNormLayer ln_out_;
+  Linear head_;
+};
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_MODEL_SEQUENCE_MODEL_H_

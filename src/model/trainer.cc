@@ -1,0 +1,109 @@
+#include "model/trainer.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+
+double MicroF1OnDocs(const SequenceLabelingModel& model,
+                     const std::vector<Document>& docs) {
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (const Document& doc : docs) {
+    std::vector<EntitySpan> predicted = model.Predict(doc);
+    const std::vector<EntitySpan>& gold = doc.annotations();
+    for (const EntitySpan& p : predicted) {
+      bool hit = std::find(gold.begin(), gold.end(), p) != gold.end();
+      if (hit) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    for (const EntitySpan& g : gold) {
+      if (std::find(predicted.begin(), predicted.end(), g) ==
+          predicted.end()) {
+        ++fn;
+      }
+    }
+  }
+  double denom = 2.0 * static_cast<double>(tp) + static_cast<double>(fp) +
+                 static_cast<double>(fn);
+  return denom == 0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+}
+
+TrainResult TrainSequenceModel(SequenceLabelingModel& model,
+                               const std::vector<Document>& originals,
+                               const std::vector<Document>& synthetics,
+                               const TrainOptions& options) {
+  FS_CHECK(!originals.empty());
+  Rng rng(options.seed);
+
+  // 90/10 split of the originals; synthetics go to the training pool only.
+  std::vector<size_t> order = rng.SampleWithoutReplacement(
+      originals.size(), originals.size());
+  size_t val_count = std::max<size_t>(1, originals.size() / 10);
+  if (originals.size() == 1) val_count = 0;  // degenerate: validate on train
+  std::vector<const Document*> train_docs;
+  std::vector<Document> val_docs;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i < val_count) {
+      val_docs.push_back(originals[order[i]]);
+    } else {
+      train_docs.push_back(&originals[order[i]]);
+    }
+  }
+  if (val_docs.empty()) val_docs.push_back(originals[0]);
+
+  // Pre-encode original and synthetic pools once.
+  std::vector<EncodedDoc> encoded_orig;
+  encoded_orig.reserve(train_docs.size());
+  for (const Document* doc : train_docs) {
+    encoded_orig.push_back(model.EncodeDoc(*doc));
+  }
+  std::vector<EncodedDoc> encoded_synth;
+  encoded_synth.reserve(synthetics.size());
+  for (const Document& doc : synthetics) {
+    encoded_synth.push_back(model.EncodeDoc(doc));
+  }
+
+  AdamOptimizer::Options opt_options;
+  opt_options.learning_rate = options.learning_rate;
+  std::vector<NamedParam> params = model.Params();
+  AdamOptimizer optimizer(params, opt_options);
+
+  TrainResult result;
+  std::vector<Matrix> best_snapshot = SnapshotParams(params);
+  double best_f1 = -1.0;
+
+  for (int step = 0; step < options.total_steps; ++step) {
+    // Bernoulli is drawn unconditionally so the training stream is
+    // identical whether the synthetic pool is empty or merely unused.
+    bool use_synth =
+        rng.Bernoulli(options.synthetic_fraction) && !encoded_synth.empty();
+    const EncodedDoc& doc = use_synth
+                                ? encoded_synth[rng.Index(encoded_synth.size())]
+                                : encoded_orig[rng.Index(encoded_orig.size())];
+    Var loss = model.Loss(doc);
+    result.final_loss = loss->value.At(0, 0);
+    Backward(loss);
+    optimizer.Step();
+    ++result.steps;
+
+    if ((step + 1) % options.validate_every == 0 ||
+        step + 1 == options.total_steps) {
+      double f1 = MicroF1OnDocs(model, val_docs);
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        best_snapshot = SnapshotParams(params);
+      }
+    }
+  }
+
+  RestoreParams(params, best_snapshot);
+  result.best_validation_f1 = std::max(best_f1, 0.0);
+  return result;
+}
+
+}  // namespace fieldswap

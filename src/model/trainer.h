@@ -1,0 +1,51 @@
+#ifndef FIELDSWAP_MODEL_TRAINER_H_
+#define FIELDSWAP_MODEL_TRAINER_H_
+
+#include <vector>
+
+#include "doc/document.h"
+#include "model/sequence_model.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// Training protocol options, mirroring the paper's setup (Sec. IV-B):
+/// a 90/10 train-validation split of the original documents, synthetic
+/// documents added to the training split only, a fixed step budget so the
+/// baseline and the augmented model get the same amount of optimization
+/// (the paper's equal-training-time control), and best-validation
+/// checkpoint selection.
+struct TrainOptions {
+  int total_steps = 1200;
+  float learning_rate = 3e-3f;
+  /// Validate (and possibly checkpoint) every this many steps.
+  int validate_every = 200;
+  /// Fraction of steps drawn from the synthetic pool when synthetics are
+  /// present (the rest sample original documents). Balances the union so a
+  /// huge synthetic pool cannot drown the handful of real documents under
+  /// the fixed step budget.
+  double synthetic_fraction = 0.4;
+  uint64_t seed = 17;
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  double best_validation_f1 = 0;
+  double final_loss = 0;
+  int steps = 0;
+};
+
+/// Trains `model` on original + synthetic documents per TrainOptions.
+/// On return the model holds the best-validation parameters.
+TrainResult TrainSequenceModel(SequenceLabelingModel& model,
+                               const std::vector<Document>& originals,
+                               const std::vector<Document>& synthetics,
+                               const TrainOptions& options);
+
+/// Micro-F1 of exact-span predictions on `docs` (used for validation).
+double MicroF1OnDocs(const SequenceLabelingModel& model,
+                     const std::vector<Document>& docs);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_MODEL_TRAINER_H_

@@ -1,0 +1,376 @@
+#include "nn/autodiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace fieldswap {
+
+void Node::EnsureGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Matrix(value.rows(), value.cols());
+  }
+}
+
+void Node::AccumulateGrad(const Matrix& delta) {
+  EnsureGrad();
+  grad.AddInPlace(delta);
+}
+
+Var Constant(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return node;
+}
+
+Var Parameter(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->EnsureGrad();
+  return node;
+}
+
+namespace {
+
+/// True if gradient needs to flow into any ancestor of this node.
+bool NeedsGrad(const Var& v) {
+  return v->requires_grad || !v->parents.empty();
+}
+
+Var MakeOp(Matrix value, std::vector<Var> parents,
+           std::function<void(Node&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  // Only record edges that gradient must traverse; this prunes the tape.
+  bool any = false;
+  for (const Var& p : parents) {
+    if (NeedsGrad(p)) any = true;
+  }
+  if (any) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return node;
+}
+
+void TopoSort(const Var& root, std::vector<Node*>& order) {
+  // Iterative DFS post-order.
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& loss) {
+  std::vector<Node*> order;
+  TopoSort(loss, order);
+  loss->EnsureGrad();
+  loss->grad.Fill(1.0f);
+  // Post-order puts the loss last; walk in reverse topological order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->grad.rows() == node->value.rows() &&
+        node->grad.cols() == node->value.cols()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Var Add(const Var& a, const Var& b) {
+  FS_CHECK_EQ(a->value.rows(), b->value.rows());
+  FS_CHECK_EQ(a->value.cols(), b->value.cols());
+  Matrix out = a->value;
+  out.AddInPlace(b->value);
+  return MakeOp(std::move(out), {a, b}, [a, b](Node& self) {
+    if (NeedsGrad(a)) a->AccumulateGrad(self.grad);
+    if (NeedsGrad(b)) b->AccumulateGrad(self.grad);
+  });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& b) {
+  FS_CHECK_EQ(b->value.rows(), 1);
+  FS_CHECK_EQ(a->value.cols(), b->value.cols());
+  Matrix out = a->value;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    const float* brow = b->value.Row(0);
+    for (int c = 0; c < out.cols(); ++c) row[c] += brow[c];
+  }
+  return MakeOp(std::move(out), {a, b}, [a, b](Node& self) {
+    if (NeedsGrad(a)) a->AccumulateGrad(self.grad);
+    if (NeedsGrad(b)) {
+      b->EnsureGrad();
+      float* brow = b->grad.Row(0);
+      for (int r = 0; r < self.grad.rows(); ++r) {
+        const float* grow = self.grad.Row(r);
+        for (int c = 0; c < self.grad.cols(); ++c) brow[c] += grow[c];
+      }
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  FS_CHECK_EQ(a->value.rows(), b->value.rows());
+  FS_CHECK_EQ(a->value.cols(), b->value.cols());
+  Matrix out = a->value;
+  out.AxpyInPlace(-1.0f, b->value);
+  return MakeOp(std::move(out), {a, b}, [a, b](Node& self) {
+    if (NeedsGrad(a)) a->AccumulateGrad(self.grad);
+    if (NeedsGrad(b)) {
+      b->EnsureGrad();
+      b->grad.AxpyInPlace(-1.0f, self.grad);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  FS_CHECK_EQ(a->value.rows(), b->value.rows());
+  FS_CHECK_EQ(a->value.cols(), b->value.cols());
+  Matrix out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] *= b->value.data()[i];
+  }
+  return MakeOp(std::move(out), {a, b}, [a, b](Node& self) {
+    if (NeedsGrad(a)) {
+      a->EnsureGrad();
+      for (size_t i = 0; i < self.grad.size(); ++i) {
+        a->grad.data()[i] += self.grad.data()[i] * b->value.data()[i];
+      }
+    }
+    if (NeedsGrad(b)) {
+      b->EnsureGrad();
+      for (size_t i = 0; i < self.grad.size(); ++i) {
+        b->grad.data()[i] += self.grad.data()[i] * a->value.data()[i];
+      }
+    }
+  });
+}
+
+Var Scale(const Var& a, float s) {
+  Matrix out = a->value;
+  out.ScaleInPlace(s);
+  return MakeOp(std::move(out), {a}, [a, s](Node& self) {
+    if (NeedsGrad(a)) {
+      a->EnsureGrad();
+      a->grad.AxpyInPlace(s, self.grad);
+    }
+  });
+}
+
+Var Relu(const Var& a) {
+  Matrix out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::max(0.0f, out.data()[i]);
+  }
+  return MakeOp(std::move(out), {a}, [a](Node& self) {
+    if (!NeedsGrad(a)) return;
+    a->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      if (self.value.data()[i] > 0.0f) {
+        a->grad.data()[i] += self.grad.data()[i];
+      }
+    }
+  });
+}
+
+Var Tanh(const Var& a) {
+  Matrix out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  return MakeOp(std::move(out), {a}, [a](Node& self) {
+    if (!NeedsGrad(a)) return;
+    a->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      float y = self.value.data()[i];
+      a->grad.data()[i] += self.grad.data()[i] * (1.0f - y * y);
+    }
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Matrix out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0f / (1.0f + std::exp(-out.data()[i]));
+  }
+  return MakeOp(std::move(out), {a}, [a](Node& self) {
+    if (!NeedsGrad(a)) return;
+    a->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      float y = self.value.data()[i];
+      a->grad.data()[i] += self.grad.data()[i] * y * (1.0f - y);
+    }
+  });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Matrix out;
+  MatMulInto(a->value, b->value, out);
+  return MakeOp(std::move(out), {a, b}, [a, b](Node& self) {
+    if (NeedsGrad(a)) {
+      a->EnsureGrad();
+      MatMulTransBInto(self.grad, b->value, a->grad);  // dA += dOut * B^T
+    }
+    if (NeedsGrad(b)) {
+      b->EnsureGrad();
+      MatMulTransAInto(a->value, self.grad, b->grad);  // dB += A^T * dOut
+    }
+  });
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  FS_CHECK_EQ(a->value.rows(), b->value.rows());
+  int rows = a->value.rows();
+  int ca = a->value.cols();
+  int cb = b->value.cols();
+  Matrix out(rows, ca + cb);
+  for (int r = 0; r < rows; ++r) {
+    std::copy(a->value.Row(r), a->value.Row(r) + ca, out.Row(r));
+    std::copy(b->value.Row(r), b->value.Row(r) + cb, out.Row(r) + ca);
+  }
+  return MakeOp(std::move(out), {a, b}, [a, b, ca, cb](Node& self) {
+    if (NeedsGrad(a)) {
+      a->EnsureGrad();
+      for (int r = 0; r < self.grad.rows(); ++r) {
+        const float* grow = self.grad.Row(r);
+        float* arow = a->grad.Row(r);
+        for (int c = 0; c < ca; ++c) arow[c] += grow[c];
+      }
+    }
+    if (NeedsGrad(b)) {
+      b->EnsureGrad();
+      for (int r = 0; r < self.grad.rows(); ++r) {
+        const float* grow = self.grad.Row(r);
+        float* brow = b->grad.Row(r);
+        for (int c = 0; c < cb; ++c) brow[c] += grow[ca + c];
+      }
+    }
+  });
+}
+
+Var SliceRows(const Var& a, int first, int count) {
+  FS_CHECK_GE(first, 0);
+  FS_CHECK_LE(first + count, a->value.rows());
+  Matrix out(count, a->value.cols());
+  for (int r = 0; r < count; ++r) {
+    std::copy(a->value.Row(first + r),
+              a->value.Row(first + r) + a->value.cols(), out.Row(r));
+  }
+  return MakeOp(std::move(out), {a}, [a, first, count](Node& self) {
+    if (!NeedsGrad(a)) return;
+    a->EnsureGrad();
+    for (int r = 0; r < count; ++r) {
+      const float* grow = self.grad.Row(r);
+      float* arow = a->grad.Row(first + r);
+      for (int c = 0; c < self.grad.cols(); ++c) arow[c] += grow[c];
+    }
+  });
+}
+
+Var GatherRows(const Var& table, std::vector<int> ids) {
+  int cols = table->value.cols();
+  Matrix out(static_cast<int>(ids.size()), cols);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    FS_CHECK_GE(ids[i], 0);
+    FS_CHECK_LT(ids[i], table->value.rows());
+    std::copy(table->value.Row(ids[i]), table->value.Row(ids[i]) + cols,
+              out.Row(static_cast<int>(i)));
+  }
+  return MakeOp(std::move(out), {table},
+                [table, ids = std::move(ids)](Node& self) {
+                  if (!NeedsGrad(table)) return;
+                  table->EnsureGrad();
+                  int cols = self.grad.cols();
+                  for (size_t i = 0; i < ids.size(); ++i) {
+                    const float* grow = self.grad.Row(static_cast<int>(i));
+                    float* trow = table->grad.Row(ids[i]);
+                    for (int c = 0; c < cols; ++c) trow[c] += grow[c];
+                  }
+                });
+}
+
+Var MeanAll(const Var& a) {
+  size_t n = a->value.size();
+  FS_CHECK_GT(n, 0u);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += a->value.data()[i];
+  Matrix out(1, 1);
+  out.At(0, 0) = static_cast<float>(sum / static_cast<double>(n));
+  return MakeOp(std::move(out), {a}, [a, n](Node& self) {
+    if (!NeedsGrad(a)) return;
+    a->EnsureGrad();
+    float g = self.grad.At(0, 0) / static_cast<float>(n);
+    for (size_t i = 0; i < n; ++i) a->grad.data()[i] += g;
+  });
+}
+
+Var MaxPoolRows(const Var& a) {
+  FS_CHECK_GT(a->value.rows(), 0);
+  int cols = a->value.cols();
+  Matrix out(1, cols);
+  std::vector<int> argmax(static_cast<size_t>(cols), 0);
+  for (int c = 0; c < cols; ++c) {
+    float best = a->value.At(0, c);
+    int best_r = 0;
+    for (int r = 1; r < a->value.rows(); ++r) {
+      if (a->value.At(r, c) > best) {
+        best = a->value.At(r, c);
+        best_r = r;
+      }
+    }
+    out.At(0, c) = best;
+    argmax[static_cast<size_t>(c)] = best_r;
+  }
+  return MakeOp(std::move(out), {a},
+                [a, argmax = std::move(argmax)](Node& self) {
+                  if (!NeedsGrad(a)) return;
+                  a->EnsureGrad();
+                  for (int c = 0; c < self.grad.cols(); ++c) {
+                    a->grad.At(argmax[static_cast<size_t>(c)], c) +=
+                        self.grad.At(0, c);
+                  }
+                });
+}
+
+Var MeanRows(const Var& a) {
+  int rows = a->value.rows();
+  int cols = a->value.cols();
+  FS_CHECK_GT(cols, 0);
+  Matrix out(rows, 1);
+  for (int r = 0; r < rows; ++r) {
+    double sum = 0;
+    const float* row = a->value.Row(r);
+    for (int c = 0; c < cols; ++c) sum += row[c];
+    out.At(r, 0) = static_cast<float>(sum / cols);
+  }
+  return MakeOp(std::move(out), {a}, [a, cols](Node& self) {
+    if (!NeedsGrad(a)) return;
+    a->EnsureGrad();
+    for (int r = 0; r < self.grad.rows(); ++r) {
+      float g = self.grad.At(r, 0) / static_cast<float>(cols);
+      float* arow = a->grad.Row(r);
+      for (int c = 0; c < cols; ++c) arow[c] += g;
+    }
+  });
+}
+
+}  // namespace fieldswap

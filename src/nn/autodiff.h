@@ -1,0 +1,89 @@
+#ifndef FIELDSWAP_NN_AUTODIFF_H_
+#define FIELDSWAP_NN_AUTODIFF_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace fieldswap {
+
+/// A node in the dynamic computation graph: a value, an optional gradient of
+/// the same shape, edges to parents, and a closure that propagates this
+/// node's gradient into its parents' gradients.
+class Node {
+ public:
+  Matrix value;
+  Matrix grad;  // allocated lazily by Backward / AccumulateGrad
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward_fn;  // may be empty (leaf)
+  bool requires_grad = false;
+
+  /// Ensures grad is allocated (zero) and adds `delta` into it.
+  void AccumulateGrad(const Matrix& delta);
+
+  /// Ensures grad is allocated (zero).
+  void EnsureGrad();
+};
+
+/// Shared handle to a graph node. Graphs are built per training step and
+/// freed when the last Var goes out of scope.
+using Var = std::shared_ptr<Node>;
+
+/// Leaf holding a constant (no gradient).
+Var Constant(Matrix value);
+
+/// Leaf holding a trainable parameter (gradient accumulates across the
+/// backward pass; the optimizer consumes and zeroes it).
+Var Parameter(Matrix value);
+
+/// Runs reverse-mode differentiation from `loss` (any shape; the seed
+/// gradient is all-ones). Visits nodes in reverse topological order.
+void Backward(const Var& loss);
+
+// ---- Elementwise / structural ops ----------------------------------------
+
+/// a + b (same shape).
+Var Add(const Var& a, const Var& b);
+/// a + b where b is [1, n] broadcast across a's rows (bias add).
+Var AddRowBroadcast(const Var& a, const Var& b);
+/// a - b (same shape).
+Var Sub(const Var& a, const Var& b);
+/// Elementwise a * b (same shape).
+Var Mul(const Var& a, const Var& b);
+/// s * a.
+Var Scale(const Var& a, float s);
+/// Elementwise max(a, 0).
+Var Relu(const Var& a);
+/// Elementwise tanh.
+Var Tanh(const Var& a);
+/// Elementwise logistic sigmoid.
+Var Sigmoid(const Var& a);
+
+/// Matrix product a[m,k] * b[k,n].
+Var MatMul(const Var& a, const Var& b);
+
+/// Horizontal concatenation [a | b] (same row count).
+Var ConcatCols(const Var& a, const Var& b);
+
+/// Row slice a[first : first+count, :].
+Var SliceRows(const Var& a, int first, int count);
+
+/// Gathers rows of `table` by index; backward scatter-adds. This is the
+/// embedding-lookup primitive.
+Var GatherRows(const Var& table, std::vector<int> ids);
+
+/// Mean over all entries -> [1,1].
+Var MeanAll(const Var& a);
+
+/// Column-wise max over rows -> [1, cols]; gradient flows to the argmax row
+/// of each column (the max-pooling of the candidate model, Fig. 2).
+Var MaxPoolRows(const Var& a);
+
+/// Row-wise mean -> [rows, 1].
+Var MeanRows(const Var& a);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_NN_AUTODIFF_H_

@@ -1,0 +1,95 @@
+#ifndef FIELDSWAP_NN_LAYERS_H_
+#define FIELDSWAP_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/autodiff.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// A named trainable parameter, for optimizer registration and
+/// checkpointing.
+struct NamedParam {
+  std::string name;
+  Var param;
+};
+
+/// Fully connected layer: y = x * W + b.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in_dim, int out_dim, Rng& rng, std::string name);
+
+  Var Apply(const Var& x) const;
+
+  void CollectParams(std::vector<NamedParam>& out) const;
+
+ private:
+  std::string name_;
+  Var weight_;  // [in, out]
+  Var bias_;    // [1, out]
+};
+
+/// Embedding table with row lookup.
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(int vocab, int dim, Rng& rng, std::string name);
+
+  Var Lookup(std::vector<int> ids) const;
+  int vocab() const { return table_->value.rows(); }
+  int dim() const { return table_->value.cols(); }
+
+  void CollectParams(std::vector<NamedParam>& out) const;
+
+ private:
+  std::string name_;
+  Var table_;  // [vocab, dim]
+};
+
+/// Layer normalization with learned gain and bias.
+class LayerNormLayer {
+ public:
+  LayerNormLayer() = default;
+  LayerNormLayer(int dim, std::string name);
+
+  Var Apply(const Var& x) const { return LayerNorm(x, gain_, bias_); }
+
+  void CollectParams(std::vector<NamedParam>& out) const;
+
+ private:
+  std::string name_;
+  Var gain_;  // [1, dim]
+  Var bias_;  // [1, dim]
+};
+
+/// Pre-LN transformer encoder block with sparse (neighbor-restricted)
+/// single-head self-attention and a 2x feed-forward:
+///   x += Attn(LN(x));  x += FFN(LN(x)).
+class TransformerBlock {
+ public:
+  TransformerBlock() = default;
+  TransformerBlock(int dim, Rng& rng, std::string name);
+
+  /// neighbors[i] lists the rows token i may attend to (include i itself).
+  Var Apply(const Var& x, const std::vector<std::vector<int>>& neighbors) const;
+
+  void CollectParams(std::vector<NamedParam>& out) const;
+
+ private:
+  std::string name_;
+  LayerNormLayer ln_attn_;
+  Linear wq_, wk_, wv_, wo_;
+  LayerNormLayer ln_ffn_;
+  Linear ff1_, ff2_;
+};
+
+/// Builds a full self-attention neighbor list: every row attends to all rows.
+std::vector<std::vector<int>> FullAttentionNeighbors(int t);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_NN_LAYERS_H_

@@ -1,0 +1,144 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace fieldswap {
+
+Matrix Matrix::Full(int rows, int cols, float value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::Xavier(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+  return m;
+}
+
+Matrix Matrix::Gaussian(int rows, int cols, float stddev, Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::FromValues(int rows, int cols, std::vector<float> values) {
+  FS_CHECK_EQ(values.size(),
+              static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(values);
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  FS_CHECK_EQ(rows_, other.rows_);
+  FS_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AxpyInPlace(float scale, const Matrix& other) {
+  FS_CHECK_EQ(rows_, other.rows_);
+  FS_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Matrix::ScaleInPlace(float scale) {
+  for (float& v : data_) v *= scale;
+}
+
+float Matrix::Norm() const {
+  double ss = 0;
+  for (float v : data_) ss += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(ss));
+}
+
+std::string Matrix::DebugString() const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  size_t show = std::min<size_t>(data_.size(), 8);
+  for (size_t i = 0; i < show; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  if (data_.size() > show) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  FS_CHECK_EQ(a.cols(), b.rows());
+  out = Matrix(a.rows(), b.cols());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  FS_CHECK_EQ(a.rows(), b.rows());
+  FS_CHECK_EQ(out.rows(), a.cols());
+  FS_CHECK_EQ(out.cols(), b.cols());
+  const int k = a.rows();
+  const int m = a.cols();
+  const int n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.Row(i);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  FS_CHECK_EQ(a.cols(), b.cols());
+  FS_CHECK_EQ(out.rows(), a.rows());
+  FS_CHECK_EQ(out.cols(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* orow = out.Row(i);
+    for (int j = 0; j < n; ++j) {
+      orow[j] += DotSpan(arow, b.Row(j), k);
+    }
+  }
+}
+
+float DotSpan(const float* a, const float* b, int n) {
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace fieldswap

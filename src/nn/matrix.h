@@ -1,0 +1,93 @@
+#ifndef FIELDSWAP_NN_MATRIX_H_
+#define FIELDSWAP_NN_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// Dense row-major float matrix — the sole tensor type of the nn library.
+/// Vectors are 1xN or Nx1 matrices; scalars are 1x1. Sized for the small
+/// models this reproduction trains (d_model 16-64, <=256 tokens), so all
+/// kernels are simple loops.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {}
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Full(int rows, int cols, float value);
+  /// Uniform(-limit, limit) with Xavier/Glorot limit sqrt(6/(rows+cols)).
+  static Matrix Xavier(int rows, int cols, Rng& rng);
+  /// Gaussian(0, stddev).
+  static Matrix Gaussian(int rows, int cols, float stddev, Rng& rng);
+  static Matrix FromValues(int rows, int cols, std::vector<float> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(int r, int c) {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  float At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+
+  float* Row(int r) {
+    return data_.data() + static_cast<size_t>(r) * static_cast<size_t>(cols_);
+  }
+  const float* Row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * static_cast<size_t>(cols_);
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  const std::vector<float>& values() const { return data_; }
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  /// this += other (same shape).
+  void AddInPlace(const Matrix& other);
+  /// this += scale * other (same shape).
+  void AxpyInPlace(float scale, const Matrix& other);
+  /// this *= scale.
+  void ScaleInPlace(float scale);
+
+  /// Frobenius norm.
+  float Norm() const;
+
+  std::string DebugString() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b, shapes [m,k] x [k,n] -> [m,n]. `out` is overwritten.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out += a^T * b, shapes [k,m]^T x [k,n] -> [m,n]. Accumulates.
+void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out += a * b^T, shapes [m,k] x [n,k]^T -> [m,n]. Accumulates.
+void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Dot product of two equal-length float spans.
+float DotSpan(const float* a, const float* b, int n);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_NN_MATRIX_H_

@@ -1,0 +1,293 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fieldswap {
+namespace {
+
+bool AnyNeedsGrad(const std::vector<Var>& vars) {
+  for (const Var& v : vars) {
+    if (v->requires_grad || !v->parents.empty()) return true;
+  }
+  return false;
+}
+
+Var MakeFusedOp(Matrix value, std::vector<Var> parents,
+                std::function<void(Node&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  if (AnyNeedsGrad(parents)) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return node;
+}
+
+bool WantsGrad(const Var& v) { return v->requires_grad || !v->parents.empty(); }
+
+}  // namespace
+
+Var LayerNorm(const Var& x, const Var& gain, const Var& bias, float epsilon) {
+  const int rows = x->value.rows();
+  const int d = x->value.cols();
+  FS_CHECK_EQ(gain->value.rows(), 1);
+  FS_CHECK_EQ(gain->value.cols(), d);
+  FS_CHECK_EQ(bias->value.rows(), 1);
+  FS_CHECK_EQ(bias->value.cols(), d);
+
+  Matrix out(rows, d);
+  // Saved for backward: per-row inverse stddev and normalized values.
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
+  auto normed = std::make_shared<Matrix>(rows, d);
+
+  for (int r = 0; r < rows; ++r) {
+    const float* row = x->value.Row(r);
+    double mean = 0;
+    for (int c = 0; c < d; ++c) mean += row[c];
+    mean /= d;
+    double var = 0;
+    for (int c = 0; c < d; ++c) {
+      double diff = row[c] - mean;
+      var += diff * diff;
+    }
+    var /= d;
+    float is = 1.0f / std::sqrt(static_cast<float>(var) + epsilon);
+    (*inv_std)[static_cast<size_t>(r)] = is;
+    float* nrow = normed->Row(r);
+    float* orow = out.Row(r);
+    const float* g = gain->value.Row(0);
+    const float* b = bias->value.Row(0);
+    for (int c = 0; c < d; ++c) {
+      float n = (row[c] - static_cast<float>(mean)) * is;
+      nrow[c] = n;
+      orow[c] = n * g[c] + b[c];
+    }
+  }
+
+  return MakeFusedOp(
+      std::move(out), {x, gain, bias},
+      [x, gain, bias, inv_std, normed, rows, d](Node& self) {
+        const float* g = gain->value.Row(0);
+        if (WantsGrad(gain)) gain->EnsureGrad();
+        if (WantsGrad(bias)) bias->EnsureGrad();
+        if (WantsGrad(x)) x->EnsureGrad();
+        for (int r = 0; r < rows; ++r) {
+          const float* grow = self.grad.Row(r);
+          const float* nrow = normed->Row(r);
+          if (WantsGrad(gain)) {
+            float* gg = gain->grad.Row(0);
+            for (int c = 0; c < d; ++c) gg[c] += grow[c] * nrow[c];
+          }
+          if (WantsGrad(bias)) {
+            float* bg = bias->grad.Row(0);
+            for (int c = 0; c < d; ++c) bg[c] += grow[c];
+          }
+          if (WantsGrad(x)) {
+            // dl/dn = grow * gain; then layernorm backward:
+            // dx = inv_std * (dn - mean(dn) - n * mean(dn * n))
+            float mean_dn = 0, mean_dn_n = 0;
+            for (int c = 0; c < d; ++c) {
+              float dn = grow[c] * g[c];
+              mean_dn += dn;
+              mean_dn_n += dn * nrow[c];
+            }
+            mean_dn /= static_cast<float>(d);
+            mean_dn_n /= static_cast<float>(d);
+            float is = (*inv_std)[static_cast<size_t>(r)];
+            float* xg = x->grad.Row(r);
+            for (int c = 0; c < d; ++c) {
+              float dn = grow[c] * g[c];
+              xg[c] += is * (dn - mean_dn - nrow[c] * mean_dn_n);
+            }
+          }
+        }
+      });
+}
+
+Var NeighborAttention(const Var& q, const Var& k, const Var& v,
+                      std::vector<std::vector<int>> neighbors) {
+  const int t = q->value.rows();
+  const int d = q->value.cols();
+  FS_CHECK_EQ(k->value.cols(), d);
+  FS_CHECK_EQ(v->value.cols(), d);
+  FS_CHECK_EQ(k->value.rows(), v->value.rows());
+  FS_CHECK_EQ(static_cast<int>(neighbors.size()), t);
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+  Matrix out(t, d);
+  // Attention weights per query row, saved for backward.
+  auto weights = std::make_shared<std::vector<std::vector<float>>>(
+      static_cast<size_t>(t));
+  auto nbrs = std::make_shared<std::vector<std::vector<int>>>(
+      std::move(neighbors));
+
+  for (int i = 0; i < t; ++i) {
+    const auto& ns = (*nbrs)[static_cast<size_t>(i)];
+    FS_CHECK(!ns.empty()) << "empty neighbor list for row " << i;
+    std::vector<float>& a = (*weights)[static_cast<size_t>(i)];
+    a.resize(ns.size());
+    const float* qrow = q->value.Row(i);
+    float max_s = -1e30f;
+    for (size_t j = 0; j < ns.size(); ++j) {
+      a[j] = DotSpan(qrow, k->value.Row(ns[j]), d) * inv_sqrt_d;
+      max_s = std::max(max_s, a[j]);
+    }
+    float sum = 0;
+    for (float& s : a) {
+      s = std::exp(s - max_s);
+      sum += s;
+    }
+    float* orow = out.Row(i);
+    for (size_t j = 0; j < ns.size(); ++j) {
+      a[j] /= sum;
+      const float* vrow = v->value.Row(ns[j]);
+      for (int c = 0; c < d; ++c) orow[c] += a[j] * vrow[c];
+    }
+  }
+
+  return MakeFusedOp(
+      std::move(out), {q, k, v},
+      [q, k, v, weights, nbrs, t, d, inv_sqrt_d](Node& self) {
+        const bool gq = WantsGrad(q);
+        const bool gk = WantsGrad(k);
+        const bool gv = WantsGrad(v);
+        if (gq) q->EnsureGrad();
+        if (gk) k->EnsureGrad();
+        if (gv) v->EnsureGrad();
+        std::vector<float> da;
+        for (int i = 0; i < t; ++i) {
+          const auto& ns = (*nbrs)[static_cast<size_t>(i)];
+          const auto& a = (*weights)[static_cast<size_t>(i)];
+          const float* grow = self.grad.Row(i);
+          da.assign(ns.size(), 0.0f);
+          float dot_a_da = 0;
+          for (size_t j = 0; j < ns.size(); ++j) {
+            if (gv) {
+              float* vg = v->grad.Row(ns[j]);
+              for (int c = 0; c < d; ++c) vg[c] += a[j] * grow[c];
+            }
+            da[j] = DotSpan(grow, v->value.Row(ns[j]), d);
+            dot_a_da += a[j] * da[j];
+          }
+          if (!gq && !gk) continue;
+          const float* qrow = q->value.Row(i);
+          float* qg = gq ? q->grad.Row(i) : nullptr;
+          for (size_t j = 0; j < ns.size(); ++j) {
+            float ds = a[j] * (da[j] - dot_a_da) * inv_sqrt_d;
+            if (ds == 0.0f) continue;
+            const float* krow = k->value.Row(ns[j]);
+            if (gq) {
+              for (int c = 0; c < d; ++c) qg[c] += ds * krow[c];
+            }
+            if (gk) {
+              float* kg = k->grad.Row(ns[j]);
+              for (int c = 0; c < d; ++c) kg[c] += ds * qrow[c];
+            }
+          }
+        }
+      });
+}
+
+Var SoftmaxCrossEntropy(const Var& logits, std::vector<int> labels,
+                        std::vector<float> class_weights) {
+  const int n = logits->value.rows();
+  const int c = logits->value.cols();
+  FS_CHECK_EQ(static_cast<int>(labels.size()), n);
+  FS_CHECK_GT(n, 0);
+  if (!class_weights.empty()) {
+    FS_CHECK_EQ(static_cast<int>(class_weights.size()), c);
+  }
+
+  auto probs = std::make_shared<Matrix>(RowSoftmax(logits->value));
+  auto row_weights = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(n), 1.0f);
+  double total_weight = 0;
+  double loss_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    int y = labels[static_cast<size_t>(i)];
+    FS_CHECK_GE(y, 0);
+    FS_CHECK_LT(y, c);
+    float w = class_weights.empty() ? 1.0f
+                                    : class_weights[static_cast<size_t>(y)];
+    (*row_weights)[static_cast<size_t>(i)] = w;
+    total_weight += w;
+    float p = std::max(probs->At(i, y), 1e-12f);
+    loss_sum -= static_cast<double>(w) * std::log(p);
+  }
+  if (total_weight <= 0) total_weight = 1;
+  Matrix out(1, 1);
+  out.At(0, 0) = static_cast<float>(loss_sum / total_weight);
+
+  return MakeFusedOp(
+      std::move(out), {logits},
+      [logits, probs, row_weights, labels = std::move(labels), n, c,
+       total_weight](Node& self) {
+        if (!WantsGrad(logits)) return;
+        logits->EnsureGrad();
+        float g = self.grad.At(0, 0) / static_cast<float>(total_weight);
+        for (int i = 0; i < n; ++i) {
+          float w = (*row_weights)[static_cast<size_t>(i)] * g;
+          const float* prow = probs->Row(i);
+          float* lrow = logits->grad.Row(i);
+          int y = labels[static_cast<size_t>(i)];
+          for (int j = 0; j < c; ++j) {
+            lrow[j] += w * (prow[j] - (j == y ? 1.0f : 0.0f));
+          }
+        }
+      });
+}
+
+Var BinaryCrossEntropyWithLogits(const Var& logits,
+                                 std::vector<float> targets) {
+  const int n = logits->value.rows();
+  FS_CHECK_EQ(logits->value.cols(), 1);
+  FS_CHECK_EQ(static_cast<int>(targets.size()), n);
+  FS_CHECK_GT(n, 0);
+
+  auto sigm = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+  double loss_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    float z = logits->value.At(i, 0);
+    float p = 1.0f / (1.0f + std::exp(-z));
+    (*sigm)[static_cast<size_t>(i)] = p;
+    float y = targets[static_cast<size_t>(i)];
+    // Numerically stable: max(z,0) - z*y + log(1 + exp(-|z|)).
+    loss_sum += std::max(z, 0.0f) - z * y +
+                std::log1p(std::exp(-std::fabs(z)));
+  }
+  Matrix out(1, 1);
+  out.At(0, 0) = static_cast<float>(loss_sum / n);
+
+  return MakeFusedOp(std::move(out), {logits},
+                     [logits, sigm, targets = std::move(targets), n](Node& self) {
+                       if (!WantsGrad(logits)) return;
+                       logits->EnsureGrad();
+                       float g = self.grad.At(0, 0) / static_cast<float>(n);
+                       for (int i = 0; i < n; ++i) {
+                         logits->grad.At(i, 0) +=
+                             g * ((*sigm)[static_cast<size_t>(i)] -
+                                  targets[static_cast<size_t>(i)]);
+                       }
+                     });
+}
+
+Matrix RowSoftmax(const Matrix& logits) {
+  Matrix probs(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.Row(r);
+    float* out = probs.Row(r);
+    float max_v = -1e30f;
+    for (int c = 0; c < logits.cols(); ++c) max_v = std::max(max_v, in[c]);
+    float sum = 0;
+    for (int c = 0; c < logits.cols(); ++c) {
+      out[c] = std::exp(in[c] - max_v);
+      sum += out[c];
+    }
+    for (int c = 0; c < logits.cols(); ++c) out[c] /= sum;
+  }
+  return probs;
+}
+
+}  // namespace fieldswap

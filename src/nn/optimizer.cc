@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fieldswap {
+
+AdamOptimizer::AdamOptimizer(std::vector<NamedParam> params,
+                             const Options& options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const NamedParam& np : params_) {
+    m_.emplace_back(np.param->value.rows(), np.param->value.cols());
+    v_.emplace_back(np.param->value.rows(), np.param->value.cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    Var& param = params_[p].param;
+    param->EnsureGrad();
+    Matrix& grad = param->grad;
+    if (options_.grad_clip_norm > 0) {
+      float norm = grad.Norm();
+      if (norm > options_.grad_clip_norm) {
+        grad.ScaleInPlace(options_.grad_clip_norm / norm);
+      }
+    }
+    float* w = param->value.data();
+    float* g = grad.data();
+    float* m = m_[p].data();
+    float* v = v_[p].data();
+    for (size_t i = 0; i < param->value.size(); ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      float mhat = m[i] / bias1;
+      float vhat = v[i] / bias2;
+      w[i] -= options_.learning_rate * mhat /
+              (std::sqrt(vhat) + options_.epsilon);
+      g[i] = 0.0f;
+    }
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (NamedParam& np : params_) {
+    np.param->EnsureGrad();
+    np.param->grad.Zero();
+  }
+}
+
+std::vector<Matrix> SnapshotParams(const std::vector<NamedParam>& params) {
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(params.size());
+  for (const NamedParam& np : params) snapshot.push_back(np.param->value);
+  return snapshot;
+}
+
+void RestoreParams(const std::vector<NamedParam>& params,
+                   const std::vector<Matrix>& snapshot) {
+  FS_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    FS_CHECK_EQ(params[i].param->value.rows(), snapshot[i].rows());
+    FS_CHECK_EQ(params[i].param->value.cols(), snapshot[i].cols());
+    params[i].param->value = snapshot[i];
+  }
+}
+
+}  // namespace fieldswap

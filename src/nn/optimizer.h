@@ -1,0 +1,52 @@
+#ifndef FIELDSWAP_NN_OPTIMIZER_H_
+#define FIELDSWAP_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace fieldswap {
+
+/// Adam optimizer (Kingma & Ba) over a fixed set of named parameters.
+class AdamOptimizer {
+ public:
+  struct Options {
+    float learning_rate = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    /// Clip each parameter's gradient to this L2 norm (0 disables).
+    float grad_clip_norm = 5.0f;
+  };
+
+  explicit AdamOptimizer(std::vector<NamedParam> params)
+      : AdamOptimizer(std::move(params), Options()) {}
+  AdamOptimizer(std::vector<NamedParam> params, const Options& options);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes all parameter gradients without updating.
+  void ZeroGrad();
+
+  int64_t steps_taken() const { return step_; }
+  const std::vector<NamedParam>& params() const { return params_; }
+
+ private:
+  std::vector<NamedParam> params_;
+  Options options_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  int64_t step_ = 0;
+};
+
+/// Snapshot of parameter values (for best-validation checkpointing).
+std::vector<Matrix> SnapshotParams(const std::vector<NamedParam>& params);
+
+/// Restores a snapshot taken from the same parameter list.
+void RestoreParams(const std::vector<NamedParam>& params,
+                   const std::vector<Matrix>& snapshot);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_NN_OPTIMIZER_H_

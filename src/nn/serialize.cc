@@ -1,0 +1,76 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace fieldswap {
+namespace {
+
+constexpr uint32_t kMagic = 0x46535750;  // "FSWP"
+
+void WriteU32(std::ofstream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& is, uint32_t& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return is.good();
+}
+
+}  // namespace
+
+bool SaveCheckpoint(const std::string& path,
+                    const std::vector<NamedParam>& params) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  WriteU32(os, kMagic);
+  WriteU32(os, static_cast<uint32_t>(params.size()));
+  for (const NamedParam& np : params) {
+    WriteU32(os, static_cast<uint32_t>(np.name.size()));
+    os.write(np.name.data(), static_cast<std::streamsize>(np.name.size()));
+    const Matrix& m = np.param->value;
+    WriteU32(os, static_cast<uint32_t>(m.rows()));
+    WriteU32(os, static_cast<uint32_t>(m.cols()));
+    os.write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(float)));
+  }
+  return os.good();
+}
+
+bool LoadCheckpoint(const std::string& path,
+                    const std::vector<NamedParam>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  uint32_t magic = 0, count = 0;
+  if (!ReadU32(is, magic) || magic != kMagic) return false;
+  if (!ReadU32(is, count)) return false;
+
+  std::map<std::string, Matrix> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0, rows = 0, cols = 0;
+    if (!ReadU32(is, name_len)) return false;
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is.good()) return false;
+    if (!ReadU32(is, rows) || !ReadU32(is, cols)) return false;
+    Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+    is.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!is.good()) return false;
+    loaded.emplace(std::move(name), std::move(m));
+  }
+
+  for (const NamedParam& np : params) {
+    auto it = loaded.find(np.name);
+    if (it == loaded.end()) return false;
+    if (it->second.rows() != np.param->value.rows() ||
+        it->second.cols() != np.param->value.cols()) {
+      return false;
+    }
+    np.param->value = it->second;
+  }
+  return true;
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,24 @@
+#ifndef FIELDSWAP_NN_SERIALIZE_H_
+#define FIELDSWAP_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace fieldswap {
+
+/// Writes named parameters to a simple binary checkpoint. Returns false on
+/// I/O failure.
+bool SaveCheckpoint(const std::string& path,
+                    const std::vector<NamedParam>& params);
+
+/// Loads a checkpoint written by SaveCheckpoint into parameters with
+/// matching names and shapes. Returns false on I/O failure, a missing
+/// parameter name, or a shape mismatch.
+bool LoadCheckpoint(const std::string& path,
+                    const std::vector<NamedParam>& params);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_NN_SERIALIZE_H_

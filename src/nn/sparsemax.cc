@@ -1,0 +1,41 @@
+#include "nn/sparsemax.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fieldswap {
+
+std::vector<double> Sparsemax(const std::vector<double>& z) {
+  return Sparsemax(z, 1.0);
+}
+
+std::vector<double> Sparsemax(const std::vector<double>& z, double scale) {
+  const size_t n = z.size();
+  if (n == 0) return {};
+
+  std::vector<double> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = z[i] * scale;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+
+  // Find k(z) = max { k : 1 + k * z_(k) > sum_{j<=k} z_(j) }.
+  double cumsum = 0;
+  double tau = 0;
+  size_t support = 0;
+  for (size_t k = 1; k <= n; ++k) {
+    cumsum += sorted[k - 1];
+    double t = (cumsum - 1.0) / static_cast<double>(k);
+    if (sorted[k - 1] > t) {
+      tau = t;
+      support = k;
+    }
+  }
+  (void)support;
+
+  std::vector<double> p(n);
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = std::max(0.0, z[i] * scale - tau);
+  }
+  return p;
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,23 @@
+#ifndef FIELDSWAP_NN_SPARSEMAX_H_
+#define FIELDSWAP_NN_SPARSEMAX_H_
+
+#include <vector>
+
+namespace fieldswap {
+
+/// Sparsemax (Martins & Astudillo, ICML 2016): the Euclidean projection of
+/// `z` onto the probability simplex. Unlike softmax, the output assigns
+/// exactly zero to low-scoring entries, which is how the paper selects the
+/// set of important tokens from raw importance scores (Sec. II-A2).
+///
+/// Returns a vector of the same length, non-negative, summing to 1
+/// (all-zero input returns the uniform distribution).
+std::vector<double> Sparsemax(const std::vector<double>& z);
+
+/// Sparsemax with a sharpness multiplier: Sparsemax(scale * z). Larger
+/// scale yields sparser outputs; scale 1 is the plain projection.
+std::vector<double> Sparsemax(const std::vector<double>& z, double scale);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_NN_SPARSEMAX_H_

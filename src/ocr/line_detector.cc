@@ -1,0 +1,92 @@
+#include "ocr/line_detector.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fieldswap {
+namespace {
+
+struct Band {
+  BBox box;
+  std::vector<int> token_indices;
+};
+
+double OverlapRatio(const BBox& a, const BBox& b) {
+  double overlap = a.VerticalOverlap(b);
+  double shorter = std::min(a.Height(), b.Height());
+  if (shorter <= 0) return 0;
+  return overlap / shorter;
+}
+
+}  // namespace
+
+std::vector<Line> DetectLines(const Document& doc,
+                              const LineDetectorOptions& options) {
+  const auto& tokens = doc.tokens();
+  std::vector<int> order(tokens.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return tokens[static_cast<size_t>(a)].box.CenterY() <
+           tokens[static_cast<size_t>(b)].box.CenterY();
+  });
+
+  // Greedy y-band clustering in vertical order.
+  std::vector<Band> bands;
+  for (int ti : order) {
+    const BBox& box = tokens[static_cast<size_t>(ti)].box;
+    Band* best = nullptr;
+    double best_ratio = options.min_vertical_overlap;
+    for (Band& band : bands) {
+      double ratio = OverlapRatio(band.box, box);
+      if (ratio >= best_ratio) {
+        best_ratio = ratio;
+        best = &band;
+      }
+    }
+    if (best != nullptr) {
+      best->token_indices.push_back(ti);
+      best->box = best->box.Union(box);
+    } else {
+      bands.push_back(Band{box, {ti}});
+    }
+  }
+
+  // Order bands top to bottom, tokens within a band left to right, then
+  // split each band at wide horizontal gaps.
+  std::sort(bands.begin(), bands.end(), [](const Band& a, const Band& b) {
+    return a.box.CenterY() < b.box.CenterY();
+  });
+
+  std::vector<Line> lines;
+  for (Band& band : bands) {
+    std::sort(band.token_indices.begin(), band.token_indices.end(),
+              [&](int a, int b) {
+                return tokens[static_cast<size_t>(a)].box.x_min <
+                       tokens[static_cast<size_t>(b)].box.x_min;
+              });
+    double max_gap = options.gap_factor * band.box.Height();
+    Line current;
+    for (int ti : band.token_indices) {
+      const BBox& box = tokens[static_cast<size_t>(ti)].box;
+      if (!current.token_indices.empty() &&
+          box.x_min - current.box.x_max > max_gap) {
+        lines.push_back(std::move(current));
+        current = Line{};
+      }
+      if (current.token_indices.empty()) {
+        current.box = box;
+      } else {
+        current.box = current.box.Union(box);
+      }
+      current.token_indices.push_back(ti);
+    }
+    if (!current.token_indices.empty()) lines.push_back(std::move(current));
+  }
+  return lines;
+}
+
+void DetectAndAssignLines(Document& doc, const LineDetectorOptions& options) {
+  doc.set_lines(DetectLines(doc, options));
+}
+
+}  // namespace fieldswap

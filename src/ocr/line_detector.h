@@ -1,0 +1,36 @@
+#ifndef FIELDSWAP_OCR_LINE_DETECTOR_H_
+#define FIELDSWAP_OCR_LINE_DETECTOR_H_
+
+#include <vector>
+
+#include "doc/document.h"
+
+namespace fieldswap {
+
+/// Configuration for OCR line detection.
+struct LineDetectorOptions {
+  /// Two tokens belong to the same y-band when their vertical overlap is at
+  /// least this fraction of the shorter token's height.
+  double min_vertical_overlap = 0.5;
+
+  /// Within a y-band, a horizontal gap wider than gap_factor * band height
+  /// splits the band into separate lines ("long horizontal stretches of
+  /// whitespace", Sec. II-A1).
+  double gap_factor = 2.0;
+};
+
+/// Detects OCR lines: clusters tokens into y-bands, orders each band left to
+/// right, and splits bands at wide horizontal gaps. This reproduces the two
+/// OCR signals the paper consumes — word bounding boxes are given on input,
+/// line grouping is computed here.
+std::vector<Line> DetectLines(const Document& doc,
+                              const LineDetectorOptions& options = {});
+
+/// Runs DetectLines and installs the result on the document (assigning each
+/// token its line id).
+void DetectAndAssignLines(Document& doc,
+                          const LineDetectorOptions& options = {});
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_OCR_LINE_DETECTOR_H_

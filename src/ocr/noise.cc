@@ -1,0 +1,85 @@
+#include "ocr/noise.h"
+
+#include <string>
+#include <vector>
+
+namespace fieldswap {
+namespace {
+
+// Visually confusable glyph pairs typical of OCR errors.
+char ConfusableFor(char c) {
+  switch (c) {
+    case 'O':
+      return '0';
+    case '0':
+      return 'O';
+    case 'l':
+      return '1';
+    case '1':
+      return 'l';
+    case 'S':
+      return '5';
+    case '5':
+      return 'S';
+    case 'B':
+      return '8';
+    case '8':
+      return 'B';
+    case 'e':
+      return 'c';
+    case 'm':
+      return 'n';
+    case 'u':
+      return 'v';
+    default:
+      return c;
+  }
+}
+
+bool IsAnnotated(const Document& doc, int token_index) {
+  for (const EntitySpan& span : doc.annotations()) {
+    if (span.Covers(token_index)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void ApplyOcrNoise(Document& doc, const OcrNoiseOptions& options, Rng& rng) {
+  // Character substitutions and box jitter (index-stable, applied first).
+  for (int i = 0; i < doc.num_tokens(); ++i) {
+    if (IsAnnotated(doc, i)) continue;
+    Token& tok = doc.mutable_tokens()[static_cast<size_t>(i)];
+    if (options.char_substitution_prob > 0) {
+      for (char& c : tok.text) {
+        if (rng.Bernoulli(options.char_substitution_prob)) {
+          c = ConfusableFor(c);
+        }
+      }
+    }
+    if (options.box_jitter_frac > 0) {
+      double sigma = options.box_jitter_frac * tok.box.Height();
+      tok.box.x_min += rng.Gaussian(0, sigma);
+      tok.box.x_max += rng.Gaussian(0, sigma);
+      tok.box.y_min += rng.Gaussian(0, sigma);
+      tok.box.y_max += rng.Gaussian(0, sigma);
+      if (tok.box.x_max < tok.box.x_min) std::swap(tok.box.x_min, tok.box.x_max);
+      if (tok.box.y_max < tok.box.y_min) std::swap(tok.box.y_min, tok.box.y_max);
+    }
+  }
+
+  // Token splits (change indices; walk back to front so earlier indices
+  // stay valid).
+  if (options.token_split_prob > 0) {
+    for (int i = doc.num_tokens() - 1; i >= 0; --i) {
+      if (IsAnnotated(doc, i)) continue;
+      const std::string text = doc.token(i).text;
+      if (text.size() < 2) continue;
+      if (!rng.Bernoulli(options.token_split_prob)) continue;
+      size_t cut = 1 + rng.Index(text.size() - 1);
+      doc.ReplaceTokenRange(i, 1, {text.substr(0, cut), text.substr(cut)});
+    }
+  }
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,33 @@
+#ifndef FIELDSWAP_OCR_NOISE_H_
+#define FIELDSWAP_OCR_NOISE_H_
+
+#include "doc/document.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// OCR error model. The paper excludes OCR accuracy from study, relying on
+/// a robust engine; this model lets us inject controlled imperfections to
+/// test that claim (robustness ablation) — character confusions, box
+/// jitter, and token splits, applied only to tokens outside ground-truth
+/// value spans so annotations remain exact.
+struct OcrNoiseOptions {
+  /// Per-character probability of substituting a visually confusable glyph
+  /// (O<->0, l<->1, S<->5, ...).
+  double char_substitution_prob = 0.0;
+
+  /// Per-token probability of splitting a multi-character token in two.
+  double token_split_prob = 0.0;
+
+  /// Standard deviation of bounding-box corner jitter, as a fraction of the
+  /// token's height.
+  double box_jitter_frac = 0.0;
+};
+
+/// Applies OCR noise in place. Line detection should be re-run afterwards,
+/// since geometry may have changed.
+void ApplyOcrNoise(Document& doc, const OcrNoiseOptions& options, Rng& rng);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_OCR_NOISE_H_

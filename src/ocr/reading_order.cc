@@ -1,0 +1,74 @@
+#include "ocr/reading_order.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fieldswap {
+
+void SortReadingOrder(Document& doc) {
+  const int n = doc.num_tokens();
+  // New order: concatenate line token lists (lines are already top-to-bottom,
+  // tokens within a line left-to-right per DetectLines).
+  std::vector<int> new_to_old;
+  new_to_old.reserve(static_cast<size_t>(n));
+  for (const Line& line : doc.lines()) {
+    for (int ti : line.token_indices) new_to_old.push_back(ti);
+  }
+  // Tokens not assigned to any line (shouldn't happen post-detection) keep
+  // relative order at the end.
+  if (static_cast<int>(new_to_old.size()) < n) {
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    for (int ti : new_to_old) seen[static_cast<size_t>(ti)] = true;
+    for (int i = 0; i < n; ++i) {
+      if (!seen[static_cast<size_t>(i)]) new_to_old.push_back(i);
+    }
+  }
+  FS_CHECK_EQ(static_cast<int>(new_to_old.size()), n);
+
+  std::vector<int> old_to_new(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    old_to_new[static_cast<size_t>(new_to_old[static_cast<size_t>(i)])] = i;
+  }
+
+  // Permute tokens.
+  std::vector<Token> new_tokens;
+  new_tokens.reserve(static_cast<size_t>(n));
+  for (int old_index : new_to_old) {
+    new_tokens.push_back(doc.token(old_index));
+  }
+  doc.mutable_tokens() = std::move(new_tokens);
+
+  // Remap line lists (token order within a line is preserved).
+  std::vector<Line> lines = doc.lines();
+  for (Line& line : lines) {
+    for (int& ti : line.token_indices) ti = old_to_new[static_cast<size_t>(ti)];
+  }
+  doc.set_lines(std::move(lines));
+
+  // Remap annotations; keep only spans that remain contiguous ascending runs.
+  std::vector<EntitySpan> kept;
+  for (const EntitySpan& span : doc.annotations()) {
+    std::vector<int> mapped;
+    mapped.reserve(static_cast<size_t>(span.num_tokens));
+    for (int i = span.first_token; i < span.end_token(); ++i) {
+      mapped.push_back(old_to_new[static_cast<size_t>(i)]);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    bool contiguous = true;
+    for (size_t i = 1; i < mapped.size(); ++i) {
+      if (mapped[i] != mapped[i - 1] + 1) {
+        contiguous = false;
+        break;
+      }
+    }
+    if (contiguous && !mapped.empty()) {
+      kept.push_back(EntitySpan{span.field, mapped.front(),
+                                static_cast<int>(mapped.size())});
+    }
+  }
+  doc.mutable_annotations() = std::move(kept);
+}
+
+}  // namespace fieldswap

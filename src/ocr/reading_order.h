@@ -1,0 +1,19 @@
+#ifndef FIELDSWAP_OCR_READING_ORDER_H_
+#define FIELDSWAP_OCR_READING_ORDER_H_
+
+#include "doc/document.h"
+
+namespace fieldswap {
+
+/// Reorders the document's tokens into reading order (top-to-bottom by
+/// detected line, left-to-right within a line) and remaps line token lists
+/// and annotations accordingly. Requires line detection to have run.
+///
+/// Annotations whose tokens are no longer contiguous after the permutation
+/// are dropped; with a layout whose value tokens are horizontally adjacent
+/// (as produced by the synth generator) spans always stay contiguous.
+void SortReadingOrder(Document& doc);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_OCR_READING_ORDER_H_

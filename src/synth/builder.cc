@@ -1,0 +1,53 @@
+#include "synth/builder.h"
+
+#include "ocr/line_detector.h"
+#include "ocr/reading_order.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+
+DocumentBuilder::DocumentBuilder(std::string id, std::string domain,
+                                 const TemplateStyle& style)
+    : style_(style),
+      doc_(std::move(id), std::move(domain), kPageWidth, kPageHeight) {}
+
+EmitResult DocumentBuilder::EmitWords(const std::vector<std::string>& words,
+                                      double x, double y_top) {
+  FS_CHECK(!words.empty());
+  EmitResult result;
+  result.first_token = doc_.num_tokens();
+  const double space = style_.char_width;  // one-character word gap
+  double cursor = x;
+  for (const std::string& word : words) {
+    double w = style_.char_width * static_cast<double>(std::max<size_t>(word.size(), 1));
+    BBox box{cursor, y_top, cursor + w, y_top + style_.font_size};
+    doc_.AddToken(word, box);
+    cursor += w + space;
+  }
+  result.num_tokens = static_cast<int>(words.size());
+  result.right_x = cursor - space;
+  return result;
+}
+
+EmitResult DocumentBuilder::EmitField(std::string_view field,
+                                      const std::vector<std::string>& words,
+                                      double x, double y_top) {
+  EmitResult result = EmitWords(words, x, y_top);
+  doc_.AddAnnotation(
+      EntitySpan{std::string(field), result.first_token, result.num_tokens});
+  return result;
+}
+
+EmitResult DocumentBuilder::EmitText(std::string_view text, double x,
+                                     double y_top) {
+  return EmitWords(SplitWhitespace(text), x, y_top);
+}
+
+Document DocumentBuilder::Finish() {
+  DetectAndAssignLines(doc_);
+  SortReadingOrder(doc_);
+  return std::move(doc_);
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,61 @@
+#ifndef FIELDSWAP_SYNTH_BUILDER_H_
+#define FIELDSWAP_SYNTH_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+#include "synth/spec.h"
+
+namespace fieldswap {
+
+/// Result of emitting a word run: the token range and the x coordinate just
+/// past its right edge.
+struct EmitResult {
+  int first_token = 0;
+  int num_tokens = 0;
+  double right_x = 0;
+};
+
+/// Lightweight typesetter that places word runs on a page, producing tokens
+/// with realistic bounding boxes. Coordinates are US-Letter points
+/// (612 x 792), origin top-left.
+class DocumentBuilder {
+ public:
+  static constexpr double kPageWidth = 612.0;
+  static constexpr double kPageHeight = 792.0;
+
+  DocumentBuilder(std::string id, std::string domain,
+                  const TemplateStyle& style);
+
+  /// Places `words` left-to-right starting at (x, y_top). Each token's box
+  /// is sized from its character count at the template's font metrics.
+  EmitResult EmitWords(const std::vector<std::string>& words, double x,
+                       double y_top);
+
+  /// EmitWords followed by AddAnnotation(field, range).
+  EmitResult EmitField(std::string_view field,
+                       const std::vector<std::string>& words, double x,
+                       double y_top);
+
+  /// Splits free text on whitespace and emits it (no annotation).
+  EmitResult EmitText(std::string_view text, double x, double y_top);
+
+  /// Height of one text line including spacing.
+  double LineHeight() const { return style_.font_size * style_.line_spacing; }
+
+  const TemplateStyle& style() const { return style_; }
+  Document& doc() { return doc_; }
+
+  /// Finalizes the page: runs OCR line detection and reading-order sort,
+  /// then returns the document.
+  Document Finish();
+
+ private:
+  TemplateStyle style_;
+  Document doc_;
+};
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SYNTH_BUILDER_H_

@@ -1,0 +1,499 @@
+#include "synth/domains.h"
+
+#include "util/logging.h"
+
+namespace fieldswap {
+namespace {
+
+// Shorthand builders -------------------------------------------------------
+
+FieldDef Field(std::string name, FieldType type, double frequency,
+               std::vector<std::string> phrases, std::string swap_group,
+               ValueKind value_kind = ValueKind::kTypeDefault) {
+  FieldDef def;
+  def.spec = FieldSpec{std::move(name), type, frequency};
+  def.phrases = std::move(phrases);
+  def.swap_group = std::move(swap_group);
+  def.value_kind = value_kind;
+  return def;
+}
+
+FieldDef MoneyField(std::string name, double frequency,
+                    std::vector<std::string> phrases, std::string swap_group,
+                    double lo, double hi) {
+  FieldDef def = Field(std::move(name), FieldType::kMoney, frequency,
+                       std::move(phrases), std::move(swap_group));
+  def.money_lo = lo;
+  def.money_hi = hi;
+  return def;
+}
+
+/// A field with no key phrase, rendered in an unlabeled header block and
+/// excluded from FieldSwap by the human expert (empty swap group).
+FieldDef HeaderField(std::string name, FieldType type, double frequency,
+                     ValueKind value_kind) {
+  return Field(std::move(name), type, frequency, {}, "", value_kind);
+}
+
+Section Header(std::vector<std::string> fields) {
+  Section s;
+  s.kind = Section::Kind::kHeader;
+  s.header.fields = std::move(fields);
+  return s;
+}
+
+Section KV(std::vector<std::string> fields, int columns = 2) {
+  Section s;
+  s.kind = Section::Kind::kKV;
+  s.kv.fields = std::move(fields);
+  s.kv.columns = columns;
+  return s;
+}
+
+Section Table(TableSection table) {
+  Section s;
+  s.kind = Section::Kind::kTable;
+  s.table = std::move(table);
+  return s;
+}
+
+/// Adds the 2 * |suffixes| money fields of a current/year_to_date table.
+void AddPayTableFields(std::vector<FieldDef>& fields,
+                       const std::vector<std::string>& suffixes,
+                       const std::vector<std::vector<std::string>>& phrases,
+                       const std::vector<double>& current_freq,
+                       const std::vector<double>& ytd_freq, double cur_lo,
+                       double cur_hi) {
+  FS_CHECK_EQ(suffixes.size(), phrases.size());
+  FS_CHECK_EQ(suffixes.size(), current_freq.size());
+  FS_CHECK_EQ(suffixes.size(), ytd_freq.size());
+  for (size_t i = 0; i < suffixes.size(); ++i) {
+    fields.push_back(MoneyField("current." + suffixes[i], current_freq[i],
+                                phrases[i], "current", cur_lo, cur_hi));
+    fields.push_back(MoneyField("year_to_date." + suffixes[i], ytd_freq[i],
+                                phrases[i], "year_to_date", cur_lo * 8,
+                                cur_hi * 12));
+  }
+}
+
+}  // namespace
+
+DomainSpec FaraSpec() {
+  DomainSpec spec;
+  spec.name = "fara";
+  spec.title_variants = {"FARA Registration Statement",
+                         "Foreign Agents Registration Act Filing",
+                         "Registration Statement", "FARA Supplemental Form"};
+  spec.num_templates = 12;
+  spec.train_pool_size = 200;
+  spec.test_size = 300;
+
+  spec.fields = {
+      Field("registration_date", FieldType::kDate, 0.95,
+            {"Registration Date", "Date of Registration", "Filed On"}, "kv"),
+      Field("registration_number", FieldType::kNumber, 0.95,
+            {"Registration No.", "Registration Number", "Reg. Number"}, "kv"),
+      Field("registrant_name", FieldType::kString, 0.95,
+            {"Name of Registrant", "Registrant"}, "kv",
+            ValueKind::kCompanyName),
+      Field("foreign_principal", FieldType::kString, 0.9,
+            {"Foreign Principal", "Name of Foreign Principal"}, "kv",
+            ValueKind::kCompanyName),
+      Field("principal_country", FieldType::kString, 0.85,
+            {"Country", "Country/Location"}, "kv", ValueKind::kCountry),
+      Field("signer_name", FieldType::kString, 0.8,
+            {"Signed By", "Signature Of"}, "kv", ValueKind::kPersonName),
+  };
+
+  spec.sections = {KV({"registrant_name", "registration_number",
+                       "registration_date", "foreign_principal",
+                       "principal_country", "signer_name"},
+                      /*columns=*/1)};
+  spec.distractors = {
+      DistractorSet{{"U.S. Department of Justice",
+                     "Washington, DC 20530",
+                     "OMB No. 1124-0002"}},
+      DistractorSet{{"Pursuant to the Foreign Agents Registration Act",
+                     "For Official Use Only"}},
+  };
+  return spec;
+}
+
+DomainSpec FccFormsSpec() {
+  DomainSpec spec;
+  spec.name = "fcc_forms";
+  spec.title_variants = {"Broadcast Order Confirmation", "Contract Agreement",
+                         "Order Summary", "Station Order Form",
+                         "Advertising Contract"};
+  spec.num_templates = 16;
+  spec.train_pool_size = 200;
+  spec.test_size = 300;
+
+  spec.fields = {
+      Field("contact_address", FieldType::kAddress, 0.85,
+            {"Address", "Mailing Address"}, "kv"),
+      Field("contract_start_date", FieldType::kDate, 0.9,
+            {"Contract Start", "Start Date", "Flight Start"}, "kv"),
+      Field("contract_end_date", FieldType::kDate, 0.9,
+            {"Contract End", "End Date", "Flight End"}, "kv"),
+      Field("issue_date", FieldType::kDate, 0.85,
+            {"Date Issued", "Issue Date"}, "kv"),
+      Field("signature_date", FieldType::kDate, 0.6,
+            {"Date Signed", "Signature Date"}, "kv"),
+      MoneyField("gross_amount", 0.9, {"Gross Amount", "Total Gross"}, "kv",
+                 500, 90000),
+      MoneyField("net_amount", 0.9, {"Net Amount", "Total Net", "Amount Due"},
+                 "kv", 400, 80000),
+      Field("contract_number", FieldType::kNumber, 0.95,
+            {"Contract No.", "Contract Number", "Order Number"}, "kv"),
+      Field("advertiser", FieldType::kString, 0.95,
+            {"Advertiser", "Advertiser Name"}, "kv", ValueKind::kCompanyName),
+      Field("agency", FieldType::kString, 0.8, {"Agency", "Agency Name"},
+            "kv", ValueKind::kCompanyName),
+      Field("station", FieldType::kString, 0.9, {"Station", "Station ID"},
+            "kv", ValueKind::kCallSign),
+      Field("product", FieldType::kString, 0.75, {"Product", "Product Name"},
+            "kv", ValueKind::kProduct),
+      Field("contact_name", FieldType::kString, 0.6,
+            {"Contact", "Attention", "Buyer"}, "kv", ValueKind::kPersonName),
+  };
+
+  spec.sections = {
+      KV({"contract_number", "issue_date", "advertiser", "agency", "station",
+          "product", "contract_start_date", "contract_end_date",
+          "contact_name", "contact_address", "gross_amount", "net_amount",
+          "signature_date"},
+         /*columns=*/2)};
+  spec.distractors = {
+      DistractorSet{{"All times are local to the station",
+                     "Make checks payable to the station",
+                     "Page 1 of 1"}},
+      DistractorSet{{"This order is subject to standard terms",
+                     "Remit payment within 30 days"}},
+  };
+  return spec;
+}
+
+DomainSpec BrokerageStatementsSpec() {
+  DomainSpec spec;
+  spec.name = "brokerage_statements";
+  spec.title_variants = {"Brokerage Account Statement", "Investment Statement",
+                         "Account Summary Statement", "Portfolio Statement",
+                         "Monthly Account Statement"};
+  spec.num_templates = 16;
+  spec.train_pool_size = 294;
+  spec.test_size = 186;
+
+  spec.fields = {
+      HeaderField("account_holder_name", FieldType::kString, 0.95,
+                  ValueKind::kPersonName),
+      HeaderField("account_holder_address", FieldType::kAddress, 0.95,
+                  ValueKind::kTypeDefault),
+      HeaderField("firm_name", FieldType::kString, 0.95,
+                  ValueKind::kCompanyName),
+      HeaderField("firm_address", FieldType::kAddress, 0.9,
+                  ValueKind::kTypeDefault),
+      Field("statement_start_date", FieldType::kDate, 0.9,
+            {"Statement Period From", "Period Beginning"}, "kv"),
+      Field("statement_end_date", FieldType::kDate, 0.9,
+            {"Statement Period To", "Period Ending"}, "kv"),
+      Field("statement_date", FieldType::kDate, 0.7,
+            {"Statement Date", "As Of"}, "kv"),
+      Field("last_trade_date", FieldType::kDate, 0.4,
+            {"Last Trade Date", "Trade Date"}, "kv"),
+      Field("account_number", FieldType::kString, 0.95,
+            {"Account Number", "Account No."}, "kv", ValueKind::kCallSign),
+      Field("advisor_name", FieldType::kString, 0.7,
+            {"Financial Advisor", "Your Advisor"}, "kv",
+            ValueKind::kPersonName),
+      Field("account_type", FieldType::kString, 0.6, {"Account Type"}, "kv",
+            ValueKind::kProduct),
+      Field("branch_office", FieldType::kString, 0.4,
+            {"Branch", "Branch Office"}, "kv", ValueKind::kCompanyName),
+      Field("beneficiary_name", FieldType::kString, 0.25,
+            {"Beneficiary", "Beneficiary Name"}, "kv",
+            ValueKind::kPersonName),
+      MoneyField("beginning_balance", 0.9,
+                 {"Beginning Balance", "Opening Balance"}, "summary", 1000,
+                 500000),
+      MoneyField("ending_balance", 0.9,
+                 {"Ending Balance", "Closing Balance", "Account Value"},
+                 "summary", 1000, 500000),
+      MoneyField("total_deposits", 0.6, {"Total Deposits", "Deposits"},
+                 "summary", 10, 50000),
+      MoneyField("total_withdrawals", 0.55,
+                 {"Total Withdrawals", "Withdrawals"}, "summary", 10, 50000),
+      MoneyField("change_in_value", 0.7, {"Change in Value", "Net Change"},
+                 "summary", 10, 80000),
+  };
+
+  spec.sections = {
+      Header({"firm_name", "firm_address", "account_holder_name",
+              "account_holder_address"}),
+      KV({"account_number", "account_type", "statement_start_date",
+          "statement_end_date", "statement_date", "advisor_name",
+          "branch_office", "beneficiary_name", "last_trade_date"},
+         /*columns=*/2),
+      KV({"beginning_balance", "total_deposits", "total_withdrawals",
+          "change_in_value", "ending_balance"},
+         /*columns=*/1),
+  };
+  spec.distractors = {
+      DistractorSet{{"Member FINRA and SIPC",
+                     "Investment products are not FDIC insured",
+                     "Questions? Call 1-800-555-0142"}},
+      DistractorSet{{"Securities offered through registered representatives",
+                     "Please review your statement promptly"}},
+  };
+  return spec;
+}
+
+DomainSpec EarningsSpec() {
+  DomainSpec spec;
+  spec.name = "earnings";
+  spec.title_variants = {"Earnings Statement", "Pay Stub",
+                         "Payroll Statement", "Statement of Earnings",
+                         "Employee Pay Statement", "Wage Statement"};
+  spec.num_templates = 24;
+  spec.train_pool_size = 2000;
+  spec.test_size = 1847;
+
+  spec.fields = {
+      HeaderField("employee_name", FieldType::kString, 0.95,
+                  ValueKind::kPersonName),
+      HeaderField("employer_name", FieldType::kString, 0.95,
+                  ValueKind::kCompanyName),
+      HeaderField("employee_address", FieldType::kAddress, 0.9,
+                  ValueKind::kTypeDefault),
+      HeaderField("employer_address", FieldType::kAddress, 0.85,
+                  ValueKind::kTypeDefault),
+      Field("employee_id", FieldType::kString, 0.8,
+            {"Employee ID", "Emp. No.", "Employee Number"}, "kv",
+            ValueKind::kCallSign),
+      Field("pay_date", FieldType::kDate, 0.95, {"Pay Date", "Check Date"},
+            "kv"),
+      Field("period_start", FieldType::kDate, 0.9,
+            {"Period Beginning", "Pay Period Start", "Period Start"}, "kv"),
+      Field("period_end", FieldType::kDate, 0.9,
+            {"Period Ending", "Pay Period End", "Period End"}, "kv"),
+      MoneyField("net_pay", 0.9, {"Net Pay", "Take Home Pay", "Net Check"},
+                 "kv", 800, 6000),
+  };
+  // The current/year_to_date earnings table: 14 money fields. pto_pay and
+  // sales_pay frequencies follow the paper's Table IV (9.5% / 15.9% and
+  // 2.85% / 3.9%).
+  AddPayTableFields(
+      spec.fields,
+      {"salary", "overtime", "bonus", "vacation", "pto_pay", "sales_pay",
+       "gross_pay"},
+      {{"Base Salary", "Base", "Regular Pay", "Salary"},
+       {"Overtime", "OT Pay", "Overtime Pay"},
+       {"Bonus", "Incentive Pay"},
+       {"Vacation", "Vacation Pay"},
+       {"PTO", "Paid Time Off", "PTO Pay"},
+       {"Sales", "Commission", "Sales Pay"},
+       {"Gross Pay", "Total Gross", "Gross Earnings"}},
+      /*current_freq=*/{0.95, 0.6, 0.35, 0.25, 0.095, 0.0285, 0.9},
+      /*ytd_freq=*/{0.95, 0.65, 0.45, 0.35, 0.159, 0.039, 0.9},
+      /*cur_lo=*/80, /*cur_hi=*/7000);
+
+  TableSection table;
+  table.title = "Earnings";
+  table.column_prefixes = {"current", "year_to_date"};
+  table.column_title_variants = {{"Current", "This Period", "Current Period"},
+                                 {"YTD", "Year to Date", "Year-To-Date"}};
+  table.row_suffixes = {"salary",  "overtime", "bonus",    "vacation",
+                        "pto_pay", "sales_pay", "gross_pay"};
+
+  spec.sections = {
+      Header({"employer_name", "employer_address", "employee_name",
+              "employee_address"}),
+      KV({"employee_id", "pay_date", "period_start", "period_end"},
+         /*columns=*/2),
+      Table(table),
+      KV({"net_pay"}, /*columns=*/1),
+  };
+  spec.distractors = {
+      DistractorSet{{"Retain this statement for your records",
+                     "Direct deposit advice - non negotiable"}},
+      DistractorSet{{"Payroll processed by Northwind Payroll Services",
+                     "Questions? Contact your HR representative",
+                     "Confidential"}},
+  };
+  return spec;
+}
+
+DomainSpec LoanPaymentsSpec() {
+  DomainSpec spec;
+  spec.name = "loan_payments";
+  spec.title_variants = {"Mortgage Statement", "Loan Payment Statement",
+                         "Monthly Loan Statement", "Billing Statement",
+                         "Home Loan Statement", "Payment Notice"};
+  spec.num_templates = 24;
+  spec.train_pool_size = 2000;
+  spec.test_size = 815;
+
+  spec.fields = {
+      HeaderField("borrower_name", FieldType::kString, 0.95,
+                  ValueKind::kPersonName),
+      HeaderField("borrower_address", FieldType::kAddress, 0.95,
+                  ValueKind::kTypeDefault),
+      HeaderField("lender_name", FieldType::kString, 0.9,
+                  ValueKind::kCompanyName),
+      HeaderField("lender_address", FieldType::kAddress, 0.85,
+                  ValueKind::kTypeDefault),
+      Field("property_address", FieldType::kAddress, 0.8,
+            {"Property Address", "Property"}, "kv"),
+      Field("loan_number", FieldType::kString, 0.95,
+            {"Loan Number", "Loan No.", "Account Number"}, "kv",
+            ValueKind::kCallSign),
+      Field("payment_due_date", FieldType::kDate, 0.95,
+            {"Payment Due Date", "Due Date"}, "kv"),
+      Field("statement_date", FieldType::kDate, 0.9, {"Statement Date"},
+            "kv"),
+      Field("loan_start_date", FieldType::kDate, 0.5,
+            {"Loan Origination Date", "Origination Date"}, "kv"),
+      Field("paid_through_date", FieldType::kDate, 0.5,
+            {"Paid Through", "Paid To Date"}, "kv"),
+      Field("maturity_date", FieldType::kDate, 0.4, {"Maturity Date"}, "kv"),
+      Field("loan_type", FieldType::kString, 0.6, {"Loan Type"}, "kv",
+            ValueKind::kProduct),
+      Field("servicer_name", FieldType::kString, 0.5,
+            {"Servicer", "Loan Servicer"}, "kv", ValueKind::kCompanyName),
+      Field("escrow_agent", FieldType::kString, 0.3, {"Escrow Agent"}, "kv",
+            ValueKind::kCompanyName),
+      Field("investor_name", FieldType::kString, 0.3, {"Investor"}, "kv",
+            ValueKind::kCompanyName),
+      MoneyField("amount_due", 0.95, {"Total Amount Due", "Amount Due"}, "kv",
+                 400, 6000),
+      MoneyField("past_due", 0.3, {"Past Due Amount", "Past Due"}, "kv", 100,
+                 5000),
+      MoneyField("outstanding_principal", 0.9,
+                 {"Outstanding Principal", "Principal Balance"}, "kv", 20000,
+                 900000),
+      MoneyField("escrow_balance", 0.6, {"Escrow Balance"}, "kv", 100, 20000),
+      MoneyField("unpaid_late_charges", 0.3, {"Unpaid Late Charges"}, "kv",
+                 10, 900),
+      MoneyField("deferred_balance", 0.2, {"Deferred Balance"}, "kv", 100,
+                 40000),
+  };
+  AddPayTableFields(
+      spec.fields,
+      {"principal", "interest", "escrow", "fees", "late_charges",
+       "optional_insurance", "total_payment"},
+      {{"Principal"},
+       {"Interest"},
+       {"Escrow", "Escrow/Impounds"},
+       {"Fees", "Service Fees"},
+       {"Late Charges", "Late Fees"},
+       {"Optional Insurance", "Insurance"},
+       {"Total Payment", "Total"}},
+      /*current_freq=*/{0.95, 0.95, 0.7, 0.3, 0.25, 0.15, 0.9},
+      /*ytd_freq=*/{0.9, 0.9, 0.65, 0.3, 0.3, 0.15, 0.85},
+      /*cur_lo=*/30, /*cur_hi=*/4000);
+
+  TableSection table;
+  table.title = "Payment Breakdown";
+  table.column_prefixes = {"current", "year_to_date"};
+  table.column_title_variants = {
+      {"Current Payment", "This Payment", "Payment"},
+      {"Paid Year to Date", "YTD Paid", "Year to Date"}};
+  table.row_suffixes = {"principal",    "interest",
+                        "escrow",       "fees",
+                        "late_charges", "optional_insurance",
+                        "total_payment"};
+
+  spec.sections = {
+      Header({"lender_name", "lender_address", "borrower_name",
+              "borrower_address"}),
+      KV({"loan_number", "statement_date", "payment_due_date",
+          "property_address", "loan_type", "servicer_name",
+          "loan_start_date", "paid_through_date", "maturity_date",
+          "escrow_agent", "investor_name"},
+         /*columns=*/2),
+      Table(table),
+      KV({"amount_due", "past_due", "outstanding_principal", "escrow_balance",
+          "unpaid_late_charges", "deferred_balance"},
+         /*columns=*/2),
+  };
+  spec.distractors = {
+      DistractorSet{{"Customer Service 1-800-555-0199",
+                     "Visit us online to manage your loan",
+                     "NMLS ID 400512"}},
+      DistractorSet{{"This is an attempt to collect a debt",
+                     "Payments received after 5pm post next business day",
+                     "Equal Housing Lender"}},
+  };
+  return spec;
+}
+
+DomainSpec InvoicesSpec() {
+  DomainSpec spec;
+  spec.name = "invoices";
+  spec.title_variants = {"Invoice", "Tax Invoice", "Billing Invoice",
+                         "Invoice Statement", "Commercial Invoice",
+                         "Sales Invoice"};
+  // Positional diversity matters for pre-training: the candidate model must
+  // learn to anchor on neighboring label text, not absolute page position.
+  spec.num_templates = 12;
+  spec.train_pool_size = 5000;
+  spec.test_size = 500;
+
+  spec.fields = {
+      HeaderField("vendor_name", FieldType::kString, 0.95,
+                  ValueKind::kCompanyName),
+      HeaderField("vendor_address", FieldType::kAddress, 0.9,
+                  ValueKind::kTypeDefault),
+      Field("customer_name", FieldType::kString, 0.9,
+            {"Bill To", "Customer", "Sold To"}, "kv",
+            ValueKind::kCompanyName),
+      Field("customer_address", FieldType::kAddress, 0.8,
+            {"Ship To", "Shipping Address"}, "kv"),
+      Field("invoice_number", FieldType::kNumber, 0.95,
+            {"Invoice Number", "Invoice No.", "Invoice #"}, "kv"),
+      Field("po_number", FieldType::kNumber, 0.6,
+            {"PO Number", "Purchase Order"}, "kv"),
+      Field("invoice_date", FieldType::kDate, 0.95,
+            {"Invoice Date", "Date"}, "kv"),
+      Field("due_date", FieldType::kDate, 0.85, {"Due Date", "Payment Due"},
+            "kv"),
+      MoneyField("subtotal", 0.8, {"Subtotal"}, "kv", 50, 40000),
+      MoneyField("tax", 0.75, {"Tax", "Sales Tax"}, "kv", 5, 4000),
+      MoneyField("total_due", 0.95,
+                 {"Total Due", "Amount Due", "Balance Due", "Total"}, "kv",
+                 50, 45000),
+  };
+
+  spec.sections = {
+      Header({"vendor_name", "vendor_address"}),
+      KV({"invoice_number", "invoice_date", "po_number", "due_date",
+          "customer_name", "customer_address"},
+         /*columns=*/2),
+      KV({"subtotal", "tax", "total_due"}, /*columns=*/1),
+  };
+  spec.distractors = {
+      DistractorSet{{"Thank you for your business",
+                     "Payment terms Net 30"}},
+      DistractorSet{{"Please include the invoice number with payment",
+                     "Late payments subject to 1.5% monthly interest"}},
+  };
+  return spec;
+}
+
+std::vector<DomainSpec> AllEvalDomains() {
+  return {FaraSpec(), FccFormsSpec(), BrokerageStatementsSpec(),
+          EarningsSpec(), LoanPaymentsSpec()};
+}
+
+DomainSpec SpecByName(const std::string& name) {
+  if (name == "fara") return FaraSpec();
+  if (name == "fcc_forms") return FccFormsSpec();
+  if (name == "brokerage_statements") return BrokerageStatementsSpec();
+  if (name == "earnings") return EarningsSpec();
+  if (name == "loan_payments") return LoanPaymentsSpec();
+  if (name == "invoices") return InvoicesSpec();
+  FS_LOG(Fatal) << "unknown domain: " << name;
+  return {};
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,34 @@
+#ifndef FIELDSWAP_SYNTH_DOMAINS_H_
+#define FIELDSWAP_SYNTH_DOMAINS_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/spec.h"
+
+namespace fieldswap {
+
+/// The five evaluation domains of the paper (Table I / II), modeled so that
+/// field counts per base type match the paper exactly and the qualitative
+/// phenomena studied in the evaluation (rare fields, contradictory
+/// current/year_to_date pairs, fields without key phrases) are present.
+DomainSpec FaraSpec();
+DomainSpec FccFormsSpec();
+DomainSpec BrokerageStatementsSpec();
+DomainSpec EarningsSpec();
+DomainSpec LoanPaymentsSpec();
+
+/// Out-of-domain invoice corpus used to pre-train the key-phrase-inference
+/// model (Sec. IV-B).
+DomainSpec InvoicesSpec();
+
+/// All five evaluation domains in the paper's Table I order.
+std::vector<DomainSpec> AllEvalDomains();
+
+/// Lookup by DomainSpec::name ("fara", "fcc_forms", "brokerage_statements",
+/// "earnings", "loan_payments", "invoices"); aborts on unknown names.
+DomainSpec SpecByName(const std::string& name);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SYNTH_DOMAINS_H_

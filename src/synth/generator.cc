@@ -1,0 +1,284 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "synth/builder.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+/// Mutable per-document generation state.
+struct DocState {
+  const DomainSpec* spec = nullptr;
+  const TemplateStyle* style = nullptr;
+  DocumentBuilder* builder = nullptr;
+  ValueSampler* sampler = nullptr;
+  Rng* rng = nullptr;
+  std::map<std::string, bool> present;  // field -> appears on this document
+  double y = 0;                         // vertical layout cursor
+};
+
+std::vector<std::string> SampleValue(DocState& state, const FieldDef& def) {
+  ValueSampler& sampler = *state.sampler;
+  const TemplateStyle& style = *state.style;
+  switch (def.value_kind) {
+    case ValueKind::kPersonName:
+      return sampler.PersonName();
+    case ValueKind::kCompanyName:
+      return sampler.CompanyName();
+    case ValueKind::kCountry:
+      return sampler.Country();
+    case ValueKind::kCallSign:
+      return sampler.CallSign();
+    case ValueKind::kProduct:
+      return sampler.ProductName();
+    case ValueKind::kTypeDefault:
+      break;
+  }
+  if (def.spec.type == FieldType::kMoney) {
+    return sampler.Money(def.money_lo, def.money_hi, style.money_style);
+  }
+  return sampler.ForType(def.spec.type, style.money_style, style.date_style);
+}
+
+std::vector<std::string> LabelWords(const DocState& state,
+                                    std::string_view phrase) {
+  std::vector<std::string> words = SplitWhitespace(phrase);
+  if (state.style->label_colon && !words.empty()) {
+    words.back().push_back(':');
+  }
+  return words;
+}
+
+void EmitHeaderSection(DocState& state, const HeaderSection& section) {
+  DocumentBuilder& builder = *state.builder;
+  double x = state.style->left_margin + state.rng->Uniform(0, 12);
+  for (const std::string& field : section.fields) {
+    if (!state.present[field]) continue;
+    const FieldDef* def = state.spec->Find(field);
+    FS_CHECK(def != nullptr) << field;
+    builder.EmitField(field, SampleValue(state, *def), x, state.y);
+    state.y += builder.LineHeight();
+  }
+  state.y += builder.LineHeight();  // gap after the block
+}
+
+void EmitKVSection(DocState& state, const KVSection& section) {
+  DocumentBuilder& builder = *state.builder;
+  const TemplateStyle& style = *state.style;
+
+  std::vector<std::string> items;
+  for (const std::string& field : section.fields) {
+    if (state.present[field]) items.push_back(field);
+  }
+  // Template-stable item order.
+  Rng shuffle_rng(style.kv_shuffle_salt);
+  shuffle_rng.Shuffle(items);
+
+  const int columns = std::max(section.columns, 1);
+  const double usable = DocumentBuilder::kPageWidth - 2 * style.left_margin;
+  const double col_width = usable / columns;
+  const double row_height =
+      builder.LineHeight() * (style.label_above ? 2.6 : 1.6);
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    const FieldDef* def = state.spec->Find(items[i]);
+    FS_CHECK(def != nullptr) << items[i];
+    int col = static_cast<int>(i) % columns;
+    int row = static_cast<int>(i) / columns;
+    double x = style.left_margin + col * col_width;
+    double y = state.y + row * row_height;
+
+    std::string phrase = TemplatePhraseFor(*state.spec, style, items[i]);
+    std::vector<std::string> value = SampleValue(state, *def);
+    if (phrase.empty()) {
+      builder.EmitField(items[i], value, x, y);
+      continue;
+    }
+    EmitResult label = builder.EmitWords(LabelWords(state, phrase), x, y);
+    if (style.label_above) {
+      builder.EmitField(items[i], value, x, y + builder.LineHeight());
+    } else {
+      builder.EmitField(items[i], value, label.right_x + style.char_width * 2,
+                        y);
+    }
+  }
+  int rows_used =
+      items.empty() ? 0 : (static_cast<int>(items.size()) - 1) / columns + 1;
+  state.y += rows_used * row_height + builder.LineHeight();
+}
+
+void EmitTableSection(DocState& state, const TableSection& table) {
+  DocumentBuilder& builder = *state.builder;
+  const TemplateStyle& style = *state.style;
+
+  // Column order (prefixes may be visually swapped by the template).
+  std::vector<size_t> col_order(table.column_prefixes.size());
+  for (size_t i = 0; i < col_order.size(); ++i) col_order[i] = i;
+  if (style.swap_table_columns && col_order.size() >= 2) {
+    std::reverse(col_order.begin(), col_order.end());
+  }
+
+  if (!table.title.empty()) {
+    builder.EmitText(table.title, style.left_margin, state.y);
+    state.y += builder.LineHeight();
+  }
+
+  const double label_x = style.left_margin;
+  const double first_value_x = style.left_margin + 190 + state.rng->Uniform(0, 20);
+  const double col_spacing = 120 + state.rng->Uniform(0, 15);
+
+  // Header row of column titles.
+  for (size_t vis = 0; vis < col_order.size(); ++vis) {
+    size_t c = col_order[vis];
+    std::string title = table.column_prefixes[c];
+    if (c < table.column_title_variants.size() &&
+        !table.column_title_variants[c].empty()) {
+      const auto& variants = table.column_title_variants[c];
+      size_t pick = c < style.column_title_choice.size()
+                        ? style.column_title_choice[c]
+                        : 0;
+      title = variants[pick % variants.size()];
+    }
+    builder.EmitText(title, first_value_x + vis * col_spacing, state.y);
+  }
+  state.y += builder.LineHeight();
+
+  // Data rows, in template-stable shuffled order: across the corpus the row
+  // label, not the row position, identifies the field.
+  std::vector<std::string> row_order = table.row_suffixes;
+  Rng row_rng(style.row_shuffle_salt);
+  row_rng.Shuffle(row_order);
+  for (const std::string& suffix : row_order) {
+    // A row is rendered when at least one of its cells is present.
+    bool any = false;
+    for (const std::string& prefix : table.column_prefixes) {
+      if (state.present[prefix + "." + suffix]) any = true;
+    }
+    if (!any) continue;
+
+    // Row label: the key phrase of the first column's field (all fields in
+    // the row share the same vocabulary by construction).
+    std::string label_field = table.column_prefixes[0] + "." + suffix;
+    std::string phrase = TemplatePhraseFor(*state.spec, style, label_field);
+    if (!phrase.empty()) {
+      builder.EmitWords(LabelWords(state, phrase), label_x, state.y);
+    }
+    for (size_t vis = 0; vis < col_order.size(); ++vis) {
+      size_t c = col_order[vis];
+      std::string field = table.column_prefixes[c] + "." + suffix;
+      if (!state.present[field]) continue;
+      const FieldDef* def = state.spec->Find(field);
+      FS_CHECK(def != nullptr) << field;
+      builder.EmitField(field, SampleValue(state, *def),
+                        first_value_x + vis * col_spacing, state.y);
+    }
+    state.y += builder.LineHeight();
+  }
+  state.y += builder.LineHeight();
+}
+
+void EmitDistractors(DocState& state) {
+  const TemplateStyle& style = *state.style;
+  if (style.distractor_set < 0 ||
+      style.distractor_set >= static_cast<int>(state.spec->distractors.size())) {
+    return;
+  }
+  DocumentBuilder& builder = *state.builder;
+  const DistractorSet& set =
+      state.spec->distractors[static_cast<size_t>(style.distractor_set)];
+  // First line near the top-right corner, the rest stacked at the footer.
+  double footer_y =
+      DocumentBuilder::kPageHeight - 60 -
+      builder.LineHeight() * static_cast<double>(set.lines.size());
+  for (size_t i = 0; i < set.lines.size(); ++i) {
+    if (i == 0) {
+      builder.EmitText(set.lines[i], DocumentBuilder::kPageWidth - 240,
+                       style.top_margin);
+    } else {
+      builder.EmitText(set.lines[i], style.left_margin,
+                       footer_y + static_cast<double>(i) * builder.LineHeight());
+    }
+  }
+}
+
+}  // namespace
+
+Document GenerateDocument(const DomainSpec& spec, const std::string& doc_id,
+                          int template_id, Rng rng) {
+  TemplateStyle style = MakeTemplateStyle(spec, template_id);
+  DocumentBuilder builder(doc_id, spec.name, style);
+  ValueSampler sampler(rng.Split("values"));
+  Rng layout_rng = rng.Split("layout");
+
+  DocState state;
+  state.spec = &spec;
+  state.style = &style;
+  state.builder = &builder;
+  state.sampler = &sampler;
+  state.rng = &layout_rng;
+  state.y = style.top_margin;
+
+  for (const FieldDef& def : spec.fields) {
+    state.present[def.spec.name] = layout_rng.Bernoulli(def.spec.frequency);
+  }
+
+  if (!spec.title_variants.empty()) {
+    const std::string& title =
+        spec.title_variants[static_cast<size_t>(template_id) %
+                            spec.title_variants.size()];
+    builder.EmitText(title, DocumentBuilder::kPageWidth / 2 - 80,
+                     state.y);
+    state.y += builder.LineHeight() * 1.5;
+  }
+
+  for (const Section& section : spec.sections) {
+    switch (section.kind) {
+      case Section::Kind::kHeader:
+        EmitHeaderSection(state, section.header);
+        break;
+      case Section::Kind::kKV:
+        EmitKVSection(state, section.kv);
+        break;
+      case Section::Kind::kTable:
+        EmitTableSection(state, section.table);
+        break;
+    }
+  }
+  EmitDistractors(state);
+
+  // Per-document translation jitter (scan offset): documents of the same
+  // template are not pixel-aligned, so absolute position alone cannot
+  // identify a field.
+  double dx = layout_rng.Uniform(0, 50);
+  double dy = layout_rng.Uniform(0, 36);
+  for (Token& tok : builder.doc().mutable_tokens()) {
+    tok.box.x_min += dx;
+    tok.box.x_max += dx;
+    tok.box.y_min += dy;
+    tok.box.y_max += dy;
+  }
+
+  return builder.Finish();
+}
+
+std::vector<Document> GenerateCorpus(const DomainSpec& spec, int count,
+                                     uint64_t seed,
+                                     const std::string& id_prefix) {
+  Rng rng(seed);
+  std::vector<Document> docs;
+  docs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int template_id = static_cast<int>(rng.Index(
+        static_cast<size_t>(std::max(spec.num_templates, 1))));
+    docs.push_back(GenerateDocument(spec, id_prefix + "-" + std::to_string(i),
+                                    template_id,
+                                    rng.Split(static_cast<uint64_t>(i))));
+  }
+  return docs;
+}
+
+}  // namespace fieldswap

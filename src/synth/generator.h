@@ -1,0 +1,26 @@
+#ifndef FIELDSWAP_SYNTH_GENERATOR_H_
+#define FIELDSWAP_SYNTH_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+#include "synth/spec.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// Synthesizes one document of the domain using the given template. All
+/// randomness (field presence, values, position jitter) flows from `rng`.
+Document GenerateDocument(const DomainSpec& spec, const std::string& doc_id,
+                          int template_id, Rng rng);
+
+/// Synthesizes `count` documents with ids "<prefix>-<i>", assigning each a
+/// random template. Deterministic in `seed`.
+std::vector<Document> GenerateCorpus(const DomainSpec& spec, int count,
+                                     uint64_t seed,
+                                     const std::string& id_prefix);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SYNTH_GENERATOR_H_

@@ -1,0 +1,83 @@
+#include "synth/spec.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+DomainSchema DomainSpec::Schema() const {
+  std::vector<FieldSpec> specs;
+  specs.reserve(fields.size());
+  for (const FieldDef& def : fields) specs.push_back(def.spec);
+  return DomainSchema(name, std::move(specs));
+}
+
+const FieldDef* DomainSpec::Find(std::string_view field) const {
+  for (const FieldDef& def : fields) {
+    if (def.spec.name == field) return &def;
+  }
+  return nullptr;
+}
+
+int DomainSpec::IndexOf(std::string_view field) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].spec.name == field) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TemplateStyle MakeTemplateStyle(const DomainSpec& spec, int template_id) {
+  FS_CHECK_GE(template_id, 0);
+  Rng rng(Fnv1a64(spec.name) ^ (static_cast<uint64_t>(template_id) * 0x9e3779b97f4a7c15ULL + 1));
+
+  TemplateStyle style;
+  style.template_id = template_id;
+  style.font_size = rng.Uniform(9.0, 12.0);
+  style.char_width = style.font_size * rng.Uniform(0.48, 0.56);
+  style.left_margin = rng.Uniform(36.0, 64.0);
+  style.top_margin = rng.Uniform(32.0, 56.0);
+  style.line_spacing = rng.Uniform(1.5, 1.9);
+  style.label_above = rng.Bernoulli(0.35);
+  style.label_colon = rng.Bernoulli(0.5);
+  style.swap_table_columns = rng.Bernoulli(0.3);
+  style.money_style =
+      rng.Bernoulli(0.7) ? MoneyStyle::kDollarSign : MoneyStyle::kPlain;
+  double date_pick = rng.Uniform();
+  style.date_style = date_pick < 0.5   ? DateStyle::kSlashed
+                     : date_pick < 0.8 ? DateStyle::kMonthName
+                                       : DateStyle::kDashedIso;
+  style.phrase_choice.resize(spec.fields.size(), 0);
+  for (size_t i = 0; i < spec.fields.size(); ++i) {
+    const auto& phrases = spec.fields[i].phrases;
+    if (!phrases.empty()) style.phrase_choice[i] = rng.Index(phrases.size());
+  }
+  for (const Section& section : spec.sections) {
+    if (section.kind == Section::Kind::kTable &&
+        style.column_title_choice.empty()) {
+      for (const auto& variants : section.table.column_title_variants) {
+        style.column_title_choice.push_back(
+            variants.empty() ? 0 : rng.Index(variants.size()));
+      }
+    }
+  }
+  style.kv_shuffle_salt = rng.Next();
+  style.row_shuffle_salt = rng.Next();
+  if (!spec.distractors.empty() && rng.Bernoulli(0.8)) {
+    style.distractor_set = static_cast<int>(rng.Index(spec.distractors.size()));
+  }
+  return style;
+}
+
+std::string TemplatePhraseFor(const DomainSpec& spec,
+                              const TemplateStyle& style,
+                              std::string_view field) {
+  int index = spec.IndexOf(field);
+  if (index < 0) return "";
+  const FieldDef& def = spec.fields[static_cast<size_t>(index)];
+  if (def.phrases.empty()) return "";
+  size_t choice = style.phrase_choice[static_cast<size_t>(index)];
+  return def.phrases[choice % def.phrases.size()];
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,154 @@
+#ifndef FIELDSWAP_SYNTH_SPEC_H_
+#define FIELDSWAP_SYNTH_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "doc/schema.h"
+#include "synth/values.h"
+
+namespace fieldswap {
+
+/// What kind of surface string a field's value takes (beyond its base type).
+enum class ValueKind {
+  kTypeDefault,  // generic value for the base type
+  kPersonName,
+  kCompanyName,
+  kCountry,
+  kCallSign,
+  kProduct,
+};
+
+/// Complete generator-side definition of one schema field: its public spec,
+/// its true key-phrase vocabulary, and how to sample values for it.
+struct FieldDef {
+  FieldSpec spec;
+
+  /// The domain's true key-phrase vocabulary for this field. Different
+  /// document templates realize different variants, so a small training set
+  /// typically covers only a subset — exactly the gap a human expert closes
+  /// (Sec. III). Empty for fields that have no key phrase (company_name and
+  /// friends, Sec. II-A5).
+  std::vector<std::string> phrases;
+
+  /// Human-expert swap group: fields sharing a non-empty group may be
+  /// swapped with each other in the human expert configuration; fields with
+  /// an empty group are excluded from FieldSwap entirely by the expert.
+  /// Table columns get their prefix as group (so current.* never swaps with
+  /// year_to_date.*, pruning contradictory pairs).
+  std::string swap_group;
+
+  ValueKind value_kind = ValueKind::kTypeDefault;
+
+  /// Value range for money fields.
+  double money_lo = 10.0;
+  double money_hi = 20000.0;
+};
+
+/// A block of unlabeled values at the top of the page (company name over
+/// company address, etc.) — fields *without* key phrases.
+struct HeaderSection {
+  std::vector<std::string> fields;
+};
+
+/// Labeled key/value items, laid out in `columns` columns.
+struct KVSection {
+  std::vector<std::string> fields;
+  int columns = 2;
+};
+
+/// A table whose rows are field suffixes and whose columns are field
+/// prefixes (the paystub current/year_to_date structure). The cell at
+/// (row r, column c) is an instance of field "<prefix_c>.<suffix_r>"; the
+/// row label is the key phrase shared by every field in row r.
+struct TableSection {
+  std::string title;
+  std::vector<std::string> column_prefixes;
+  /// Title variants per column (outer index parallels column_prefixes).
+  std::vector<std::vector<std::string>> column_title_variants;
+  std::vector<std::string> row_suffixes;
+};
+
+/// One layout element of a domain.
+struct Section {
+  enum class Kind { kHeader, kKV, kTable };
+  Kind kind = Kind::kKV;
+  HeaderSection header;
+  KVSection kv;
+  TableSection table;
+};
+
+/// Static footer/boilerplate lines that templates sprinkle on documents;
+/// sources of spurious key-phrase correlations for no-phrase fields.
+struct DistractorSet {
+  std::vector<std::string> lines;
+};
+
+/// Everything needed to synthesize a corpus for one document type.
+struct DomainSpec {
+  std::string name;
+  /// Unannotated document title, one variant per template cycle
+  /// ("EARNINGS STATEMENT", "Pay Stub", ...).
+  std::vector<std::string> title_variants;
+  std::vector<FieldDef> fields;
+  std::vector<Section> sections;
+  std::vector<DistractorSet> distractors;
+
+  /// Number of distinct templates (layout + phrase-variant assignments).
+  int num_templates = 5;
+
+  /// Corpus sizes reported in the paper's Table I.
+  int train_pool_size = 200;
+  int test_size = 300;
+
+  /// Builds the public schema from the field defs.
+  DomainSchema Schema() const;
+
+  /// Field def by name; nullptr if absent.
+  const FieldDef* Find(std::string_view field) const;
+
+  /// Index of a field in `fields`; -1 if absent.
+  int IndexOf(std::string_view field) const;
+};
+
+/// Per-template rendering choices, derived deterministically from the
+/// domain name and template id.
+struct TemplateStyle {
+  int template_id = 0;
+  double font_size = 10.0;
+  double char_width = 5.2;
+  double left_margin = 48.0;
+  double top_margin = 40.0;
+  double line_spacing = 1.6;  // multiple of font_size between baselines
+  bool label_above = false;   // KV label above the value instead of left
+  bool label_colon = false;   // KV/table labels end with ":"
+  bool swap_table_columns = false;
+  MoneyStyle money_style = MoneyStyle::kDollarSign;
+  DateStyle date_style = DateStyle::kSlashed;
+  /// Chosen phrase variant per field (parallel to DomainSpec::fields).
+  std::vector<size_t> phrase_choice;
+  /// Chosen column-title variant per table column, keyed by prefix order of
+  /// the first table section encountered.
+  std::vector<size_t> column_title_choice;
+  /// Salt for shuffling KV item order.
+  uint64_t kv_shuffle_salt = 0;
+  /// Salt for shuffling table row order (real issuers order pay categories
+  /// differently; the row label, not the position, identifies the field).
+  uint64_t row_shuffle_salt = 0;
+  /// Which distractor set this template uses (-1 for none).
+  int distractor_set = -1;
+};
+
+/// Derives the style of template `template_id` for the domain.
+TemplateStyle MakeTemplateStyle(const DomainSpec& spec, int template_id);
+
+/// The key phrase a given template uses for `field` ("" if the field has no
+/// key phrase vocabulary).
+std::string TemplatePhraseFor(const DomainSpec& spec,
+                              const TemplateStyle& style,
+                              std::string_view field);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SYNTH_SPEC_H_

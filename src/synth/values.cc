@@ -1,0 +1,178 @@
+#include "synth/values.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "James", "Maria",  "Robert", "Linda",  "Michael", "Susan",
+    "David", "Karen",  "Daniel", "Nancy",  "Kevin",   "Laura",
+    "Brian", "Amanda", "Jason",  "Angela", "Eric",    "Monica",
+    "Tyler", "Renee",  "Carlos", "Priya",  "Wei",     "Fatima"};
+
+constexpr const char* kLastNames[] = {
+    "Smith",  "Johnson",  "Garcia",   "Miller", "Davis",   "Martinez",
+    "Lopez",  "Wilson",   "Anderson", "Taylor", "Thomas",  "Moore",
+    "Chen",   "Nakamura", "Patel",    "Nguyen", "O'Brien", "Kowalski",
+    "Dubois", "Schmidt",  "Rossi",    "Silva",  "Ivanov",  "Haddad"};
+
+constexpr const char* kStreets[] = {
+    "Maple",  "Oak",    "Cedar",   "Elm",     "Willow",  "Main",
+    "Market", "Sunset", "Lakeview", "Hillcrest", "Prospect", "Jefferson"};
+
+constexpr const char* kStreetSuffixes[] = {"St", "Ave", "Blvd", "Dr", "Ln",
+                                           "Rd"};
+
+constexpr const char* kCities[] = {
+    "Springfield", "Riverton", "Fairview",  "Kingston", "Georgetown",
+    "Ashland",     "Dayton",   "Milford",   "Oxford",   "Clinton",
+    "Salem",       "Bristol"};
+
+constexpr const char* kStates[] = {"CA", "NY", "TX", "WA", "IL", "MA",
+                                   "FL", "OH", "CO", "GA", "NC", "PA"};
+
+constexpr const char* kCompanyCores[] = {
+    "Acme",    "Pinnacle", "Summit",  "Horizon", "Sterling", "Vanguard",
+    "Cascade", "Granite",  "Beacon",  "Harbor",  "Liberty",  "Northwind",
+    "Redwood", "Bluestone", "Ironwood", "Clearwater"};
+
+constexpr const char* kCompanyKinds[] = {"Industries", "Holdings", "Partners",
+                                         "Logistics",  "Media",    "Systems",
+                                         "Financial",  "Services"};
+
+constexpr const char* kCompanySuffixes[] = {"LLC", "Inc", "Corp", "Ltd"};
+
+constexpr const char* kCountries[] = {
+    "Japan",  "Germany", "Brazil", "Canada",  "France", "India",
+    "Mexico", "Norway",  "Spain",  "Turkey",  "Egypt",  "Kenya"};
+
+constexpr const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                   "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+constexpr const char* kProducts[] = {
+    "Morning",  "Evening", "Weekend", "Prime",  "Daily", "Metro",
+    "Spotlight", "Pulse",  "Focus",   "Impact"};
+
+constexpr const char* kProductKinds[] = {"News",  "Drive", "Show",
+                                         "Report", "Hour",  "Update"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* const (&items)[N]) {
+  return items[rng.Index(N)];
+}
+
+}  // namespace
+
+std::string FormatMoney(double amount) {
+  double rounded = std::round(amount * 100.0) / 100.0;
+  auto whole = static_cast<int64_t>(rounded);
+  int cents = static_cast<int>(std::llround((rounded - static_cast<double>(whole)) * 100.0));
+  if (cents < 0) cents = -cents;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), ".%02d", cents);
+  return FormatWithCommas(whole) + buf;
+}
+
+std::vector<std::string> ValueSampler::Money(double lo, double hi,
+                                             MoneyStyle style) {
+  double amount = rng_.Uniform(lo, hi);
+  std::string text = FormatMoney(amount);
+  if (style == MoneyStyle::kDollarSign) text = "$" + text;
+  return {text};
+}
+
+std::vector<std::string> ValueSampler::Date(DateStyle style) {
+  int year = static_cast<int>(rng_.UniformInt(2019, 2024));
+  int month = static_cast<int>(rng_.UniformInt(1, 12));
+  int day = static_cast<int>(rng_.UniformInt(1, 28));
+  char buf[32];
+  switch (style) {
+    case DateStyle::kSlashed:
+      std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d", month, day, year);
+      return {buf};
+    case DateStyle::kDashedIso:
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+      return {buf};
+    case DateStyle::kMonthName: {
+      std::snprintf(buf, sizeof(buf), "%d,", day);
+      return {kMonths[month - 1], buf, std::to_string(year)};
+    }
+  }
+  return {"01/01/2024"};
+}
+
+std::vector<std::string> ValueSampler::Number(int min_digits, int max_digits) {
+  int digits = static_cast<int>(rng_.UniformInt(min_digits, max_digits));
+  std::string text;
+  text.push_back(static_cast<char>('1' + rng_.Index(9)));
+  for (int i = 1; i < digits; ++i) {
+    text.push_back(static_cast<char>('0' + rng_.Index(10)));
+  }
+  return {text};
+}
+
+std::vector<std::string> ValueSampler::Address() {
+  std::vector<std::string> tokens;
+  tokens.push_back(std::to_string(rng_.UniformInt(100, 9999)));
+  tokens.push_back(Pick(rng_, kStreets));
+  tokens.push_back(std::string(Pick(rng_, kStreetSuffixes)) + ",");
+  tokens.push_back(std::string(Pick(rng_, kCities)) + ",");
+  tokens.push_back(Pick(rng_, kStates));
+  char zip[8];
+  std::snprintf(zip, sizeof(zip), "%05d", static_cast<int>(rng_.UniformInt(10000, 99999)));
+  tokens.push_back(zip);
+  return tokens;
+}
+
+std::vector<std::string> ValueSampler::PersonName() {
+  return {Pick(rng_, kFirstNames), Pick(rng_, kLastNames)};
+}
+
+std::vector<std::string> ValueSampler::CompanyName() {
+  std::vector<std::string> tokens{Pick(rng_, kCompanyCores)};
+  if (rng_.Bernoulli(0.7)) tokens.push_back(Pick(rng_, kCompanyKinds));
+  tokens.push_back(Pick(rng_, kCompanySuffixes));
+  return tokens;
+}
+
+std::vector<std::string> ValueSampler::Country() {
+  return {Pick(rng_, kCountries)};
+}
+
+std::vector<std::string> ValueSampler::CallSign() {
+  std::string sign;
+  sign.push_back(rng_.Bernoulli(0.5) ? 'K' : 'W');
+  for (int i = 0; i < 3; ++i) {
+    sign.push_back(static_cast<char>('A' + rng_.Index(26)));
+  }
+  if (rng_.Bernoulli(0.4)) sign += rng_.Bernoulli(0.5) ? "-TV" : "-FM";
+  return {sign};
+}
+
+std::vector<std::string> ValueSampler::ProductName() {
+  return {Pick(rng_, kProducts), Pick(rng_, kProductKinds)};
+}
+
+std::vector<std::string> ValueSampler::ForType(FieldType type,
+                                               MoneyStyle money_style,
+                                               DateStyle date_style) {
+  switch (type) {
+    case FieldType::kAddress:
+      return Address();
+    case FieldType::kDate:
+      return Date(date_style);
+    case FieldType::kMoney:
+      return Money(10.0, 20000.0, money_style);
+    case FieldType::kNumber:
+      return Number(4, 8);
+    case FieldType::kString:
+      return PersonName();
+  }
+  return {"n/a"};
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,67 @@
+#ifndef FIELDSWAP_SYNTH_VALUES_H_
+#define FIELDSWAP_SYNTH_VALUES_H_
+
+#include <string>
+#include <vector>
+
+#include "doc/schema.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+
+/// Formatting styles that vary across document templates.
+enum class DateStyle { kSlashed, kDashedIso, kMonthName };
+enum class MoneyStyle { kDollarSign, kPlain };
+
+/// Samples realistic surface strings for field values, one vector entry per
+/// token. Every sample is a pure function of the Rng state, so corpora are
+/// reproducible from their seed.
+class ValueSampler {
+ public:
+  explicit ValueSampler(Rng rng) : rng_(rng) {}
+
+  /// "$3,308.62" (kDollarSign) or "3,308.62" (kPlain); single token.
+  std::vector<std::string> Money(double lo, double hi, MoneyStyle style);
+
+  /// "01/15/2024", "2024-01-15", or "Jan 15, 2024".
+  std::vector<std::string> Date(DateStyle style);
+
+  /// Digit string with the given length range.
+  std::vector<std::string> Number(int min_digits, int max_digits);
+
+  /// Street address with city, state, zip: ~6-8 tokens.
+  std::vector<std::string> Address();
+
+  /// "First Last" person name.
+  std::vector<std::string> PersonName();
+
+  /// "Acme Holdings LLC"-style company name (2-3 tokens).
+  std::vector<std::string> CompanyName();
+
+  /// Country name, single or double token.
+  std::vector<std::string> Country();
+
+  /// Radio/TV station call sign, e.g. "KQED-TV".
+  std::vector<std::string> CallSign();
+
+  /// Short product/campaign name (1-2 tokens).
+  std::vector<std::string> ProductName();
+
+  /// Generic value for a base type, with default ranges. For kString, a
+  /// person name.
+  std::vector<std::string> ForType(FieldType type, MoneyStyle money_style,
+                                   DateStyle date_style);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+/// Formats a dollar amount with thousands separators and two decimals
+/// (no currency symbol).
+std::string FormatMoney(double amount);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SYNTH_VALUES_H_

@@ -1,0 +1,27 @@
+#ifndef FIELDSWAP_UTIL_HASH_H_
+#define FIELDSWAP_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace fieldswap {
+
+/// FNV-1a 64-bit hash of a byte string. Used for deterministic vocabulary
+/// hashing (feature hashing of token text) and for string-keyed RNG splits.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Stable bucket id in [0, num_buckets) for feature-hashed embeddings.
+inline uint32_t HashBucket(std::string_view text, uint32_t num_buckets) {
+  return static_cast<uint32_t>(Fnv1a64(text) % num_buckets);
+}
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_UTIL_HASH_H_

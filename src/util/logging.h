@@ -1,0 +1,89 @@
+#ifndef FIELDSWAP_UTIL_LOGGING_H_
+#define FIELDSWAP_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fieldswap {
+
+/// Severity levels for LogMessage.
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+/// Minimal streaming log sink. A LogMessage accumulates a line and flushes
+/// it to stderr on destruction; kFatal additionally aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << SeverityTag(severity) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (severity_ == LogSeverity::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* SeverityTag(LogSeverity severity) {
+    switch (severity) {
+      case LogSeverity::kInfo:
+        return "I";
+      case LogSeverity::kWarning:
+        return "W";
+      case LogSeverity::kError:
+        return "E";
+      case LogSeverity::kFatal:
+        return "F";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fieldswap
+
+#define FS_LOG(severity)                                                  \
+  ::fieldswap::LogMessage(::fieldswap::LogSeverity::k##severity, __FILE__, \
+                          __LINE__)                                        \
+      .stream()
+
+// CHECK-style assertion that is active in all build modes. On failure it
+// logs the failed condition and aborts.
+#define FS_CHECK(condition)                                      \
+  if (!(condition))                                              \
+  FS_LOG(Fatal) << "Check failed: " #condition " "
+
+#define FS_CHECK_OP(op, a, b)                                              \
+  if (!((a)op(b)))                                                         \
+  FS_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " \
+                << (b) << ") "
+
+#define FS_CHECK_EQ(a, b) FS_CHECK_OP(==, a, b)
+#define FS_CHECK_NE(a, b) FS_CHECK_OP(!=, a, b)
+#define FS_CHECK_LT(a, b) FS_CHECK_OP(<, a, b)
+#define FS_CHECK_LE(a, b) FS_CHECK_OP(<=, a, b)
+#define FS_CHECK_GT(a, b) FS_CHECK_OP(>, a, b)
+#define FS_CHECK_GE(a, b) FS_CHECK_OP(>=, a, b)
+
+#endif  // FIELDSWAP_UTIL_LOGGING_H_

@@ -1,0 +1,68 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+
+uint64_t Rng::Next() {
+  state_ += kGolden;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  FS_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Gaussian() {
+  // Box-Muller; u clamped away from zero for the log.
+  double u = Uniform();
+  if (u < 1e-300) u = 1e-300;
+  double v = Uniform();
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(2.0 * std::numbers::pi * v);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+size_t Rng::Index(size_t size) {
+  FS_CHECK_GT(size, 0u);
+  return static_cast<size_t>(Next() % size);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  Shuffle(all);
+  if (k < n) all.resize(k);
+  return all;
+}
+
+Rng Rng::Split(uint64_t salt) {
+  // Mix the parent's next output with the salt so sibling splits differ.
+  uint64_t child_seed = Next() ^ (salt * 0xd6e8feb86659fd93ULL + kGolden);
+  return Rng(child_seed);
+}
+
+Rng Rng::Split(std::string_view tag) { return Split(Fnv1a64(tag)); }
+
+}  // namespace fieldswap

@@ -1,0 +1,77 @@
+#ifndef FIELDSWAP_UTIL_RNG_H_
+#define FIELDSWAP_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace fieldswap {
+
+/// Deterministic, splittable pseudo-random number generator.
+///
+/// Built on SplitMix64. Every source of randomness in this codebase flows
+/// through an explicitly-seeded Rng so that corpora, model initialization,
+/// training shuffles, and experiment subsets are all reproducible. `Split`
+/// derives an independent child stream, which lets one master seed fan out
+/// to per-document / per-trial generators without correlation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ^ kGolden) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Uniformly chosen index into a container of the given size (size > 0).
+  size_t Index(size_t size);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[Index(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.size() < 2) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      std::swap(items[i], items[Index(i + 1)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n). Returns fewer if k > n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator keyed by `salt`.
+  Rng Split(uint64_t salt);
+
+  /// Derives an independent child generator keyed by a string tag.
+  Rng Split(std::string_view tag);
+
+ private:
+  static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+  uint64_t state_;
+};
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_UTIL_RNG_H_

@@ -1,0 +1,69 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fieldswap {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  double m = Mean(values);
+  double ss = 0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  FS_CHECK(!values.empty());
+  FS_CHECK_GE(q, 0.0);
+  FS_CHECK_LE(q, 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+BoxStats ComputeBoxStats(const std::vector<double>& values) {
+  FS_CHECK(!values.empty());
+  BoxStats stats;
+  stats.n = values.size();
+  stats.median = Quantile(values, 0.5);
+  stats.q1 = Quantile(values, 0.25);
+  stats.q3 = Quantile(values, 0.75);
+  double iqr = stats.q3 - stats.q1;
+  double lo_fence = stats.q1 - 1.5 * iqr;
+  double hi_fence = stats.q3 + 1.5 * iqr;
+  stats.whisker_lo = stats.q3;
+  stats.whisker_hi = stats.q1;
+  bool any_in_fence = false;
+  for (double v : values) {
+    if (v >= lo_fence && v <= hi_fence) {
+      if (!any_in_fence) {
+        stats.whisker_lo = v;
+        stats.whisker_hi = v;
+        any_in_fence = true;
+      } else {
+        stats.whisker_lo = std::min(stats.whisker_lo, v);
+        stats.whisker_hi = std::max(stats.whisker_hi, v);
+      }
+    } else {
+      stats.outliers.push_back(v);
+    }
+  }
+  std::sort(stats.outliers.begin(), stats.outliers.end());
+  return stats;
+}
+
+}  // namespace fieldswap

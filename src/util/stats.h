@@ -1,0 +1,36 @@
+#ifndef FIELDSWAP_UTIL_STATS_H_
+#define FIELDSWAP_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fieldswap {
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Requires non-empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Five-number summary plus outliers, matching the box plots in Fig. 6 of
+/// the paper: whiskers extend to the furthest point within 1.5 * IQR of the
+/// quartiles; points beyond are outliers.
+struct BoxStats {
+  double median = 0;
+  double q1 = 0;
+  double q3 = 0;
+  double whisker_lo = 0;
+  double whisker_hi = 0;
+  std::vector<double> outliers;
+  size_t n = 0;
+};
+
+/// Computes BoxStats for a non-empty sample.
+BoxStats ComputeBoxStats(const std::vector<double>& values);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_UTIL_STATS_H_

@@ -1,0 +1,130 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace fieldswap {
+namespace {
+
+bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+bool IsAsciiPunct(char c) {
+  return std::ispunct(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitString(std::string_view text, char delim) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(delim, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) pieces.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return pieces;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> pieces;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && IsAsciiSpace(text[i])) ++i;
+    size_t start = i;
+    while (i < text.size() && !IsAsciiSpace(text[i])) ++i;
+    if (i > start) pieces.emplace_back(text.substr(start, i - start));
+  }
+  return pieces;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && IsAsciiSpace(text[begin])) ++begin;
+  while (end > begin && IsAsciiSpace(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string_view TrimPunctuation(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         (IsAsciiSpace(text[begin]) || IsAsciiPunct(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         (IsAsciiSpace(text[end - 1]) || IsAsciiPunct(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool IsAllDigits(std::string_view text) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return std::string(buf);
+}
+
+std::string FormatWithCommas(int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace fieldswap

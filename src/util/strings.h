@@ -1,0 +1,50 @@
+#ifndef FIELDSWAP_UTIL_STRINGS_H_
+#define FIELDSWAP_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fieldswap {
+
+/// Splits `text` on `delim`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char delim);
+
+/// Splits `text` on runs of whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `pieces` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII punctuation (and whitespace). Used to
+/// clean up OCR-line-derived key phrases, per Sec. II-A3 of the paper.
+std::string_view TrimPunctuation(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if every character is an ASCII digit (and text is non-empty).
+bool IsAllDigits(std::string_view text);
+
+/// Formats a double with `digits` places after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Formats an integer with thousands separators, e.g. 38081 -> "38,081".
+std::string FormatWithCommas(int64_t value);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_UTIL_STRINGS_H_

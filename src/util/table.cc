@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace fieldswap {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { separators_.push_back(rows_.size()); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+
+  std::vector<size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto rule = [&]() {
+    os << "+";
+    for (size_t i = 0; i < cols; ++i) {
+      os << std::string(widths[i] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  rule();
+  emit(header_);
+  rule();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t s : separators_) {
+      if (s == r) rule();
+    }
+    emit(rows_[r]);
+  }
+  rule();
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,39 @@
+#ifndef FIELDSWAP_UTIL_TABLE_H_
+#define FIELDSWAP_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fieldswap {
+
+/// ASCII table printer used by the benchmark harness to render the paper's
+/// tables and figure series as aligned rows on stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded with
+  /// empty cells; longer rows extend the column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the most recently added row.
+  void AddSeparator();
+
+  /// Renders the table.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table as comma-separated values (no alignment).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> separators_;  // row indices after which to draw a rule
+};
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_UTIL_TABLE_H_

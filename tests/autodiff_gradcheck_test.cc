@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/autodiff.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+namespace {
+
+/// Numerical gradient check: builds loss = f(param) twice per entry with
+/// central differences and compares against the reverse-mode gradient.
+void CheckGradient(Var param, const std::function<Var(const Var&)>& f,
+                   double tolerance = 2e-2) {
+  Var loss = f(param);
+  ASSERT_EQ(loss->value.rows(), 1);
+  ASSERT_EQ(loss->value.cols(), 1);
+  param->EnsureGrad();
+  param->grad.Zero();
+  Backward(loss);
+  Matrix analytic = param->grad;
+
+  const float eps = 1e-2f;
+  for (int r = 0; r < param->value.rows(); ++r) {
+    for (int c = 0; c < param->value.cols(); ++c) {
+      float saved = param->value.At(r, c);
+      param->value.At(r, c) = saved + eps;
+      double up = f(param)->value.At(0, 0);
+      param->value.At(r, c) = saved - eps;
+      double down = f(param)->value.At(0, 0);
+      param->value.At(r, c) = saved;
+      double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(analytic.At(r, c), numeric,
+                  tolerance * std::max(1.0, std::fabs(numeric)))
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+Matrix RandomMatrix(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::Gaussian(rows, cols, 0.8f, seed % 2 == 0 ? rng : rng);
+}
+
+TEST(GradCheckTest, Add) {
+  Var p = Parameter(RandomMatrix(2, 3, 1));
+  Var other = Constant(RandomMatrix(2, 3, 2));
+  CheckGradient(p, [&](const Var& x) { return MeanAll(Add(x, other)); });
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  Var bias = Parameter(RandomMatrix(1, 4, 3));
+  Var base = Constant(RandomMatrix(3, 4, 4));
+  CheckGradient(bias, [&](const Var& b) {
+    Var sum = AddRowBroadcast(base, b);
+    return MeanAll(Mul(sum, sum));
+  });
+}
+
+TEST(GradCheckTest, SubAndMul) {
+  Var p = Parameter(RandomMatrix(2, 2, 5));
+  Var other = Constant(RandomMatrix(2, 2, 6));
+  CheckGradient(p, [&](const Var& x) {
+    return MeanAll(Mul(Sub(x, other), Add(x, other)));
+  });
+}
+
+TEST(GradCheckTest, Scale) {
+  Var p = Parameter(RandomMatrix(2, 2, 7));
+  CheckGradient(p, [&](const Var& x) { return MeanAll(Scale(x, -2.5f)); });
+}
+
+TEST(GradCheckTest, ReluAwayFromKink) {
+  // Keep entries away from 0 where ReLU is non-differentiable.
+  Var p = Parameter(Matrix::FromValues(1, 4, {1.0f, -1.0f, 2.0f, -0.5f}));
+  CheckGradient(p, [&](const Var& x) { return MeanAll(Relu(x)); });
+}
+
+TEST(GradCheckTest, TanhAndSigmoid) {
+  Var p = Parameter(RandomMatrix(2, 3, 8));
+  CheckGradient(p, [&](const Var& x) { return MeanAll(Tanh(x)); });
+  Var q = Parameter(RandomMatrix(2, 3, 9));
+  CheckGradient(q, [&](const Var& x) { return MeanAll(Sigmoid(x)); });
+}
+
+TEST(GradCheckTest, MatMulLeft) {
+  Var p = Parameter(RandomMatrix(2, 3, 10));
+  Var other = Constant(RandomMatrix(3, 4, 11));
+  CheckGradient(p, [&](const Var& x) {
+    Var y = MatMul(x, other);
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MatMulRight) {
+  Var p = Parameter(RandomMatrix(3, 4, 12));
+  Var other = Constant(RandomMatrix(2, 3, 13));
+  CheckGradient(p, [&](const Var& x) {
+    Var y = MatMul(other, x);
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, ConcatCols) {
+  Var p = Parameter(RandomMatrix(2, 2, 14));
+  Var other = Constant(RandomMatrix(2, 3, 15));
+  CheckGradient(p, [&](const Var& x) {
+    Var y = ConcatCols(x, other);
+    return MeanAll(Mul(y, y));
+  });
+  // Gradient also flows through the right side.
+  Var q = Parameter(RandomMatrix(2, 3, 16));
+  Var left = Constant(RandomMatrix(2, 2, 17));
+  CheckGradient(q, [&](const Var& x) {
+    Var y = ConcatCols(left, x);
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, SliceRows) {
+  Var p = Parameter(RandomMatrix(4, 3, 18));
+  CheckGradient(p, [&](const Var& x) {
+    Var y = SliceRows(x, 1, 2);
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, GatherRowsWithDuplicates) {
+  Var table = Parameter(RandomMatrix(5, 3, 19));
+  CheckGradient(table, [&](const Var& t) {
+    Var y = GatherRows(t, {0, 2, 2, 4});
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MaxPoolRows) {
+  // Distinct values so the argmax is stable under the probe epsilon.
+  Var p = Parameter(Matrix::FromValues(3, 2, {1, 9, 5, 2, 3, 4}));
+  CheckGradient(p, [&](const Var& x) {
+    Var y = MaxPoolRows(x);
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, MeanRows) {
+  Var p = Parameter(RandomMatrix(3, 4, 20));
+  CheckGradient(p, [&](const Var& x) {
+    Var y = MeanRows(x);
+    return MeanAll(Mul(y, y));
+  });
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  Var p = Parameter(RandomMatrix(2, 6, 21));
+  Var gain = Constant(Matrix::Full(1, 6, 1.3f));
+  Var bias = Constant(Matrix::Full(1, 6, 0.2f));
+  CheckGradient(
+      p,
+      [&](const Var& x) {
+        Var y = LayerNorm(x, gain, bias);
+        Var weights = Constant(RandomMatrix(2, 6, 22));
+        return MeanAll(Mul(y, weights));
+      },
+      /*tolerance=*/5e-2);
+}
+
+TEST(GradCheckTest, LayerNormGainAndBias) {
+  Var gain = Parameter(Matrix::Full(1, 4, 1.0f));
+  Var bias = Parameter(Matrix::Full(1, 4, 0.0f));
+  Var x = Constant(RandomMatrix(3, 4, 23));
+  Var weights = Constant(RandomMatrix(3, 4, 24));
+  CheckGradient(gain, [&](const Var& g) {
+    return MeanAll(Mul(LayerNorm(x, g, bias), weights));
+  });
+  CheckGradient(bias, [&](const Var& b) {
+    return MeanAll(Mul(LayerNorm(x, gain, b), weights));
+  });
+}
+
+TEST(GradCheckTest, NeighborAttentionQ) {
+  std::vector<std::vector<int>> neighbors{{0, 1}, {0, 1, 2}, {2}};
+  Var q = Parameter(RandomMatrix(3, 4, 25));
+  Var k = Constant(RandomMatrix(3, 4, 26));
+  Var v = Constant(RandomMatrix(3, 4, 27));
+  Var weights = Constant(RandomMatrix(3, 4, 28));
+  CheckGradient(q, [&](const Var& x) {
+    return MeanAll(Mul(NeighborAttention(x, k, v, neighbors), weights));
+  });
+}
+
+TEST(GradCheckTest, NeighborAttentionK) {
+  std::vector<std::vector<int>> neighbors{{0, 1, 2}, {1, 2}, {0, 2}};
+  Var q = Constant(RandomMatrix(3, 4, 29));
+  Var k = Parameter(RandomMatrix(3, 4, 30));
+  Var v = Constant(RandomMatrix(3, 4, 31));
+  Var weights = Constant(RandomMatrix(3, 4, 32));
+  CheckGradient(k, [&](const Var& x) {
+    return MeanAll(Mul(NeighborAttention(q, x, v, neighbors), weights));
+  });
+}
+
+TEST(GradCheckTest, NeighborAttentionV) {
+  std::vector<std::vector<int>> neighbors{{0, 1, 2}, {0}, {1, 2}};
+  Var q = Constant(RandomMatrix(3, 4, 33));
+  Var k = Constant(RandomMatrix(3, 4, 34));
+  Var v = Parameter(RandomMatrix(3, 4, 35));
+  Var weights = Constant(RandomMatrix(3, 4, 36));
+  CheckGradient(v, [&](const Var& x) {
+    return MeanAll(Mul(NeighborAttention(q, k, x, neighbors), weights));
+  });
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropy) {
+  Var logits = Parameter(RandomMatrix(3, 4, 37));
+  CheckGradient(logits, [&](const Var& x) {
+    return SoftmaxCrossEntropy(x, {1, 0, 3});
+  });
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropyWithClassWeights) {
+  Var logits = Parameter(RandomMatrix(3, 4, 38));
+  CheckGradient(logits, [&](const Var& x) {
+    return SoftmaxCrossEntropy(x, {1, 0, 3}, {0.2f, 1.0f, 1.0f, 2.0f});
+  });
+}
+
+TEST(GradCheckTest, BinaryCrossEntropy) {
+  Var logits = Parameter(RandomMatrix(4, 1, 39));
+  CheckGradient(logits, [&](const Var& x) {
+    return BinaryCrossEntropyWithLogits(x, {1.0f, 0.0f, 1.0f, 0.0f});
+  });
+}
+
+TEST(GradCheckTest, CompositeGraphWithSharedSubexpression) {
+  // y used twice: checks gradient accumulation through fan-out.
+  Var p = Parameter(RandomMatrix(2, 2, 40));
+  CheckGradient(p, [&](const Var& x) {
+    Var y = Tanh(x);
+    return MeanAll(Add(Mul(y, y), y));
+  });
+}
+
+TEST(GradCheckTest, GradientPrunedForConstants) {
+  Var c = Constant(RandomMatrix(2, 2, 41));
+  Var p = Parameter(RandomMatrix(2, 2, 42));
+  Var loss = MeanAll(Mul(p, c));
+  Backward(loss);
+  // Constants never allocate gradient storage via the backward pass.
+  EXPECT_TRUE(c->grad.empty());
+  EXPECT_FALSE(p->grad.empty());
+}
+
+}  // namespace
+}  // namespace fieldswap

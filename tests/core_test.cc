@@ -1,0 +1,505 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/field_pairs.h"
+#include "core/human_expert.h"
+#include "core/key_phrases.h"
+#include "core/pipeline.h"
+#include "core/swap.h"
+#include "ocr/line_detector.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+
+namespace fieldswap {
+namespace {
+
+KeyPhrase MakePhrase(std::vector<std::string> words, double importance = 1.0) {
+  KeyPhrase phrase;
+  phrase.words = std::move(words);
+  phrase.importance = importance;
+  return phrase;
+}
+
+/// A paystub-like row pair sharing the row label, plus an unrelated item:
+///   "Base Salary   $100.00   $900.00"   <- current.salary / ytd.salary
+///   "Net Pay: $70.00"
+Document PayRowDoc() {
+  Document doc("p", "test", 612, 792);
+  doc.AddToken("Base", BBox{0, 0, 25, 10});
+  doc.AddToken("Salary", BBox{30, 0, 65, 10});
+  doc.AddToken("$100.00", BBox{200, 0, 245, 10});
+  doc.AddToken("$900.00", BBox{330, 0, 375, 10});
+  doc.AddToken("Net", BBox{0, 30, 20, 40});
+  doc.AddToken("Pay:", BBox{24, 30, 48, 40});
+  doc.AddToken("$70.00", BBox{54, 30, 90, 40});
+  DetectAndAssignLines(doc);
+  doc.AddAnnotation(EntitySpan{"current.salary", 2, 1});
+  doc.AddAnnotation(EntitySpan{"year_to_date.salary", 3, 1});
+  doc.AddAnnotation(EntitySpan{"net_pay", 6, 1});
+  return doc;
+}
+
+KeyPhraseConfig PayRowConfig() {
+  KeyPhraseConfig config;
+  config["current.salary"] = {MakePhrase({"Base", "Salary"}),
+                              MakePhrase({"Base"})};
+  config["year_to_date.salary"] = {MakePhrase({"Base", "Salary"})};
+  config["current.bonus"] = {MakePhrase({"Bonus"}),
+                             MakePhrase({"Incentive", "Pay"})};
+  config["net_pay"] = {MakePhrase({"Net", "Pay"})};
+  return config;
+}
+
+// ---- SwapOnce -------------------------------------------------------------
+
+TEST(SwapOnceTest, ReplacesPhraseAndRelabels) {
+  Document doc = PayRowDoc();
+  FieldSwapOptions options;
+  auto synthetic =
+      SwapOnce(doc, "current.salary", "current.bonus", MakePhrase({"Bonus"}),
+               PayRowConfig(), options);
+  ASSERT_TRUE(synthetic.has_value());
+  EXPECT_EQ(synthetic->token(0).text, "Bonus");
+  EXPECT_EQ(synthetic->token(1).text, "$100.00");
+  // current.salary relabeled; net_pay untouched.
+  EXPECT_TRUE(synthetic->HasField("current.bonus"));
+  EXPECT_FALSE(synthetic->HasField("current.salary"));
+  EXPECT_TRUE(synthetic->HasField("net_pay"));
+  EXPECT_EQ(synthetic->TextOf(synthetic->AnnotationsFor("current.bonus")[0]),
+            "$100.00");
+}
+
+TEST(SwapOnceTest, DropsAffectedSiblingField) {
+  Document doc = PayRowDoc();
+  FieldSwapOptions options;
+  auto synthetic =
+      SwapOnce(doc, "current.salary", "current.bonus", MakePhrase({"Bonus"}),
+               PayRowConfig(), options);
+  ASSERT_TRUE(synthetic.has_value());
+  // year_to_date.salary's key phrase ("Base Salary") was replaced by a
+  // phrase that is not year_to_date.salary's -> its label is dropped.
+  EXPECT_FALSE(synthetic->HasField("year_to_date.salary"));
+}
+
+TEST(SwapOnceTest, KeepsSiblingWhenFilterDisabled) {
+  Document doc = PayRowDoc();
+  FieldSwapOptions options;
+  options.drop_affected_fields = false;  // the paper's simplest variant
+  auto synthetic =
+      SwapOnce(doc, "current.salary", "current.bonus", MakePhrase({"Bonus"}),
+               PayRowConfig(), options);
+  ASSERT_TRUE(synthetic.has_value());
+  EXPECT_TRUE(synthetic->HasField("year_to_date.salary"));
+}
+
+TEST(SwapOnceTest, FieldToFieldVariantKeepsSibling) {
+  Document doc = PayRowDoc();
+  FieldSwapOptions options;
+  // "Base" is also a key phrase of current.salary (variant swap). The
+  // sibling ytd.salary's phrase list contains "Base Salary" but not "Base";
+  // per the filter rule the sibling is dropped only when the incoming
+  // phrase is foreign to it — here it IS foreign, so add it first.
+  KeyPhraseConfig config = PayRowConfig();
+  config["year_to_date.salary"].push_back(MakePhrase({"Base"}));
+  auto synthetic = SwapOnce(doc, "current.salary", "current.salary",
+                            MakePhrase({"Base"}), config, options);
+  ASSERT_TRUE(synthetic.has_value());
+  EXPECT_EQ(synthetic->token(0).text, "Base");
+  EXPECT_EQ(synthetic->token(1).text, "$100.00");
+  EXPECT_TRUE(synthetic->HasField("current.salary"));
+  EXPECT_TRUE(synthetic->HasField("year_to_date.salary"));
+}
+
+TEST(SwapOnceTest, DiscardsUnchangedDocument) {
+  Document doc = PayRowDoc();
+  FieldSwapOptions options;
+  // Replacing "Base Salary" with "Base Salary" changes nothing -> discard.
+  auto synthetic =
+      SwapOnce(doc, "current.salary", "year_to_date.salary",
+               MakePhrase({"Base", "Salary"}), PayRowConfig(), options);
+  EXPECT_FALSE(synthetic.has_value());
+}
+
+TEST(SwapOnceTest, KeepsUnchangedWhenDiscardDisabled) {
+  Document doc = PayRowDoc();
+  FieldSwapOptions options;
+  options.discard_unchanged = false;
+  auto synthetic =
+      SwapOnce(doc, "current.salary", "year_to_date.salary",
+               MakePhrase({"Base", "Salary"}), PayRowConfig(), options);
+  ASSERT_TRUE(synthetic.has_value());
+  // The (contradictory) relabeling happened even though text is unchanged.
+  EXPECT_EQ(synthetic->AnnotationsFor("year_to_date.salary").size(), 2u);
+}
+
+TEST(SwapOnceTest, NoMatchReturnsNullopt) {
+  Document doc = PayRowDoc();
+  KeyPhraseConfig config = PayRowConfig();
+  config["current.salary"] = {MakePhrase({"Regular", "Pay"})};  // absent
+  auto synthetic =
+      SwapOnce(doc, "current.salary", "current.bonus", MakePhrase({"Bonus"}),
+               config, FieldSwapOptions{});
+  EXPECT_FALSE(synthetic.has_value());
+}
+
+TEST(SwapOnceTest, SourceFieldAbsentReturnsNullopt) {
+  Document doc = PayRowDoc();
+  auto synthetic =
+      SwapOnce(doc, "current.vacation", "current.bonus",
+               MakePhrase({"Bonus"}), PayRowConfig(), FieldSwapOptions{});
+  EXPECT_FALSE(synthetic.has_value());
+}
+
+TEST(SwapOnceTest, PrefersLongestMatchOnOverlap) {
+  Document doc = PayRowDoc();
+  // Source phrases: "Base Salary" and "Base" overlap; the longer one wins,
+  // so both tokens are replaced by the target phrase once.
+  auto synthetic =
+      SwapOnce(doc, "current.salary", "current.bonus",
+               MakePhrase({"Incentive", "Pay"}), PayRowConfig(),
+               FieldSwapOptions{});
+  ASSERT_TRUE(synthetic.has_value());
+  EXPECT_EQ(synthetic->token(0).text, "Incentive");
+  EXPECT_EQ(synthetic->token(1).text, "Pay");
+  EXPECT_EQ(synthetic->token(2).text, "$100.00");
+  EXPECT_EQ(synthetic->num_tokens(), doc.num_tokens());
+}
+
+TEST(SwapOnceTest, PreservesTrailingColon) {
+  Document doc = PayRowDoc();
+  KeyPhraseConfig config = PayRowConfig();
+  auto synthetic =
+      SwapOnce(doc, "net_pay", "net_pay", MakePhrase({"Take", "Home", "Pay"}),
+               config, FieldSwapOptions{});
+  ASSERT_TRUE(synthetic.has_value());
+  // "Net Pay:" -> "Take Home Pay:" keeps the label colon styling.
+  int last_label = 0;
+  for (int i = 0; i < synthetic->num_tokens(); ++i) {
+    if (synthetic->token(i).text.starts_with("Pay")) last_label = i;
+  }
+  EXPECT_EQ(synthetic->token(last_label).text, "Pay:");
+}
+
+TEST(SwapOnceTest, ReplacesAllOccurrences) {
+  Document doc("m", "test", 612, 792);
+  doc.AddToken("Total", BBox{0, 0, 30, 10});
+  doc.AddToken("$1.00", BBox{40, 0, 70, 10});
+  doc.AddToken("Total", BBox{0, 30, 30, 40});
+  doc.AddToken("$2.00", BBox{40, 30, 70, 40});
+  DetectAndAssignLines(doc);
+  doc.AddAnnotation(EntitySpan{"total", 1, 1});
+  KeyPhraseConfig config;
+  config["total"] = {MakePhrase({"Total"})};
+  config["subtotal"] = {MakePhrase({"Subtotal"})};
+  auto synthetic = SwapOnce(doc, "total", "subtotal",
+                            MakePhrase({"Subtotal"}), config,
+                            FieldSwapOptions{});
+  ASSERT_TRUE(synthetic.has_value());
+  EXPECT_EQ(synthetic->token(0).text, "Subtotal");
+  EXPECT_EQ(synthetic->token(2).text, "Subtotal");
+}
+
+TEST(SwapOnceTest, NeverReplacesValueTokens) {
+  // The value text coincides with a key phrase word; annotated tokens must
+  // not be treated as phrase matches.
+  Document doc("v", "test", 612, 792);
+  doc.AddToken("Station", BBox{0, 0, 40, 10});
+  doc.AddToken("Station", BBox{100, 0, 140, 10});  // the value, annotated
+  DetectAndAssignLines(doc);
+  doc.AddAnnotation(EntitySpan{"station", 1, 1});
+  KeyPhraseConfig config;
+  config["station"] = {MakePhrase({"Station"})};
+  config["agency"] = {MakePhrase({"Agency"})};
+  auto synthetic = SwapOnce(doc, "station", "agency", MakePhrase({"Agency"}),
+                            config, FieldSwapOptions{});
+  ASSERT_TRUE(synthetic.has_value());
+  EXPECT_EQ(synthetic->token(0).text, "Agency");
+  EXPECT_EQ(synthetic->token(1).text, "Station") << "value must be intact";
+}
+
+// ---- Field pairs ----------------------------------------------------------
+
+KeyPhraseConfig PhrasesForAll(const DomainSchema& schema) {
+  KeyPhraseConfig config;
+  for (const FieldSpec& field : schema.fields()) {
+    config[field.name] = {MakePhrase({field.name})};
+  }
+  return config;
+}
+
+TEST(FieldPairsTest, FieldToFieldIsIdentity) {
+  DomainSchema schema = FaraSpec().Schema();
+  auto pairs = BuildFieldPairs(schema, MappingStrategy::kFieldToField,
+                               PhrasesForAll(schema));
+  EXPECT_EQ(pairs.size(), schema.num_fields());
+  for (const FieldPair& pair : pairs) EXPECT_EQ(pair.source, pair.target);
+}
+
+TEST(FieldPairsTest, TypeToTypeOnlySameType) {
+  DomainSchema schema = FaraSpec().Schema();
+  auto pairs = BuildFieldPairs(schema, MappingStrategy::kTypeToType,
+                               PhrasesForAll(schema));
+  // FARA: 1 date, 1 number, 4 string -> 1 + 1 + 16 = 18 ordered pairs.
+  EXPECT_EQ(pairs.size(), 18u);
+  for (const FieldPair& pair : pairs) {
+    EXPECT_EQ(schema.TypeOf(pair.source), schema.TypeOf(pair.target));
+  }
+}
+
+TEST(FieldPairsTest, AllToAllIsFullSquare) {
+  DomainSchema schema = FaraSpec().Schema();
+  auto pairs = BuildFieldPairs(schema, MappingStrategy::kAllToAll,
+                               PhrasesForAll(schema));
+  EXPECT_EQ(pairs.size(), 36u);
+}
+
+TEST(FieldPairsTest, FieldsWithoutPhrasesExcluded) {
+  DomainSchema schema = FaraSpec().Schema();
+  KeyPhraseConfig config = PhrasesForAll(schema);
+  config.erase("signer_name");
+  config["registrant_name"].clear();
+  auto pairs = BuildFieldPairs(schema, MappingStrategy::kTypeToType, config);
+  for (const FieldPair& pair : pairs) {
+    EXPECT_NE(pair.source, "signer_name");
+    EXPECT_NE(pair.target, "signer_name");
+    EXPECT_NE(pair.source, "registrant_name");
+    EXPECT_NE(pair.target, "registrant_name");
+  }
+}
+
+TEST(FieldPairsTest, StrategyNames) {
+  EXPECT_EQ(MappingStrategyName(MappingStrategy::kFieldToField),
+            "field-to-field");
+  EXPECT_EQ(MappingStrategyName(MappingStrategy::kTypeToType),
+            "type-to-type");
+  EXPECT_EQ(MappingStrategyName(MappingStrategy::kAllToAll), "all-to-all");
+  EXPECT_EQ(MappingStrategyName(MappingStrategy::kHumanExpert),
+            "human expert");
+}
+
+// ---- Human expert ---------------------------------------------------------
+
+TEST(HumanExpertTest, ExcludesNoPhraseFields) {
+  HumanExpertConfig config = MakeHumanExpertConfig(EarningsSpec());
+  EXPECT_EQ(config.phrases.count("employee_name"), 0u);
+  EXPECT_EQ(config.phrases.count("employer_address"), 0u);
+  for (const FieldPair& pair : config.pairs) {
+    EXPECT_NE(pair.source, "employee_name");
+    EXPECT_NE(pair.target, "employer_address");
+  }
+}
+
+TEST(HumanExpertTest, SuppliesFullVocabulary) {
+  DomainSpec spec = EarningsSpec();
+  HumanExpertConfig config = MakeHumanExpertConfig(spec);
+  const auto& phrases = config.phrases.at("current.sales_pay");
+  EXPECT_EQ(phrases.size(), spec.Find("current.sales_pay")->phrases.size());
+}
+
+TEST(HumanExpertTest, PrunesContradictoryCrossColumnPairs) {
+  HumanExpertConfig config = MakeHumanExpertConfig(EarningsSpec());
+  for (const FieldPair& pair : config.pairs) {
+    bool src_current = pair.source.starts_with("current.");
+    bool tgt_current = pair.target.starts_with("current.");
+    bool src_ytd = pair.source.starts_with("year_to_date.");
+    bool tgt_ytd = pair.target.starts_with("year_to_date.");
+    EXPECT_EQ(src_current, tgt_current) << pair.source << "->" << pair.target;
+    EXPECT_EQ(src_ytd, tgt_ytd) << pair.source << "->" << pair.target;
+  }
+}
+
+TEST(HumanExpertTest, PairsRespectBaseTypes) {
+  DomainSpec spec = LoanPaymentsSpec();
+  DomainSchema schema = spec.Schema();
+  HumanExpertConfig config = MakeHumanExpertConfig(spec);
+  EXPECT_FALSE(config.pairs.empty());
+  for (const FieldPair& pair : config.pairs) {
+    EXPECT_EQ(schema.TypeOf(pair.source), schema.TypeOf(pair.target));
+  }
+}
+
+// ---- GenerateSyntheticDocuments --------------------------------------------
+
+TEST(GenerateSyntheticsTest, TypeToTypeProducesMoreThanFieldToField) {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 15, 7, "g");
+  HumanExpertConfig expert = MakeHumanExpertConfig(spec);
+  DomainSchema schema = spec.Schema();
+
+  SwapStats f2f_stats, t2t_stats;
+  auto f2f = GenerateSyntheticDocuments(
+      docs, expert.phrases,
+      BuildFieldPairs(schema, MappingStrategy::kFieldToField, expert.phrases),
+      FieldSwapOptions{}, &f2f_stats);
+  auto t2t = GenerateSyntheticDocuments(
+      docs, expert.phrases,
+      BuildFieldPairs(schema, MappingStrategy::kTypeToType, expert.phrases),
+      FieldSwapOptions{}, &t2t_stats);
+  EXPECT_GT(t2t.size(), 2 * f2f.size()) << "Table III shape: t2t >> f2f";
+  EXPECT_EQ(static_cast<int64_t>(f2f.size()), f2f_stats.generated);
+  EXPECT_EQ(static_cast<int64_t>(t2t.size()), t2t_stats.generated);
+  EXPECT_GT(t2t_stats.discarded_unchanged, 0)
+      << "same-phrase cross-column swaps must be discarded";
+}
+
+TEST(GenerateSyntheticsTest, MaxSyntheticsCapsOutput) {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 10, 8, "g");
+  HumanExpertConfig expert = MakeHumanExpertConfig(spec);
+  FieldSwapOptions options;
+  options.max_synthetics = 25;
+  auto synthetics = GenerateSyntheticDocuments(
+      docs, expert.phrases,
+      BuildFieldPairs(spec.Schema(), MappingStrategy::kTypeToType,
+                      expert.phrases),
+      options);
+  EXPECT_EQ(synthetics.size(), 25u);
+}
+
+TEST(GenerateSyntheticsTest, SyntheticIdsEncodeProvenance) {
+  DomainSpec spec = FaraSpec();
+  auto docs = GenerateCorpus(spec, 5, 9, "g");
+  HumanExpertConfig expert = MakeHumanExpertConfig(spec);
+  auto synthetics = GenerateSyntheticDocuments(
+      docs, expert.phrases,
+      BuildFieldPairs(spec.Schema(), MappingStrategy::kFieldToField,
+                      expert.phrases),
+      FieldSwapOptions{});
+  for (const Document& doc : synthetics) {
+    EXPECT_NE(doc.id().find("#swap:"), std::string::npos) << doc.id();
+  }
+}
+
+TEST(GenerateSyntheticsTest, EmptyInputsProduceNothing) {
+  EXPECT_TRUE(GenerateSyntheticDocuments({}, {}, {}, FieldSwapOptions{})
+                  .empty());
+  DomainSpec spec = FaraSpec();
+  auto docs = GenerateCorpus(spec, 3, 10, "g");
+  EXPECT_TRUE(
+      GenerateSyntheticDocuments(docs, {}, {}, FieldSwapOptions{}).empty());
+}
+
+// ---- Key phrase inference (structure-level checks) ---------------------------
+
+TEST(KeyPhraseTest, TextJoinsWords) {
+  EXPECT_EQ(MakePhrase({"Amount", "Due"}).Text(), "Amount Due");
+}
+
+TEST(KeyPhraseTest, ImportantTokensAreSparse) {
+  CandidateModelConfig config;
+  config.num_neighbors = 16;
+  CandidateScoringModel model(config, {"f"});
+  Document doc = GenerateDocument(EarningsSpec(), "x", 0, Rng(11));
+  ASSERT_FALSE(doc.annotations().empty());
+  Candidate cand =
+      CandidateFromSpan(doc.annotations().back(), FieldType::kMoney);
+  auto important = ImportantTokens(model, doc, cand, /*sparsemax_scale=*/8.0);
+  EXPECT_FALSE(important.empty());
+  EXPECT_LT(important.size(), 16u) << "sparsemax must zero out some tokens";
+  double sum = 0;
+  for (const TokenImportance& ti : important) {
+    EXPECT_GT(ti.score, 0.0);
+    sum += ti.score;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(KeyPhraseTest, InferenceExcludesGroundTruthTokens) {
+  // An untrained model still must never emit a phrase containing another
+  // field's value tokens (Sec. II-A5 exclusion is structural).
+  CandidateModelConfig config;
+  CandidateScoringModel model(config, {"f"});
+  DomainSpec spec = FaraSpec();
+  auto docs = GenerateCorpus(spec, 6, 12, "kp");
+  KeyPhraseInferenceOptions options;
+  options.threshold = 0.0;
+  options.top_k = 10;
+  KeyPhraseConfig inferred =
+      InferKeyPhrases(model, docs, spec.Schema(), options);
+  // Collect all ground-truth texts.
+  std::set<std::string> gt_texts;
+  for (const Document& doc : docs) {
+    for (const EntitySpan& span : doc.annotations()) {
+      gt_texts.insert(doc.TextOf(span));
+    }
+  }
+  for (const auto& [field, phrases] : inferred) {
+    for (const KeyPhrase& phrase : phrases) {
+      EXPECT_EQ(gt_texts.count(phrase.Text()), 0u)
+          << field << ": " << phrase.Text();
+    }
+  }
+}
+
+TEST(KeyPhraseTest, TopKLimitsPhraseCount) {
+  CandidateModelConfig config;
+  CandidateScoringModel model(config, {"f"});
+  DomainSpec spec = FaraSpec();
+  auto docs = GenerateCorpus(spec, 8, 13, "kp");
+  KeyPhraseInferenceOptions options;
+  options.top_k = 2;
+  options.threshold = 0.0;
+  KeyPhraseConfig inferred =
+      InferKeyPhrases(model, docs, spec.Schema(), options);
+  for (const auto& [field, phrases] : inferred) {
+    EXPECT_LE(phrases.size(), 2u) << field;
+  }
+}
+
+TEST(KeyPhraseTest, ThresholdFiltersWeakPhrases) {
+  CandidateModelConfig config;
+  CandidateScoringModel model(config, {"f"});
+  DomainSpec spec = FaraSpec();
+  auto docs = GenerateCorpus(spec, 8, 13, "kp");
+  KeyPhraseInferenceOptions loose;
+  loose.threshold = 0.0;
+  loose.top_k = 100;
+  KeyPhraseInferenceOptions strict = loose;
+  strict.threshold = 0.95;
+  auto all = InferKeyPhrases(model, docs, spec.Schema(), loose);
+  auto filtered = InferKeyPhrases(model, docs, spec.Schema(), strict);
+  size_t total_all = 0, total_filtered = 0;
+  for (const auto& [f, p] : all) total_all += p.size();
+  for (const auto& [f, p] : filtered) {
+    total_filtered += p.size();
+    for (const KeyPhrase& phrase : p) {
+      EXPECT_GE(phrase.importance, 0.95);
+    }
+  }
+  EXPECT_LT(total_filtered, total_all);
+}
+
+// ---- Pipeline -------------------------------------------------------------
+
+TEST(PipelineTest, HumanExpertNeedsNoModel) {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 8, 14, "pl");
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kHumanExpert;
+  AugmentationResult result =
+      RunFieldSwap(docs, spec, /*candidate_model=*/nullptr, options);
+  EXPECT_FALSE(result.phrases.empty());
+  EXPECT_FALSE(result.pairs.empty());
+  EXPECT_GT(result.synthetics.size(), 0u);
+  EXPECT_EQ(result.stats.generated,
+            static_cast<int64_t>(result.synthetics.size()));
+}
+
+TEST(PipelineTest, SyntheticsPreserveDomainAndGeometry) {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 6, 15, "pl");
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kHumanExpert;
+  AugmentationResult result = RunFieldSwap(docs, spec, nullptr, options);
+  for (const Document& doc : result.synthetics) {
+    EXPECT_EQ(doc.domain(), "earnings");
+    EXPECT_GT(doc.num_tokens(), 0);
+    for (const EntitySpan& span : doc.annotations()) {
+      EXPECT_LE(span.end_token(), doc.num_tokens());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fieldswap

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "core/phrase_suggest.h"
+#include "doc/serialize.h"
+#include "model/decoder.h"
+#include "model/sequence_model.h"
+#include "ocr/line_detector.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+// ---- Constrained Viterbi decoding ------------------------------------------
+
+TEST(ViterbiTest, TransitionRules) {
+  // Classes for 2 fields: O=0, B0=1, I0=2, B1=3, I1=4.
+  EXPECT_TRUE(BioTransitionAllowed(0, 0));   // O -> O
+  EXPECT_TRUE(BioTransitionAllowed(0, 1));   // O -> B0
+  EXPECT_FALSE(BioTransitionAllowed(0, 2));  // O -> I0 illegal
+  EXPECT_TRUE(BioTransitionAllowed(1, 2));   // B0 -> I0
+  EXPECT_TRUE(BioTransitionAllowed(2, 2));   // I0 -> I0
+  EXPECT_FALSE(BioTransitionAllowed(1, 4));  // B0 -> I1 illegal
+  EXPECT_TRUE(BioTransitionAllowed(2, 3));   // I0 -> B1
+}
+
+TEST(ViterbiTest, RepairsIllegalGreedyPath) {
+  // Greedy argmax would pick I0 at position 0 (illegal start) and I1 after
+  // B0 (illegal transition); Viterbi must produce a legal sequence.
+  Matrix logits = Matrix::FromValues(3, 5,
+                                     {
+                                         // O    B0   I0   B1   I1
+                                         0.0f, 0.5f, 2.0f, 0.0f, 0.0f,  //
+                                         0.0f, 0.0f, 1.0f, 0.0f, 0.0f,  //
+                                         0.0f, 0.0f, 0.0f, 0.1f, 2.0f,  //
+                                     });
+  std::vector<int> tags = ViterbiDecodeBio(logits);
+  ASSERT_EQ(tags.size(), 3u);
+  for (size_t i = 0; i < tags.size(); ++i) {
+    int prev = i == 0 ? 0 : tags[i - 1];
+    if (i == 0) {
+      EXPECT_TRUE(BioFieldOf(tags[0]) < 0 || BioIsBegin(tags[0]));
+    } else {
+      EXPECT_TRUE(BioTransitionAllowed(prev, tags[i]));
+    }
+  }
+  // The best legal path is B0, B1, I1 (0.5 + 0.0 + 2.0): Viterbi trades
+  // position 1's I0 logit for the ability to reach I1's large logit.
+  EXPECT_EQ(tags, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(ViterbiTest, AgreesWithGreedyWhenGreedyIsLegal) {
+  Matrix logits = Matrix::FromValues(3, 3,
+                                     {
+                                         0.0f, 3.0f, 0.0f,  // B0
+                                         0.0f, 0.0f, 3.0f,  // I0
+                                         3.0f, 0.0f, 0.0f,  // O
+                                     });
+  std::vector<int> tags = ViterbiDecodeBio(logits);
+  EXPECT_EQ(tags, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(ViterbiTest, EmptyInput) {
+  EXPECT_TRUE(ViterbiDecodeBio(Matrix(0, 5)).empty());
+}
+
+TEST(ViterbiTest, ModelPredictWithViterbiNeverEmitsOrphanInside) {
+  SequenceModelConfig config;
+  config.d_model = 16;
+  config.use_viterbi_decoding = true;
+  DomainSpec spec = FaraSpec();
+  SequenceLabelingModel model(config, spec.Schema());
+  Document doc = GenerateDocument(spec, "x", 0, Rng(3));
+  // An untrained model produces near-random logits — decoding must still
+  // produce structurally valid spans.
+  for (const EntitySpan& span : model.Predict(doc)) {
+    EXPECT_GT(span.num_tokens, 0);
+    EXPECT_LE(span.end_token(), doc.num_tokens());
+  }
+}
+
+// ---- EDA baseline -----------------------------------------------------------
+
+TEST(EdaTest, SynonymPreservesCapitalization) {
+  Rng rng(1);
+  EXPECT_EQ(EdaSynonymFor("Total", rng), "Overall");
+  EXPECT_EQ(EdaSynonymFor("total", rng), "overall");
+  EXPECT_EQ(EdaSynonymFor("Zebra", rng), "Zebra") << "unknown word unchanged";
+}
+
+TEST(EdaTest, ProducesRequestedCopies) {
+  auto docs = GenerateCorpus(FaraSpec(), 4, 5, "e");
+  EdaOptions options;
+  options.copies_per_doc = 3;
+  auto augmented = GenerateEdaAugmentations(docs, options);
+  EXPECT_EQ(augmented.size(), 12u);
+  EXPECT_NE(augmented[0].id().find("#eda:"), std::string::npos);
+}
+
+TEST(EdaTest, NeverTouchesAnnotatedTokens) {
+  auto docs = GenerateCorpus(EarningsSpec(), 3, 6, "e");
+  EdaOptions options;
+  options.synonym_prob = 1.0;
+  options.deletion_prob = 1.0;
+  options.random_swaps = 20;
+  auto augmented = GenerateEdaAugmentations(docs, options);
+  for (size_t i = 0; i < augmented.size(); ++i) {
+    const Document& original = docs[i / static_cast<size_t>(options.copies_per_doc)];
+    ASSERT_EQ(augmented[i].annotations().size(),
+              original.annotations().size());
+    for (size_t a = 0; a < original.annotations().size(); ++a) {
+      EXPECT_EQ(augmented[i].TextOf(augmented[i].annotations()[a]),
+                original.TextOf(original.annotations()[a]));
+    }
+  }
+}
+
+TEST(EdaTest, ActuallyPerturbsText) {
+  auto docs = GenerateCorpus(EarningsSpec(), 2, 7, "e");
+  EdaOptions options;
+  options.synonym_prob = 0.5;
+  options.deletion_prob = 0.3;
+  auto augmented = GenerateEdaAugmentations(docs, options);
+  int changed = 0;
+  for (size_t i = 0; i < augmented.size(); ++i) {
+    if (!augmented[i].SameTokenTexts(
+            docs[i / static_cast<size_t>(options.copies_per_doc)])) {
+      ++changed;
+    }
+  }
+  EXPECT_GT(changed, 0);
+}
+
+// ---- Value-swap baseline ----------------------------------------------------
+
+TEST(ValueSwapTest, ReplacesValuesKeepsLabels) {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 3, 8, "v");
+  ValueSwapOptions options;
+  options.copies_per_doc = 2;
+  auto augmented =
+      GenerateValueSwapAugmentations(docs, spec.Schema(), options);
+  ASSERT_EQ(augmented.size(), 6u);
+  for (size_t i = 0; i < augmented.size(); ++i) {
+    const Document& original = docs[i / 2];
+    EXPECT_EQ(augmented[i].annotations().size(),
+              original.annotations().size());
+    // The *set* of labeled fields is unchanged; most values differ.
+    int same_values = 0;
+    for (const EntitySpan& span : original.annotations()) {
+      EXPECT_TRUE(augmented[i].HasField(span.field)) << span.field;
+      for (const EntitySpan& aug_span :
+           augmented[i].AnnotationsFor(span.field)) {
+        if (augmented[i].TextOf(aug_span) == original.TextOf(span)) {
+          ++same_values;
+        }
+      }
+    }
+    EXPECT_LT(same_values,
+              static_cast<int>(original.annotations().size()));
+  }
+}
+
+TEST(ValueSwapTest, ValueTypesStayConsistent) {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 2, 9, "v");
+  auto augmented = GenerateValueSwapAugmentations(docs, spec.Schema(),
+                                                  ValueSwapOptions{});
+  for (const Document& doc : augmented) {
+    for (const EntitySpan& span : doc.annotations()) {
+      if (spec.Schema().TypeOf(span.field) == FieldType::kMoney) {
+        std::string text = doc.TextOf(span);
+        EXPECT_NE(text.find('.'), std::string::npos) << text;
+      }
+    }
+  }
+}
+
+// ---- Name-derived phrase suggestion ----------------------------------------
+
+TEST(PhraseSuggestTest, SimpleFieldNames) {
+  auto phrases = SuggestPhrasesFromName("pay_date", FieldType::kDate);
+  ASSERT_FALSE(phrases.empty());
+  EXPECT_EQ(phrases[0].Text(), "Pay Date");
+}
+
+TEST(PhraseSuggestTest, PrefixedTableFields) {
+  auto phrases =
+      SuggestPhrasesFromName("year_to_date.sales_pay", FieldType::kMoney);
+  std::vector<std::string> texts;
+  for (const KeyPhrase& phrase : phrases) texts.push_back(phrase.Text());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "Sales Pay"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "Sales"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "YTD Sales Pay"),
+            texts.end());
+}
+
+TEST(PhraseSuggestTest, TrailingBigram) {
+  auto phrases =
+      SuggestPhrasesFromName("payment_due_date", FieldType::kDate);
+  std::vector<std::string> texts;
+  for (const KeyPhrase& phrase : phrases) texts.push_back(phrase.Text());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "Payment Due Date"),
+            texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "Due Date"), texts.end());
+}
+
+TEST(PhraseSuggestTest, ConfigExcludesRequestedFields) {
+  DomainSchema schema = EarningsSpec().Schema();
+  KeyPhraseConfig config =
+      SuggestKeyPhraseConfig(schema, {"employee_name", "employer_name"});
+  EXPECT_EQ(config.count("employee_name"), 0u);
+  EXPECT_GT(config.count("current.salary"), 0u);
+}
+
+TEST(PhraseSuggestTest, SuggestionsOverlapTrueVocabulary) {
+  // The whole point: name-derived phrases should hit real key phrases for
+  // a decent share of Earnings fields, with zero training data.
+  DomainSpec spec = EarningsSpec();
+  KeyPhraseConfig config = SuggestKeyPhraseConfig(spec.Schema());
+  int hits = 0, fields = 0;
+  for (const FieldDef& def : spec.fields) {
+    if (def.phrases.empty()) continue;
+    ++fields;
+    auto it = config.find(def.spec.name);
+    if (it == config.end()) continue;
+    for (const KeyPhrase& suggestion : it->second) {
+      bool match = false;
+      for (const std::string& truth : def.phrases) {
+        if (EqualsIgnoreCase(suggestion.Text(), truth)) match = true;
+      }
+      if (match) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(hits * 2, fields) << hits << "/" << fields
+                              << " fields got a true phrase from their name";
+}
+
+// ---- Document JSON serialization -------------------------------------------
+
+TEST(SerializeDocTest, RoundTripGeneratedDocument) {
+  Document original = GenerateDocument(EarningsSpec(), "rt", 2, Rng(10));
+  std::string json = DocumentToJson(original);
+  std::optional<Document> parsed = DocumentFromJson(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id(), original.id());
+  EXPECT_EQ(parsed->domain(), original.domain());
+  EXPECT_TRUE(parsed->SameTokenTexts(original));
+  EXPECT_EQ(parsed->annotations(), original.annotations());
+  ASSERT_EQ(parsed->lines().size(), original.lines().size());
+  for (size_t l = 0; l < original.lines().size(); ++l) {
+    EXPECT_EQ(parsed->lines()[l].token_indices,
+              original.lines()[l].token_indices);
+  }
+}
+
+TEST(SerializeDocTest, EscapesSpecialCharacters) {
+  Document doc("quote\"doc", "d", 100, 100);
+  doc.AddToken("say \"hi\"", BBox{0, 0, 10, 10});
+  doc.AddToken("back\\slash", BBox{20, 0, 30, 10});
+  DetectAndAssignLines(doc);
+  std::optional<Document> parsed = DocumentFromJson(DocumentToJson(doc));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id(), "quote\"doc");
+  EXPECT_EQ(parsed->token(0).text, "say \"hi\"");
+  EXPECT_EQ(parsed->token(1).text, "back\\slash");
+}
+
+TEST(SerializeDocTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DocumentFromJson("").has_value());
+  EXPECT_FALSE(DocumentFromJson("{}").has_value());
+  EXPECT_FALSE(DocumentFromJson("{\"id\":\"x\"").has_value());
+  // Out-of-range annotation.
+  Document doc("x", "d", 10, 10);
+  doc.AddToken("a", BBox{0, 0, 1, 1});
+  std::string json = DocumentToJson(doc);
+  std::string corrupted = json;
+  corrupted.replace(corrupted.find("\"annotations\":[]"),
+                    std::string("\"annotations\":[]").size(),
+                    "\"annotations\":[{\"field\":\"f\",\"first\":5,\"count\":1}]");
+  EXPECT_FALSE(DocumentFromJson(corrupted).has_value());
+}
+
+TEST(SerializeDocTest, JsonlCorpusRoundTrip) {
+  auto docs = GenerateCorpus(FaraSpec(), 5, 11, "jl");
+  std::string path = ::testing::TempDir() + "/corpus_test.jsonl";
+  ASSERT_TRUE(SaveCorpusJsonl(path, docs));
+  std::optional<std::vector<Document>> loaded = LoadCorpusJsonl(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_TRUE((*loaded)[i].SameTokenTexts(docs[i]));
+    EXPECT_EQ((*loaded)[i].annotations(), docs[i].annotations());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeDocTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadCorpusJsonl("/nonexistent/corpus.jsonl").has_value());
+}
+
+}  // namespace
+}  // namespace fieldswap

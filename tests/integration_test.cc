@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "model/trainer.h"
+#include "ocr/line_detector.h"
+#include "ocr/noise.h"
+#include "util/strings.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+
+namespace fieldswap {
+namespace {
+
+/// Shared small pre-trained candidate model (built once per test binary).
+const CandidateScoringModel& SharedCandidateModel() {
+  static const CandidateScoringModel* model = [] {
+    return new CandidateScoringModel(PretrainInvoiceCandidateModel(60, 99));
+  }();
+  return *model;
+}
+
+TEST(IntegrationTest, AutomaticPipelineEndToEnd) {
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 12, 123, "it");
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kTypeToType;
+  AugmentationResult result =
+      RunFieldSwap(docs, spec, &SharedCandidateModel(), options);
+  EXPECT_FALSE(result.phrases.empty());
+  EXPECT_FALSE(result.pairs.empty());
+  EXPECT_GT(result.synthetics.size(), docs.size())
+      << "type-to-type should multiply the training set";
+  // Inferred table-row phrases should include real vocabulary entries.
+  bool found_real_phrase = false;
+  for (const auto& [field, phrases] : result.phrases) {
+    const FieldDef* def = spec.Find(field);
+    if (def == nullptr) continue;
+    for (const KeyPhrase& phrase : phrases) {
+      for (const std::string& truth : def->phrases) {
+        if (EqualsIgnoreCase(phrase.Text(), truth)) found_real_phrase = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_real_phrase);
+}
+
+TEST(IntegrationTest, TrainOnAugmentedSetAndEvaluate) {
+  DomainSpec spec = FaraSpec();
+  auto train = GenerateCorpus(spec, 10, 7, "tr");
+  auto test = GenerateCorpus(spec, 12, 8, "te");
+
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kHumanExpert;
+  AugmentationResult augmented = RunFieldSwap(train, spec, nullptr, options);
+
+  SequenceModelConfig model_config;
+  model_config.d_model = 16;
+  SequenceLabelingModel model(model_config, spec.Schema());
+  TrainOptions train_options;
+  train_options.total_steps = 600;
+  train_options.validate_every = 150;
+  TrainSequenceModel(model, train, augmented.synthetics, train_options);
+
+  EvalResult eval = EvaluateModel(model, test);
+  EXPECT_GT(eval.micro_f1, 0.2);
+  EXPECT_GT(eval.macro_f1, 0.1);
+  EXPECT_FALSE(eval.per_field.empty());
+}
+
+TEST(IntegrationTest, ExperimentRunnerProducesCurves) {
+  ExperimentConfig config;
+  config.train_sizes = {6};
+  config.num_subsets = 1;
+  config.num_trials = 1;
+  config.test_size = 10;
+  config.min_steps = 200;
+  config.steps_per_doc = 1;
+  ExperimentRunner runner(FaraSpec(), config, &SharedCandidateModel());
+
+  LearningCurve baseline = runner.Run(BaselineSetting());
+  ASSERT_EQ(baseline.by_size.size(), 1u);
+  const PointResult& point = baseline.by_size.at(6);
+  EXPECT_GE(point.macro_f1_mean, 0.0);
+  EXPECT_LE(point.macro_f1_mean, 100.0);
+  EXPECT_FALSE(point.field_f1_mean.empty());
+
+  LearningCurve fieldswap =
+      runner.Run(FieldSwapSetting(MappingStrategy::kFieldToField));
+  EXPECT_EQ(fieldswap.setting_label, "fieldswap (field-to-field)");
+  EXPECT_GE(fieldswap.by_size.at(6).avg_synthetics, 0.0);
+}
+
+TEST(IntegrationTest, CountSyntheticsUncapped) {
+  ExperimentConfig config;
+  config.train_sizes = {8};
+  config.num_subsets = 1;
+  config.test_size = 5;
+  config.max_synthetics_for_training = 10;  // cap must not affect counting
+  ExperimentRunner runner(EarningsSpec(), config, &SharedCandidateModel());
+  double count =
+      runner.CountSynthetics(FieldSwapSetting(MappingStrategy::kTypeToType), 8);
+  EXPECT_GT(count, 10.0);
+  EXPECT_EQ(runner.CountSynthetics(BaselineSetting(), 8), 0.0);
+}
+
+TEST(IntegrationTest, FieldSwapBeatsBaselineAtTenDocsOnEarnings) {
+  // The paper's headline effect (Fig. 4, Earnings @ 10 docs). Kept small:
+  // one subset, one trial, reduced steps — the margin is wide at 10 docs.
+  ExperimentConfig config;
+  config.train_sizes = {10};
+  config.num_subsets = 1;
+  config.num_trials = 1;
+  config.test_size = 30;
+  config.min_steps = 1500;
+  ExperimentRunner runner(EarningsSpec(), config, &SharedCandidateModel());
+  LearningCurve baseline = runner.Run(BaselineSetting());
+  LearningCurve expert =
+      runner.Run(FieldSwapSetting(MappingStrategy::kHumanExpert));
+  EXPECT_GT(expert.by_size.at(10).macro_f1_mean + 2.0,
+            baseline.by_size.at(10).macro_f1_mean)
+      << "FieldSwap (human expert) should be at least neutral";
+}
+
+TEST(IntegrationTest, EnvOverridesApply) {
+  ExperimentConfig config;
+  setenv("FIELDSWAP_TRIALS", "7", 1);
+  setenv("FIELDSWAP_TEST_DOCS", "33", 1);
+  ApplyEnvOverrides(config);
+  EXPECT_EQ(config.num_trials, 7);
+  EXPECT_EQ(config.test_size, 33);
+  unsetenv("FIELDSWAP_TRIALS");
+  unsetenv("FIELDSWAP_TEST_DOCS");
+}
+
+TEST(IntegrationTest, CachedCandidateModelRoundTrips) {
+  std::string path = ::testing::TempDir() + "/cand_cache_test.ckpt";
+  std::remove(path.c_str());
+  setenv("FIELDSWAP_PRETRAIN_DOCS", "20", 1);
+  CandidateScoringModel first = GetOrTrainCachedCandidateModel(path);
+  CandidateScoringModel second = GetOrTrainCachedCandidateModel(path);
+  unsetenv("FIELDSWAP_PRETRAIN_DOCS");
+  auto pa = first.Params();
+  auto pb = second.Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].param->value, pb[i].param->value) << pa[i].name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, OcrNoiseRobustnessOfSwap) {
+  // FieldSwap still generates (and relabels) correctly on noisy documents.
+  DomainSpec spec = EarningsSpec();
+  auto docs = GenerateCorpus(spec, 6, 55, "nz");
+  OcrNoiseOptions noise;
+  noise.box_jitter_frac = 0.05;
+  Rng rng(1);
+  for (Document& doc : docs) {
+    ApplyOcrNoise(doc, noise, rng);
+    DetectAndAssignLines(doc);
+  }
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kHumanExpert;
+  AugmentationResult result = RunFieldSwap(docs, spec, nullptr, options);
+  EXPECT_GT(result.synthetics.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fieldswap

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace fieldswap {
+namespace {
+
+EntitySpan Span(const char* field, int first, int count) {
+  return EntitySpan{field, first, count};
+}
+
+TEST(FieldScoreTest, PrecisionRecallF1) {
+  FieldScore score;
+  score.tp = 3;
+  score.fp = 1;
+  score.fn = 2;
+  EXPECT_DOUBLE_EQ(score.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(score.Recall(), 0.6);
+  EXPECT_NEAR(score.F1(), 2.0 * 3 / (2.0 * 3 + 1 + 2), 1e-12);
+}
+
+TEST(FieldScoreTest, ZeroDenominators) {
+  FieldScore empty;
+  EXPECT_EQ(empty.Precision(), 0.0);
+  EXPECT_EQ(empty.Recall(), 0.0);
+  EXPECT_EQ(empty.F1(), 0.0);
+}
+
+TEST(AccumulateTest, ExactMatchIsTruePositive) {
+  std::map<std::string, FieldScore> scores;
+  AccumulateSpanScores({Span("a", 0, 2)}, {Span("a", 0, 2)}, scores);
+  EXPECT_EQ(scores["a"].tp, 1);
+  EXPECT_EQ(scores["a"].fp, 0);
+  EXPECT_EQ(scores["a"].fn, 0);
+}
+
+TEST(AccumulateTest, WrongBoundaryIsFpPlusFn) {
+  std::map<std::string, FieldScore> scores;
+  AccumulateSpanScores({Span("a", 0, 2)}, {Span("a", 0, 3)}, scores);
+  EXPECT_EQ(scores["a"].tp, 0);
+  EXPECT_EQ(scores["a"].fp, 1);
+  EXPECT_EQ(scores["a"].fn, 1);
+}
+
+TEST(AccumulateTest, WrongFieldSplitsAcrossFields) {
+  std::map<std::string, FieldScore> scores;
+  AccumulateSpanScores({Span("a", 0, 2)}, {Span("b", 0, 2)}, scores);
+  EXPECT_EQ(scores["b"].fp, 1);
+  EXPECT_EQ(scores["a"].fn, 1);
+}
+
+TEST(AccumulateTest, MissedGoldIsFalseNegative) {
+  std::map<std::string, FieldScore> scores;
+  AccumulateSpanScores({Span("a", 0, 1), Span("b", 2, 1)}, {Span("a", 0, 1)},
+                       scores);
+  EXPECT_EQ(scores["a"].tp, 1);
+  EXPECT_EQ(scores["b"].fn, 1);
+}
+
+TEST(FinalizeTest, MicroPoolsAllFields) {
+  std::map<std::string, FieldScore> scores;
+  scores["frequent"] = FieldScore{90, 5, 5};
+  scores["rare"] = FieldScore{0, 1, 9};
+  EvalResult result = FinalizeScores(scores);
+  // micro: tp=90, fp=6, fn=14 -> 2*90 / (180 + 20)
+  EXPECT_NEAR(result.micro_f1, 180.0 / 200.0, 1e-12);
+}
+
+TEST(FinalizeTest, MacroWeightsFieldsEqually) {
+  std::map<std::string, FieldScore> scores;
+  scores["frequent"] = FieldScore{100, 0, 0};  // F1 = 1.0
+  scores["rare"] = FieldScore{0, 0, 10};       // F1 = 0.0
+  EvalResult result = FinalizeScores(scores);
+  EXPECT_NEAR(result.macro_f1, 0.5, 1e-12);
+  EXPECT_GT(result.micro_f1, result.macro_f1)
+      << "rare-field failure hurts macro more than micro";
+}
+
+TEST(FinalizeTest, EmptyScores) {
+  EvalResult result = FinalizeScores({});
+  EXPECT_EQ(result.macro_f1, 0.0);
+  EXPECT_EQ(result.micro_f1, 0.0);
+}
+
+TEST(FinalizeTest, PerFieldPreserved) {
+  std::map<std::string, FieldScore> scores;
+  scores["a"] = FieldScore{1, 0, 1};
+  EvalResult result = FinalizeScores(scores);
+  ASSERT_EQ(result.per_field.size(), 1u);
+  EXPECT_EQ(result.per_field.at("a").tp, 1);
+}
+
+}  // namespace
+}  // namespace fieldswap

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "doc/document.h"
+#include "ocr/line_detector.h"
+#include "ocr/noise.h"
+#include "ocr/reading_order.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+namespace {
+
+Document GridDoc() {
+  // Layout (y grows downward):
+  //   row 0: "Pay" "Date"          |  gap  |  "01/15/2024"
+  //   row 1: "Total"  "$5.00"
+  Document doc("g", "test", 612, 792);
+  doc.AddToken("Pay", BBox{10, 0, 30, 10});
+  doc.AddToken("Date", BBox{34, 0, 60, 10});
+  doc.AddToken("01/15/2024", BBox{200, 0, 260, 10});
+  doc.AddToken("Total", BBox{10, 30, 40, 40});
+  doc.AddToken("$5.00", BBox{46, 30, 76, 40});
+  return doc;
+}
+
+TEST(LineDetectorTest, GroupsByBandAndSplitsAtGaps) {
+  Document doc = GridDoc();
+  std::vector<Line> lines = DetectLines(doc);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].token_indices, (std::vector<int>{0, 1}));
+  EXPECT_EQ(lines[1].token_indices, (std::vector<int>{2}));
+  EXPECT_EQ(lines[2].token_indices, (std::vector<int>{3, 4}));
+}
+
+TEST(LineDetectorTest, LinesOrderedTopToBottom) {
+  Document doc = GridDoc();
+  std::vector<Line> lines = DetectLines(doc);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_LE(lines[i - 1].box.CenterY(), lines[i].box.CenterY());
+  }
+}
+
+TEST(LineDetectorTest, SmallGapStaysOneLine) {
+  Document doc("g", "test", 612, 792);
+  doc.AddToken("Amount", BBox{0, 0, 40, 10});
+  doc.AddToken("Due", BBox{45, 0, 65, 10});  // 5pt gap < 2 * 10pt height
+  std::vector<Line> lines = DetectLines(doc);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].token_indices.size(), 2u);
+}
+
+TEST(LineDetectorTest, GapFactorControlsSplitting) {
+  Document doc("g", "test", 612, 792);
+  doc.AddToken("a", BBox{0, 0, 10, 10});
+  doc.AddToken("b", BBox{25, 0, 35, 10});  // 15pt gap
+  LineDetectorOptions tight;
+  tight.gap_factor = 1.0;  // threshold 10pt -> split
+  EXPECT_EQ(DetectLines(doc, tight).size(), 2u);
+  LineDetectorOptions loose;
+  loose.gap_factor = 2.0;  // threshold 20pt -> one line
+  EXPECT_EQ(DetectLines(doc, loose).size(), 1u);
+}
+
+TEST(LineDetectorTest, StaggeredTokensSameBand) {
+  Document doc("g", "test", 612, 792);
+  doc.AddToken("a", BBox{0, 0, 10, 10});
+  doc.AddToken("b", BBox{12, 3, 22, 13});  // 70% overlap with a
+  EXPECT_EQ(DetectLines(doc).size(), 1u);
+}
+
+TEST(LineDetectorTest, AssignsLineIds) {
+  Document doc = GridDoc();
+  DetectAndAssignLines(doc);
+  EXPECT_EQ(doc.token(0).line, doc.token(1).line);
+  EXPECT_NE(doc.token(0).line, doc.token(2).line);
+  EXPECT_EQ(doc.token(3).line, doc.token(4).line);
+}
+
+TEST(LineDetectorTest, EmptyDocument) {
+  Document doc("e", "test", 612, 792);
+  EXPECT_TRUE(DetectLines(doc).empty());
+}
+
+// ---- Reading order --------------------------------------------------------
+
+TEST(ReadingOrderTest, SortsTopToBottomLeftToRight) {
+  Document doc("r", "test", 612, 792);
+  // Emit intentionally out of order.
+  doc.AddToken("second", BBox{10, 30, 50, 40});
+  doc.AddToken("first", BBox{10, 0, 50, 10});
+  doc.AddToken("first-right", BBox{60, 0, 100, 10});
+  DetectAndAssignLines(doc);
+  SortReadingOrder(doc);
+  EXPECT_EQ(doc.token(0).text, "first");
+  EXPECT_EQ(doc.token(1).text, "first-right");
+  EXPECT_EQ(doc.token(2).text, "second");
+}
+
+TEST(ReadingOrderTest, RemapsAnnotations) {
+  Document doc("r", "test", 612, 792);
+  doc.AddToken("below", BBox{10, 30, 50, 40});
+  doc.AddToken("value", BBox{10, 0, 40, 10});
+  doc.AddToken("tokens", BBox{44, 0, 80, 10});
+  doc.AddAnnotation(EntitySpan{"f", 1, 2});
+  DetectAndAssignLines(doc);
+  SortReadingOrder(doc);
+  ASSERT_EQ(doc.annotations().size(), 1u);
+  EXPECT_EQ(doc.annotations()[0].first_token, 0);
+  EXPECT_EQ(doc.annotations()[0].num_tokens, 2);
+  EXPECT_EQ(doc.TextOf(doc.annotations()[0]), "value tokens");
+}
+
+TEST(ReadingOrderTest, IdempotentOnSortedDoc) {
+  Document doc("r", "test", 612, 792);
+  doc.AddToken("a", BBox{0, 0, 10, 10});
+  doc.AddToken("b", BBox{20, 0, 30, 10});
+  DetectAndAssignLines(doc);
+  SortReadingOrder(doc);
+  std::vector<std::string> before;
+  for (const Token& t : doc.tokens()) before.push_back(t.text);
+  SortReadingOrder(doc);
+  std::vector<std::string> after;
+  for (const Token& t : doc.tokens()) after.push_back(t.text);
+  EXPECT_EQ(before, after);
+}
+
+// ---- OCR noise ------------------------------------------------------------
+
+Document NoiseDoc() {
+  Document doc("n", "test", 612, 792);
+  doc.AddToken("Overtime", BBox{0, 0, 50, 10});
+  doc.AddToken("$100.00", BBox{60, 0, 100, 10});
+  doc.AddAnnotation(EntitySpan{"f", 1, 1});
+  DetectAndAssignLines(doc);
+  return doc;
+}
+
+TEST(OcrNoiseTest, ZeroNoiseIsIdentity) {
+  Document doc = NoiseDoc();
+  Document original = doc;
+  Rng rng(1);
+  ApplyOcrNoise(doc, OcrNoiseOptions{}, rng);
+  EXPECT_TRUE(doc.SameTokenTexts(original));
+  EXPECT_EQ(doc.token(0).box, original.token(0).box);
+}
+
+TEST(OcrNoiseTest, NeverTouchesAnnotatedTokens) {
+  OcrNoiseOptions noisy;
+  noisy.char_substitution_prob = 1.0;
+  noisy.token_split_prob = 1.0;
+  noisy.box_jitter_frac = 0.5;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Document doc = NoiseDoc();
+    Rng rng(seed);
+    ApplyOcrNoise(doc, noisy, rng);
+    ASSERT_EQ(doc.annotations().size(), 1u);
+    EXPECT_EQ(doc.TextOf(doc.annotations()[0]), "$100.00");
+  }
+}
+
+TEST(OcrNoiseTest, CharSubstitutionChangesText) {
+  Document doc = NoiseDoc();
+  OcrNoiseOptions noisy;
+  noisy.char_substitution_prob = 1.0;
+  Rng rng(2);
+  ApplyOcrNoise(doc, noisy, rng);
+  // 'O', 'e', 'm' in "Overtime" all have confusions.
+  EXPECT_NE(doc.token(0).text, "Overtime");
+  EXPECT_EQ(doc.num_tokens(), 2);
+}
+
+TEST(OcrNoiseTest, TokenSplitIncreasesTokenCount) {
+  Document doc = NoiseDoc();
+  OcrNoiseOptions noisy;
+  noisy.token_split_prob = 1.0;
+  Rng rng(3);
+  ApplyOcrNoise(doc, noisy, rng);
+  EXPECT_EQ(doc.num_tokens(), 3);  // only the unannotated token splits
+}
+
+TEST(OcrNoiseTest, DeterministicInSeed) {
+  OcrNoiseOptions noisy;
+  noisy.char_substitution_prob = 0.3;
+  noisy.box_jitter_frac = 0.1;
+  Document a = NoiseDoc();
+  Document b = NoiseDoc();
+  Rng ra(42), rb(42);
+  ApplyOcrNoise(a, noisy, ra);
+  ApplyOcrNoise(b, noisy, rb);
+  EXPECT_TRUE(a.SameTokenTexts(b));
+  EXPECT_EQ(a.token(0).box, b.token(0).box);
+}
+
+TEST(OcrNoiseTest, JitterKeepsBoxesValid) {
+  Document doc = NoiseDoc();
+  OcrNoiseOptions noisy;
+  noisy.box_jitter_frac = 2.0;  // extreme jitter
+  Rng rng(4);
+  ApplyOcrNoise(doc, noisy, rng);
+  for (const Token& tok : doc.tokens()) {
+    EXPECT_LE(tok.box.x_min, tok.box.x_max);
+    EXPECT_LE(tok.box.y_min, tok.box.y_max);
+  }
+}
+
+}  // namespace
+}  // namespace fieldswap

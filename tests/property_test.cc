@@ -1,0 +1,141 @@
+// Cross-domain property sweeps: invariants that must hold for every domain
+// and seed, exercised with parameterized suites (the repo-wide safety net
+// for the generator -> OCR -> FieldSwap -> training data path).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/human_expert.h"
+#include "core/pipeline.h"
+#include "model/sequence_model.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+
+namespace fieldswap {
+namespace {
+
+class DomainPropertyTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  DomainSpec spec_ = SpecByName(GetParam());
+};
+
+TEST_P(DomainPropertyTest, CorpusGenerationIsDeterministic) {
+  auto a = GenerateCorpus(spec_, 6, 12345, "p");
+  auto b = GenerateCorpus(spec_, 6, 12345, "p");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].SameTokenTexts(b[i]));
+    EXPECT_EQ(a[i].annotations(), b[i].annotations());
+  }
+}
+
+TEST_P(DomainPropertyTest, EveryDocumentIsStructurallyValid) {
+  for (uint64_t seed : {1ULL, 99ULL}) {
+    for (const Document& doc : GenerateCorpus(spec_, 8, seed, "p")) {
+      EXPECT_GT(doc.num_tokens(), 0);
+      // Every token belongs to exactly one detected line.
+      std::set<int> assigned;
+      for (const Line& line : doc.lines()) {
+        for (int ti : line.token_indices) {
+          EXPECT_TRUE(assigned.insert(ti).second) << "token in two lines";
+          EXPECT_GE(ti, 0);
+          EXPECT_LT(ti, doc.num_tokens());
+        }
+      }
+      EXPECT_EQ(static_cast<int>(assigned.size()), doc.num_tokens());
+      // Annotations reference schema fields and stay in range; no two
+      // annotations overlap (the generator emits disjoint values).
+      DomainSchema schema = spec_.Schema();
+      for (size_t i = 0; i < doc.annotations().size(); ++i) {
+        const EntitySpan& span = doc.annotations()[i];
+        EXPECT_TRUE(schema.Has(span.field)) << span.field;
+        EXPECT_GE(span.first_token, 0);
+        EXPECT_LE(span.end_token(), doc.num_tokens());
+        for (size_t j = i + 1; j < doc.annotations().size(); ++j) {
+          const EntitySpan& other = doc.annotations()[j];
+          EXPECT_FALSE(span.first_token < other.end_token() &&
+                       other.first_token < span.end_token())
+              << span.field << " overlaps " << other.field;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, TokensStayOnPage) {
+  for (const Document& doc : GenerateCorpus(spec_, 5, 7, "p")) {
+    for (const Token& tok : doc.tokens()) {
+      EXPECT_GE(tok.box.x_min, 0.0);
+      EXPECT_GE(tok.box.y_min, 0.0);
+      EXPECT_LE(tok.box.y_max, doc.height());
+      // Long values in a right-hand column plus scan jitter can overflow
+      // the nominal page edge (as on real skewed scans), but only mildly.
+      EXPECT_LE(tok.box.x_max, doc.width() * 1.25);
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, HumanExpertSyntheticsPreserveInvariants) {
+  auto docs = GenerateCorpus(spec_, 6, 21, "p");
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kHumanExpert;
+  options.swap.max_synthetics = 200;
+  AugmentationResult result = RunFieldSwap(docs, spec_, nullptr, options);
+  DomainSchema schema = spec_.Schema();
+
+  for (const Document& synthetic : result.synthetics) {
+    // Provenance id, valid annotations, schema-known fields.
+    EXPECT_NE(synthetic.id().find("#swap:"), std::string::npos);
+    for (const EntitySpan& span : synthetic.annotations()) {
+      EXPECT_TRUE(schema.Has(span.field)) << span.field;
+      EXPECT_LE(span.end_token(), synthetic.num_tokens());
+      EXPECT_GT(span.num_tokens, 0);
+    }
+    // Line ids still cover all tokens after replacement splices.
+    for (const Token& tok : synthetic.tokens()) {
+      EXPECT_GE(tok.line, 0);
+      EXPECT_LT(tok.line, static_cast<int>(synthetic.lines().size()));
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, DiscardRuleImpliesTextChange) {
+  auto docs = GenerateCorpus(spec_, 5, 31, "p");
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kHumanExpert;
+  AugmentationResult result = RunFieldSwap(docs, spec_, nullptr, options);
+  // Every kept synthetic must differ textually from its source document.
+  for (const Document& synthetic : result.synthetics) {
+    std::string source_id =
+        synthetic.id().substr(0, synthetic.id().find("#swap:"));
+    for (const Document& original : docs) {
+      if (original.id() != source_id) continue;
+      EXPECT_FALSE(synthetic.SameTokenTexts(original)) << synthetic.id();
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, SequenceModelHandlesEveryDomain) {
+  SequenceModelConfig config;
+  config.d_model = 16;
+  SequenceLabelingModel model(config, spec_.Schema());
+  Document doc = GenerateDocument(spec_, "p", 0, Rng(41));
+  EncodedDoc encoded = model.EncodeDoc(doc);
+  Var logits = model.Logits(encoded);
+  EXPECT_EQ(logits->value.rows(), encoded.num_tokens);
+  for (const EntitySpan& span : model.PredictEncoded(encoded)) {
+    EXPECT_TRUE(spec_.Schema().Has(span.field));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DomainPropertyTest,
+                         ::testing::Values("fara", "fcc_forms",
+                                           "brokerage_statements", "earnings",
+                                           "loan_payments"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace fieldswap

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace fieldswap {
+namespace {
+
+// ---- Rng ------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all values in [3,7] should appear";
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleMoreThanPopulationReturnsAll) {
+  Rng rng(29);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng parent(31);
+  Rng child_a = parent.Split(1);
+  Rng child_b = parent.Split(1);
+  // Splits from an advanced parent differ even with the same salt.
+  EXPECT_NE(child_a.Next(), child_b.Next());
+}
+
+TEST(RngTest, SplitByTagDeterministic) {
+  Rng a(5), b(5);
+  Rng child_a = a.Split("values");
+  Rng child_b = b.Split("values");
+  EXPECT_EQ(child_a.Next(), child_b.Next());
+}
+
+TEST(RngTest, ChoiceReturnsElement) {
+  Rng rng(37);
+  std::vector<std::string> items{"a", "b", "c"};
+  for (int i = 0; i < 20; ++i) {
+    const std::string& pick = rng.Choice(items);
+    EXPECT_TRUE(std::find(items.begin(), items.end(), pick) != items.end());
+  }
+}
+
+// ---- Hash -----------------------------------------------------------------
+
+TEST(HashTest, Fnv1aKnownValue) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashTest, DifferentStringsDifferentHashes) {
+  EXPECT_NE(Fnv1a64("Base Salary"), Fnv1a64("Base Salarz"));
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+TEST(HashTest, BucketWithinRange) {
+  for (const char* s : {"Overtime", "$3,308.62", "Pay Date", ""}) {
+    EXPECT_LT(HashBucket(s, 128), 128u);
+  }
+}
+
+// ---- Strings --------------------------------------------------------------
+
+TEST(StringsTest, SplitStringDropsEmpty) {
+  EXPECT_EQ(SplitString("a,,b,c,", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, SplitWhitespaceHandlesRuns) {
+  EXPECT_EQ(SplitWhitespace("  Base   Salary\t$3,308.62\n"),
+            (std::vector<std::string>{"Base", "Salary", "$3,308.62"}));
+}
+
+TEST(StringsTest, SplitWhitespaceEmpty) {
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"Amount", "Due"}, " "), "Amount Due");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"x"}, ","), "x");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hi  "), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringsTest, TrimPunctuationStripsBothEnds) {
+  EXPECT_EQ(TrimPunctuation("Due:"), "Due");
+  EXPECT_EQ(TrimPunctuation("(Total)"), "Total");
+  EXPECT_EQ(TrimPunctuation("--"), "");
+  EXPECT_EQ(TrimPunctuation("St,"), "St");
+}
+
+TEST(StringsTest, TrimPunctuationKeepsInnerPunctuation) {
+  EXPECT_EQ(TrimPunctuation("O'Brien"), "O'Brien");
+  EXPECT_EQ(TrimPunctuation("3,308.62"), "3,308.62");
+}
+
+TEST(StringsTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("Base SALARY 42"), "base salary 42");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Overtime", "OVERTIME"));
+  EXPECT_FALSE(EqualsIgnoreCase("Overtime", "Overtim"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("Pay Date", "Pay"));
+  EXPECT_FALSE(StartsWith("Pay", "Pay Date"));
+  EXPECT_TRUE(EndsWith("Pay Date", "Date"));
+  EXPECT_FALSE(EndsWith("Date", "Pay Date"));
+}
+
+TEST(StringsTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(StringsTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(38081), "38,081");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+// ---- Stats ----------------------------------------------------------------
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), 2.138, 1e-3);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({3.0}), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+}
+
+TEST(StatsTest, BoxStatsNoOutliers) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  BoxStats stats = ComputeBoxStats(v);
+  EXPECT_DOUBLE_EQ(stats.median, 3.0);
+  EXPECT_DOUBLE_EQ(stats.q1, 2.0);
+  EXPECT_DOUBLE_EQ(stats.q3, 4.0);
+  EXPECT_DOUBLE_EQ(stats.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(stats.whisker_hi, 5.0);
+  EXPECT_TRUE(stats.outliers.empty());
+}
+
+TEST(StatsTest, BoxStatsDetectsOutlier) {
+  std::vector<double> v{1, 2, 3, 4, 5, 100};
+  BoxStats stats = ComputeBoxStats(v);
+  ASSERT_EQ(stats.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats.outliers[0], 100.0);
+  EXPECT_LE(stats.whisker_hi, 5.0);
+}
+
+TEST(StatsTest, BoxStatsSingleValue) {
+  BoxStats stats = ComputeBoxStats({7.0});
+  EXPECT_DOUBLE_EQ(stats.median, 7.0);
+  EXPECT_DOUBLE_EQ(stats.whisker_lo, 7.0);
+  EXPECT_DOUBLE_EQ(stats.whisker_hi, 7.0);
+  EXPECT_TRUE(stats.outliers.empty());
+}
+
+// ---- TablePrinter ---------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Field", "F1"});
+  table.AddRow({"current.salary", "79.3"});
+  table.AddRow({"net_pay", "96.8"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| Field"), std::string::npos);
+  EXPECT_NE(out.find("current.salary"), std::string::npos);
+  // Header rule and borders exist.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, HandlesRaggedRows) {
+  TablePrinter table({"a"});
+  table.AddRow({"1", "2", "3"});
+  table.AddRow({});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_FALSE(os.str().empty());
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace fieldswap
