@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_micro_f1.dir/fig5_micro_f1.cc.o"
+  "CMakeFiles/fig5_micro_f1.dir/fig5_micro_f1.cc.o.d"
+  "fig5_micro_f1"
+  "fig5_micro_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_micro_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_field_type_effect.dir/fig6_field_type_effect.cc.o"
+  "CMakeFiles/fig6_field_type_effect.dir/fig6_field_type_effect.cc.o.d"
+  "fig6_field_type_effect"
+  "fig6_field_type_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_field_type_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

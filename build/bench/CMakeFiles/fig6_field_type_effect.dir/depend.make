@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_field_type_effect.
+# This may be replaced when dependencies are built.

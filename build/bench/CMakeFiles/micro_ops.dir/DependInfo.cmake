@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_ops.cc" "bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o" "gcc" "bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/fieldswap_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fieldswap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/fieldswap_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fieldswap_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/fieldswap_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fieldswap_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/fieldswap_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fieldswap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

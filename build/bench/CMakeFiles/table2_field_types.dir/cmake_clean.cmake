@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_field_types.dir/table2_field_types.cc.o"
+  "CMakeFiles/table2_field_types.dir/table2_field_types.cc.o.d"
+  "table2_field_types"
+  "table2_field_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_field_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

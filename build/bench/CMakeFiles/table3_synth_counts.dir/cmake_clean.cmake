@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_synth_counts.dir/table3_synth_counts.cc.o"
+  "CMakeFiles/table3_synth_counts.dir/table3_synth_counts.cc.o.d"
+  "table3_synth_counts"
+  "table3_synth_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_synth_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

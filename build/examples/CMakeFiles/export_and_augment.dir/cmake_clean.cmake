@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_and_augment.dir/export_and_augment.cpp.o"
+  "CMakeFiles/export_and_augment.dir/export_and_augment.cpp.o.d"
+  "export_and_augment"
+  "export_and_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_and_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

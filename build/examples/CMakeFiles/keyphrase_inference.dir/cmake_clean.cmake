@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyphrase_inference.dir/keyphrase_inference.cpp.o"
+  "CMakeFiles/keyphrase_inference.dir/keyphrase_inference.cpp.o.d"
+  "keyphrase_inference"
+  "keyphrase_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyphrase_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

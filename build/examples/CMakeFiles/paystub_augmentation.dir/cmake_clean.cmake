@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paystub_augmentation.dir/paystub_augmentation.cpp.o"
+  "CMakeFiles/paystub_augmentation.dir/paystub_augmentation.cpp.o.d"
+  "paystub_augmentation"
+  "paystub_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paystub_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_curves.dir/training_curves.cpp.o"
+  "CMakeFiles/training_curves.dir/training_curves.cpp.o.d"
+  "training_curves"
+  "training_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

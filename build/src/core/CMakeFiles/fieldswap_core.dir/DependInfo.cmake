@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/fieldswap_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/fieldswap_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/field_pairs.cc" "src/core/CMakeFiles/fieldswap_core.dir/field_pairs.cc.o" "gcc" "src/core/CMakeFiles/fieldswap_core.dir/field_pairs.cc.o.d"
+  "/root/repo/src/core/human_expert.cc" "src/core/CMakeFiles/fieldswap_core.dir/human_expert.cc.o" "gcc" "src/core/CMakeFiles/fieldswap_core.dir/human_expert.cc.o.d"
+  "/root/repo/src/core/key_phrases.cc" "src/core/CMakeFiles/fieldswap_core.dir/key_phrases.cc.o" "gcc" "src/core/CMakeFiles/fieldswap_core.dir/key_phrases.cc.o.d"
+  "/root/repo/src/core/phrase_suggest.cc" "src/core/CMakeFiles/fieldswap_core.dir/phrase_suggest.cc.o" "gcc" "src/core/CMakeFiles/fieldswap_core.dir/phrase_suggest.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/fieldswap_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/fieldswap_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/swap.cc" "src/core/CMakeFiles/fieldswap_core.dir/swap.cc.o" "gcc" "src/core/CMakeFiles/fieldswap_core.dir/swap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/fieldswap_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fieldswap_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/fieldswap_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fieldswap_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fieldswap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/fieldswap_ocr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

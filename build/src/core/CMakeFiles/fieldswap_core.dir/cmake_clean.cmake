@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_core.dir/baselines.cc.o"
+  "CMakeFiles/fieldswap_core.dir/baselines.cc.o.d"
+  "CMakeFiles/fieldswap_core.dir/field_pairs.cc.o"
+  "CMakeFiles/fieldswap_core.dir/field_pairs.cc.o.d"
+  "CMakeFiles/fieldswap_core.dir/human_expert.cc.o"
+  "CMakeFiles/fieldswap_core.dir/human_expert.cc.o.d"
+  "CMakeFiles/fieldswap_core.dir/key_phrases.cc.o"
+  "CMakeFiles/fieldswap_core.dir/key_phrases.cc.o.d"
+  "CMakeFiles/fieldswap_core.dir/phrase_suggest.cc.o"
+  "CMakeFiles/fieldswap_core.dir/phrase_suggest.cc.o.d"
+  "CMakeFiles/fieldswap_core.dir/pipeline.cc.o"
+  "CMakeFiles/fieldswap_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/fieldswap_core.dir/swap.cc.o"
+  "CMakeFiles/fieldswap_core.dir/swap.cc.o.d"
+  "libfieldswap_core.a"
+  "libfieldswap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/bbox.cc" "src/doc/CMakeFiles/fieldswap_doc.dir/bbox.cc.o" "gcc" "src/doc/CMakeFiles/fieldswap_doc.dir/bbox.cc.o.d"
+  "/root/repo/src/doc/document.cc" "src/doc/CMakeFiles/fieldswap_doc.dir/document.cc.o" "gcc" "src/doc/CMakeFiles/fieldswap_doc.dir/document.cc.o.d"
+  "/root/repo/src/doc/schema.cc" "src/doc/CMakeFiles/fieldswap_doc.dir/schema.cc.o" "gcc" "src/doc/CMakeFiles/fieldswap_doc.dir/schema.cc.o.d"
+  "/root/repo/src/doc/serialize.cc" "src/doc/CMakeFiles/fieldswap_doc.dir/serialize.cc.o" "gcc" "src/doc/CMakeFiles/fieldswap_doc.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fieldswap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

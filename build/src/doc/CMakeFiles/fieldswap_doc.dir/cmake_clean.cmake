@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_doc.dir/bbox.cc.o"
+  "CMakeFiles/fieldswap_doc.dir/bbox.cc.o.d"
+  "CMakeFiles/fieldswap_doc.dir/document.cc.o"
+  "CMakeFiles/fieldswap_doc.dir/document.cc.o.d"
+  "CMakeFiles/fieldswap_doc.dir/schema.cc.o"
+  "CMakeFiles/fieldswap_doc.dir/schema.cc.o.d"
+  "CMakeFiles/fieldswap_doc.dir/serialize.cc.o"
+  "CMakeFiles/fieldswap_doc.dir/serialize.cc.o.d"
+  "libfieldswap_doc.a"
+  "libfieldswap_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

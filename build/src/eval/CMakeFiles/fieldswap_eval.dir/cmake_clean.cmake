@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_eval.dir/experiment.cc.o"
+  "CMakeFiles/fieldswap_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/fieldswap_eval.dir/metrics.cc.o"
+  "CMakeFiles/fieldswap_eval.dir/metrics.cc.o.d"
+  "libfieldswap_eval.a"
+  "libfieldswap_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

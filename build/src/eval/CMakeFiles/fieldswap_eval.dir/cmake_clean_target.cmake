@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfieldswap_eval.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/annotators.cc" "src/model/CMakeFiles/fieldswap_model.dir/annotators.cc.o" "gcc" "src/model/CMakeFiles/fieldswap_model.dir/annotators.cc.o.d"
+  "/root/repo/src/model/candidate_model.cc" "src/model/CMakeFiles/fieldswap_model.dir/candidate_model.cc.o" "gcc" "src/model/CMakeFiles/fieldswap_model.dir/candidate_model.cc.o.d"
+  "/root/repo/src/model/decoder.cc" "src/model/CMakeFiles/fieldswap_model.dir/decoder.cc.o" "gcc" "src/model/CMakeFiles/fieldswap_model.dir/decoder.cc.o.d"
+  "/root/repo/src/model/features.cc" "src/model/CMakeFiles/fieldswap_model.dir/features.cc.o" "gcc" "src/model/CMakeFiles/fieldswap_model.dir/features.cc.o.d"
+  "/root/repo/src/model/sequence_model.cc" "src/model/CMakeFiles/fieldswap_model.dir/sequence_model.cc.o" "gcc" "src/model/CMakeFiles/fieldswap_model.dir/sequence_model.cc.o.d"
+  "/root/repo/src/model/trainer.cc" "src/model/CMakeFiles/fieldswap_model.dir/trainer.cc.o" "gcc" "src/model/CMakeFiles/fieldswap_model.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doc/CMakeFiles/fieldswap_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fieldswap_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fieldswap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_model.dir/annotators.cc.o"
+  "CMakeFiles/fieldswap_model.dir/annotators.cc.o.d"
+  "CMakeFiles/fieldswap_model.dir/candidate_model.cc.o"
+  "CMakeFiles/fieldswap_model.dir/candidate_model.cc.o.d"
+  "CMakeFiles/fieldswap_model.dir/decoder.cc.o"
+  "CMakeFiles/fieldswap_model.dir/decoder.cc.o.d"
+  "CMakeFiles/fieldswap_model.dir/features.cc.o"
+  "CMakeFiles/fieldswap_model.dir/features.cc.o.d"
+  "CMakeFiles/fieldswap_model.dir/sequence_model.cc.o"
+  "CMakeFiles/fieldswap_model.dir/sequence_model.cc.o.d"
+  "CMakeFiles/fieldswap_model.dir/trainer.cc.o"
+  "CMakeFiles/fieldswap_model.dir/trainer.cc.o.d"
+  "libfieldswap_model.a"
+  "libfieldswap_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

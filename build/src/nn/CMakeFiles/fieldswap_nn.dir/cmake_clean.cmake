@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_nn.dir/autodiff.cc.o"
+  "CMakeFiles/fieldswap_nn.dir/autodiff.cc.o.d"
+  "CMakeFiles/fieldswap_nn.dir/layers.cc.o"
+  "CMakeFiles/fieldswap_nn.dir/layers.cc.o.d"
+  "CMakeFiles/fieldswap_nn.dir/matrix.cc.o"
+  "CMakeFiles/fieldswap_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/fieldswap_nn.dir/ops.cc.o"
+  "CMakeFiles/fieldswap_nn.dir/ops.cc.o.d"
+  "CMakeFiles/fieldswap_nn.dir/optimizer.cc.o"
+  "CMakeFiles/fieldswap_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/fieldswap_nn.dir/serialize.cc.o"
+  "CMakeFiles/fieldswap_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/fieldswap_nn.dir/sparsemax.cc.o"
+  "CMakeFiles/fieldswap_nn.dir/sparsemax.cc.o.d"
+  "libfieldswap_nn.a"
+  "libfieldswap_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocr/line_detector.cc" "src/ocr/CMakeFiles/fieldswap_ocr.dir/line_detector.cc.o" "gcc" "src/ocr/CMakeFiles/fieldswap_ocr.dir/line_detector.cc.o.d"
+  "/root/repo/src/ocr/noise.cc" "src/ocr/CMakeFiles/fieldswap_ocr.dir/noise.cc.o" "gcc" "src/ocr/CMakeFiles/fieldswap_ocr.dir/noise.cc.o.d"
+  "/root/repo/src/ocr/reading_order.cc" "src/ocr/CMakeFiles/fieldswap_ocr.dir/reading_order.cc.o" "gcc" "src/ocr/CMakeFiles/fieldswap_ocr.dir/reading_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doc/CMakeFiles/fieldswap_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fieldswap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_ocr.dir/line_detector.cc.o"
+  "CMakeFiles/fieldswap_ocr.dir/line_detector.cc.o.d"
+  "CMakeFiles/fieldswap_ocr.dir/noise.cc.o"
+  "CMakeFiles/fieldswap_ocr.dir/noise.cc.o.d"
+  "CMakeFiles/fieldswap_ocr.dir/reading_order.cc.o"
+  "CMakeFiles/fieldswap_ocr.dir/reading_order.cc.o.d"
+  "libfieldswap_ocr.a"
+  "libfieldswap_ocr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/builder.cc" "src/synth/CMakeFiles/fieldswap_synth.dir/builder.cc.o" "gcc" "src/synth/CMakeFiles/fieldswap_synth.dir/builder.cc.o.d"
+  "/root/repo/src/synth/domains.cc" "src/synth/CMakeFiles/fieldswap_synth.dir/domains.cc.o" "gcc" "src/synth/CMakeFiles/fieldswap_synth.dir/domains.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/fieldswap_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/fieldswap_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/spec.cc" "src/synth/CMakeFiles/fieldswap_synth.dir/spec.cc.o" "gcc" "src/synth/CMakeFiles/fieldswap_synth.dir/spec.cc.o.d"
+  "/root/repo/src/synth/values.cc" "src/synth/CMakeFiles/fieldswap_synth.dir/values.cc.o" "gcc" "src/synth/CMakeFiles/fieldswap_synth.dir/values.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doc/CMakeFiles/fieldswap_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/fieldswap_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fieldswap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

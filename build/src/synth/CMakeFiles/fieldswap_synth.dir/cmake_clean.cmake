@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_synth.dir/builder.cc.o"
+  "CMakeFiles/fieldswap_synth.dir/builder.cc.o.d"
+  "CMakeFiles/fieldswap_synth.dir/domains.cc.o"
+  "CMakeFiles/fieldswap_synth.dir/domains.cc.o.d"
+  "CMakeFiles/fieldswap_synth.dir/generator.cc.o"
+  "CMakeFiles/fieldswap_synth.dir/generator.cc.o.d"
+  "CMakeFiles/fieldswap_synth.dir/spec.cc.o"
+  "CMakeFiles/fieldswap_synth.dir/spec.cc.o.d"
+  "CMakeFiles/fieldswap_synth.dir/values.cc.o"
+  "CMakeFiles/fieldswap_synth.dir/values.cc.o.d"
+  "libfieldswap_synth.a"
+  "libfieldswap_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_util.dir/rng.cc.o"
+  "CMakeFiles/fieldswap_util.dir/rng.cc.o.d"
+  "CMakeFiles/fieldswap_util.dir/stats.cc.o"
+  "CMakeFiles/fieldswap_util.dir/stats.cc.o.d"
+  "CMakeFiles/fieldswap_util.dir/strings.cc.o"
+  "CMakeFiles/fieldswap_util.dir/strings.cc.o.d"
+  "CMakeFiles/fieldswap_util.dir/table.cc.o"
+  "CMakeFiles/fieldswap_util.dir/table.cc.o.d"
+  "libfieldswap_util.a"
+  "libfieldswap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

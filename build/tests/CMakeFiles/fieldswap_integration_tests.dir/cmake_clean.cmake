@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_integration_tests.dir/integration_test.cc.o"
+  "CMakeFiles/fieldswap_integration_tests.dir/integration_test.cc.o.d"
+  "fieldswap_integration_tests"
+  "fieldswap_integration_tests.pdb"
+  "fieldswap_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldswap_unit_tests.dir/autodiff_gradcheck_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/autodiff_gradcheck_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/core_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/doc_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/doc_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/metrics_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/metrics_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/model_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/model_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/nn_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/nn_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/ocr_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/ocr_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/property_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/synth_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/synth_test.cc.o.d"
+  "CMakeFiles/fieldswap_unit_tests.dir/util_test.cc.o"
+  "CMakeFiles/fieldswap_unit_tests.dir/util_test.cc.o.d"
+  "fieldswap_unit_tests"
+  "fieldswap_unit_tests.pdb"
+  "fieldswap_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldswap_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
