@@ -1,16 +1,82 @@
 #ifndef FIELDSWAP_BENCH_BENCH_UTIL_H_
 #define FIELDSWAP_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fieldswap {
+namespace bench_internal {
 
-/// Prints a banner naming the paper artifact this binary regenerates.
+/// State behind the at-exit metrics sidecar armed by PrintBanner.
+inline std::string& SidecarSlug() {
+  static std::string* slug = new std::string;
+  return *slug;
+}
+
+inline std::chrono::steady_clock::time_point& BenchStart() {
+  static std::chrono::steady_clock::time_point start;
+  return start;
+}
+
+/// "Table I: Dataset Statistics" -> "table_i_dataset_statistics".
+inline std::string SlugFromArtifact(const std::string& artifact) {
+  std::string slug;
+  for (char c : artifact) {
+    if (c >= 'A' && c <= 'Z') {
+      slug.push_back(static_cast<char>(c + 32));
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      slug.push_back(c);
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? std::string("bench") : slug;
+}
+
+/// Writes `<slug>.metrics.json`: wall time, peak RSS, and a snapshot of the
+/// global metrics registry — the baseline trajectory future perf PRs diff
+/// against.
+inline void WriteMetricsSidecar() {
+  if (SidecarSlug().empty()) return;
+  std::string path = SidecarSlug() + ".metrics.json";
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - BenchStart())
+                      .count();
+  long peak_rss_kb = 0;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) peak_rss_kb = usage.ru_maxrss;
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\"bench\": \"" << SidecarSlug() << "\", \"wall_time_s\": " << wall_s
+      << ", \"peak_rss_kb\": " << peak_rss_kb
+      << ", \"metrics\": " << obs::GlobalMetrics().ExportJson() << "}\n";
+  if (out) {
+    std::cerr << "[bench] wrote metrics sidecar " << path << "\n";
+  }
+}
+
+}  // namespace bench_internal
+
+/// Prints a banner naming the paper artifact this binary regenerates, and
+/// arms an at-exit hook that drops a `<artifact-slug>.metrics.json` sidecar
+/// next to the printed table/figure.
 inline void PrintBanner(const std::string& artifact,
                         const std::string& paper_expectation) {
+  if (bench_internal::SidecarSlug().empty()) {
+    bench_internal::SidecarSlug() = bench_internal::SlugFromArtifact(artifact);
+    bench_internal::BenchStart() = std::chrono::steady_clock::now();
+    std::atexit(bench_internal::WriteMetricsSidecar);
+  }
   std::cout << "================================================================\n"
             << "FieldSwap reproduction - " << artifact << "\n"
             << "Paper expectation: " << paper_expectation << "\n"
@@ -36,7 +102,7 @@ inline ExperimentConfig BenchConfig(int default_subsets, int default_trials) {
 /// shared by all automatic-FieldSwap benches.
 inline CandidateScoringModel BenchCandidateModel() {
   std::cout << "[setup] loading/pre-training out-of-domain candidate model "
-               "(cached in fieldswap_candidate_model.ckpt)...\n";
+               "(cached in data/fieldswap_candidate_model.ckpt)...\n";
   CandidateScoringModel model = GetOrTrainCachedCandidateModel();
   std::cout << "[setup] candidate model ready.\n\n";
   return model;

@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace fieldswap {
@@ -8,23 +10,41 @@ AugmentationResult RunFieldSwap(const std::vector<Document>& train_docs,
                                 const DomainSpec& spec,
                                 const CandidateScoringModel* candidate_model,
                                 const FieldSwapPipelineOptions& options) {
+  FS_TRACE_SPAN("pipeline.run_fieldswap");
+  obs::CounterAdd("fieldswap.pipeline.runs");
+  obs::CounterAdd("fieldswap.pipeline.input_docs",
+                  static_cast<int64_t>(train_docs.size()));
   AugmentationResult result;
 
   if (options.strategy == MappingStrategy::kHumanExpert) {
+    FS_TRACE_SPAN("pipeline.expert_config");
     HumanExpertConfig expert = MakeHumanExpertConfig(spec);
     result.phrases = std::move(expert.phrases);
     result.pairs = std::move(expert.pairs);
   } else {
     FS_CHECK(candidate_model != nullptr)
         << "automatic strategies need the pre-trained candidate model";
-    result.phrases = InferKeyPhrases(*candidate_model, train_docs,
-                                     spec.Schema(), options.inference);
-    result.pairs =
-        BuildFieldPairs(spec.Schema(), options.strategy, result.phrases);
+    {
+      FS_TRACE_SPAN("pipeline.keyphrase_inference");
+      result.phrases = InferKeyPhrases(*candidate_model, train_docs,
+                                       spec.Schema(), options.inference);
+    }
+    {
+      FS_TRACE_SPAN("pipeline.pairing");
+      result.pairs =
+          BuildFieldPairs(spec.Schema(), options.strategy, result.phrases);
+    }
   }
+  obs::CounterAdd("fieldswap.pipeline.field_pairs",
+                  static_cast<int64_t>(result.pairs.size()));
 
-  result.synthetics = GenerateSyntheticDocuments(
-      train_docs, result.phrases, result.pairs, options.swap, &result.stats);
+  {
+    FS_TRACE_SPAN("pipeline.swap");
+    result.synthetics = GenerateSyntheticDocuments(
+        train_docs, result.phrases, result.pairs, options.swap, &result.stats);
+  }
+  obs::CounterAdd("fieldswap.pipeline.synthetic_docs",
+                  static_cast<int64_t>(result.synthetics.size()));
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -155,6 +157,9 @@ std::vector<Document> GenerateSyntheticDocuments(
     const std::vector<Document>& train_docs, const KeyPhraseConfig& phrases,
     const std::vector<FieldPair>& pairs, const FieldSwapOptions& options,
     SwapStats* stats) {
+  FS_TRACE_SPAN("swap.generate_synthetics");
+  obs::CounterAdd("fieldswap.swap.input_docs",
+                  static_cast<int64_t>(train_docs.size()));
   SwapStats local_stats;
   std::vector<Document> synthetics;
 
@@ -172,12 +177,15 @@ std::vector<Document> GenerateSyntheticDocuments(
 
       int emitted = 0;
       for (const KeyPhrase& target_phrase : target_it->second) {
+        obs::CounterAdd("fieldswap.swap.attempted");
         std::optional<Document> synthetic = SwapOnce(
             doc, pair.source, pair.target, target_phrase, phrases, options);
         if (!synthetic.has_value()) {
           ++local_stats.discarded_unchanged;
+          obs::CounterAdd("fieldswap.swap.rejected");
           continue;
         }
+        obs::CounterAdd("fieldswap.swap.applied");
         synthetic->set_id(doc.id() + "#swap:" + pair.source + ">" +
                           pair.target + ":" + std::to_string(emitted));
         synthetics.push_back(std::move(*synthetic));

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/generator.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -48,6 +51,8 @@ std::vector<Document> ExperimentRunner::Subset(int train_size,
 }
 
 LearningCurve ExperimentRunner::Run(const ExperimentSetting& setting) {
+  FS_TRACE_SPAN("eval.learning_curve");
+  obs::CounterAdd("fieldswap.eval.curves");
   LearningCurve curve;
   curve.setting_label = setting.label;
 
@@ -70,6 +75,8 @@ LearningCurve ExperimentRunner::Run(const ExperimentSetting& setting) {
       }
 
       for (int trial = 0; trial < config_.num_trials; ++trial) {
+        FS_TRACE_SPAN("eval.train_trial");
+        obs::CounterAdd("fieldswap.eval.trials");
         SequenceModelConfig model_config = config_.model;
         model_config.seed = config_.seed + 31 * static_cast<uint64_t>(trial) +
                             17 * static_cast<uint64_t>(subset_index) + 1;
@@ -81,6 +88,7 @@ LearningCurve ExperimentRunner::Run(const ExperimentSetting& setting) {
         train.seed = model_config.seed ^ 0x5eed;
         TrainSequenceModel(model, originals, synthetics, train);
 
+        FS_TRACE_SPAN("eval.evaluate");
         EvalResult eval = EvaluateModel(model, test_docs_);
         macros.push_back(eval.macro_f1 * 100.0);
         micros.push_back(eval.micro_f1 * 100.0);
@@ -122,6 +130,7 @@ double ExperimentRunner::CountSynthetics(const ExperimentSetting& setting,
 
 CandidateScoringModel PretrainInvoiceCandidateModel(int corpus_size,
                                                     uint64_t seed) {
+  FS_TRACE_SPAN("eval.pretrain_candidate_model");
   DomainSpec invoices = InvoicesSpec();
   std::vector<Document> corpus =
       GenerateCorpus(invoices, corpus_size, seed, "invoice");
@@ -152,10 +161,18 @@ CandidateScoringModel GetOrTrainCachedCandidateModel(
   config.seed = seed;
   CandidateScoringModel model(config, field_names);
   if (LoadCheckpoint(cache_path, model.Params())) {
+    obs::CounterAdd("fieldswap.eval.candidate_cache_hits");
     return model;
   }
+  obs::CounterAdd("fieldswap.eval.candidate_cache_misses");
   model = PretrainInvoiceCandidateModel(EnvInt("FIELDSWAP_PRETRAIN_DOCS", 300),
                                         seed);
+  std::filesystem::path parent =
+      std::filesystem::path(cache_path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
   SaveCheckpoint(cache_path, model.Params());
   return model;
 }

@@ -105,11 +105,13 @@ CandidateScoringModel PretrainInvoiceCandidateModel(int corpus_size,
                                                     uint64_t seed);
 
 /// Like PretrainInvoiceCandidateModel, but caches the trained parameters in
-/// `cache_path` (binary checkpoint) so that the many bench binaries share
-/// one pre-training run. Corpus size comes from FIELDSWAP_PRETRAIN_DOCS
-/// (default 300).
+/// `cache_path` (binary checkpoint, parent directories created on demand)
+/// so that the many bench binaries share one pre-training run. Corpus size
+/// comes from FIELDSWAP_PRETRAIN_DOCS (default 300). A pre-trained copy is
+/// committed at data/fieldswap_candidate_model.ckpt, so runs started from
+/// the repository root skip pre-training entirely.
 CandidateScoringModel GetOrTrainCachedCandidateModel(
-    const std::string& cache_path = "fieldswap_candidate_model.ckpt");
+    const std::string& cache_path = "data/fieldswap_candidate_model.ckpt");
 
 /// Reads a positive integer from the environment, or returns `fallback`.
 int EnvInt(const char* name, int fallback);

@@ -1,11 +1,33 @@
 #include "model/trainer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace fieldswap {
+namespace {
+
+/// L2 norm over every parameter gradient (0 for params Backward never
+/// reached this step).
+double GradientNorm(const std::vector<NamedParam>& params) {
+  double sum_sq = 0;
+  for (const NamedParam& param : params) {
+    const Matrix& grad = param.param->grad;
+    const float* data = grad.data();
+    int64_t size = static_cast<int64_t>(grad.rows()) * grad.cols();
+    for (int64_t i = 0; i < size; ++i) {
+      sum_sq += static_cast<double>(data[i]) * static_cast<double>(data[i]);
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace
 
 double MicroF1OnDocs(const SequenceLabelingModel& model,
                      const std::vector<Document>& docs) {
@@ -37,6 +59,8 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
                                const std::vector<Document>& originals,
                                const std::vector<Document>& synthetics,
                                const TrainOptions& options) {
+  FS_TRACE_SPAN("train.sequence_model");
+  obs::CounterAdd("fieldswap.train.runs");
   FS_CHECK(!originals.empty());
   Rng rng(options.seed);
 
@@ -58,14 +82,17 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
 
   // Pre-encode original and synthetic pools once.
   std::vector<EncodedDoc> encoded_orig;
-  encoded_orig.reserve(train_docs.size());
-  for (const Document* doc : train_docs) {
-    encoded_orig.push_back(model.EncodeDoc(*doc));
-  }
   std::vector<EncodedDoc> encoded_synth;
-  encoded_synth.reserve(synthetics.size());
-  for (const Document& doc : synthetics) {
-    encoded_synth.push_back(model.EncodeDoc(doc));
+  {
+    FS_TRACE_SPAN("train.encode_pools");
+    encoded_orig.reserve(train_docs.size());
+    for (const Document* doc : train_docs) {
+      encoded_orig.push_back(model.EncodeDoc(*doc));
+    }
+    encoded_synth.reserve(synthetics.size());
+    for (const Document& doc : synthetics) {
+      encoded_synth.push_back(model.EncodeDoc(doc));
+    }
   }
 
   AdamOptimizer::Options opt_options;
@@ -78,6 +105,7 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
   double best_f1 = -1.0;
 
   for (int step = 0; step < options.total_steps; ++step) {
+    auto step_start = std::chrono::steady_clock::now();
     // Bernoulli is drawn unconditionally so the training stream is
     // identical whether the synthetic pool is empty or merely unused.
     bool use_synth =
@@ -88,15 +116,34 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
     Var loss = model.Loss(doc);
     result.final_loss = loss->value.At(0, 0);
     Backward(loss);
+    obs::GaugeSet("fieldswap.train.grad_norm", GradientNorm(params));
     optimizer.Step();
     ++result.steps;
 
+    double step_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - step_start)
+                         .count();
+    obs::CounterAdd("fieldswap.train.steps");
+    if (use_synth) obs::CounterAdd("fieldswap.train.synthetic_steps");
+    obs::HistogramObserve("fieldswap.train.step_ms", step_ms);
+    obs::GaugeSet("fieldswap.train.loss", result.final_loss);
+    if (options.telemetry != nullptr) {
+      options.telemetry->RecordStep(step + 1, result.final_loss, step_ms);
+    }
+
     if ((step + 1) % options.validate_every == 0 ||
         step + 1 == options.total_steps) {
+      FS_TRACE_SPAN("train.validate");
       double f1 = MicroF1OnDocs(model, val_docs);
-      if (f1 > best_f1) {
+      obs::CounterAdd("fieldswap.train.validations");
+      obs::GaugeSet("fieldswap.train.validation_f1", f1);
+      bool improved = f1 > best_f1;
+      if (improved) {
         best_f1 = f1;
         best_snapshot = SnapshotParams(params);
+      }
+      if (options.telemetry != nullptr) {
+        options.telemetry->RecordValidation(step + 1, f1, improved);
       }
     }
   }

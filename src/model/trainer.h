@@ -5,6 +5,7 @@
 
 #include "doc/document.h"
 #include "model/sequence_model.h"
+#include "obs/telemetry.h"
 #include "util/rng.h"
 
 namespace fieldswap {
@@ -26,6 +27,10 @@ struct TrainOptions {
   /// the fixed step budget.
   double synthetic_fraction = 0.4;
   uint64_t seed = 17;
+  /// Optional recorder for per-step loss and validation micro-F1 (not
+  /// owned). The trainer also always feeds the global metrics registry
+  /// (fieldswap.train.* counters/gauges) and emits trace spans.
+  obs::TrainingTelemetry* telemetry = nullptr;
 };
 
 /// Outcome of a training run.

@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace fieldswap {
+namespace obs {
+namespace {
+
+/// JSON-escapes the characters that can appear in metric names.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatNumber(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+const std::vector<double>& DefaultLatencyBounds() {
+  static const std::vector<double>* bounds = [] {
+    auto* b = new std::vector<double>;
+    double bound = 0.1;
+    for (int i = 0; i < 14; ++i) {
+      b->push_back(bound);
+      bound *= 2;
+    }
+    return b;
+  }();
+  return *bounds;
+}
+
+void MetricsRegistry::CounterAdd(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::GaugeSet(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::HistogramObserve(const std::string& name, double value,
+                                       const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramData& hist = histograms_[name];
+  if (hist.bucket_counts.empty()) {
+    hist.bounds = bounds.empty() ? DefaultLatencyBounds() : bounds;
+    hist.bucket_counts.assign(hist.bounds.size() + 1, 0);
+  }
+  size_t bucket = hist.bounds.size();  // overflow by default
+  for (size_t i = 0; i < hist.bounds.size(); ++i) {
+    if (value <= hist.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++hist.bucket_counts[bucket];
+  hist.sum += value;
+  hist.min = hist.count == 0 ? value : std::min(hist.min, value);
+  hist.max = hist.count == 0 ? value : std::max(hist.max, value);
+  ++hist.count;
+}
+
+int64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters = counters_;
+  snapshot.gauges = gauges_;
+  snapshot.histograms = histograms_;
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ExportJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+std::string ExportText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << name << " " << FormatNumber(value) << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    os << name << " count=" << hist.count << " sum=" << FormatNumber(hist.sum);
+    if (hist.count > 0) {
+      os << " mean=" << FormatNumber(hist.sum / static_cast<double>(hist.count))
+         << " min=" << FormatNumber(hist.min)
+         << " max=" << FormatNumber(hist.max);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ExportJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": " << value;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": " << FormatNumber(value);
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": {\"count\": " << hist.count
+       << ", \"sum\": " << FormatNumber(hist.sum);
+    if (hist.count > 0) {
+      os << ", \"min\": " << FormatNumber(hist.min)
+         << ", \"max\": " << FormatNumber(hist.max);
+    }
+    os << ", \"bounds\": [";
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << FormatNumber(hist.bounds[i]);
+    }
+    os << "], \"buckets\": [";
+    for (size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << hist.bucket_counts[i];
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = [] {
+    ArmEnvExportAtExit();
+    return new MetricsRegistry;
+  }();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace fieldswap

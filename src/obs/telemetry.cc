@@ -1,0 +1,205 @@
+#include "obs/telemetry.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace fieldswap {
+namespace obs {
+namespace {
+
+std::string EscapeRun(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string Num(double value) {
+  std::ostringstream os;
+  os << std::setprecision(17) << value;
+  return os.str();
+}
+
+/// Extracts the raw text of `"key": <value>` from one exporter-formatted
+/// JSON line. Returns false when the key is absent.
+bool RawField(const std::string& line, const std::string& key,
+              std::string* out) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  size_t end = pos;
+  if (pos < line.size() && line[pos] == '"') {
+    ++pos;
+    end = pos;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;
+      ++end;
+    }
+    std::string raw = line.substr(pos, end - pos);
+    std::string unescaped;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '\\' && i + 1 < raw.size()) ++i;
+      unescaped.push_back(raw[i]);
+    }
+    *out = unescaped;
+    return true;
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(pos, end - pos);
+  return true;
+}
+
+bool NumberField(const std::string& line, const std::string& key,
+                 double* out) {
+  std::string raw;
+  if (!RawField(line, key, &raw)) return false;
+  try {
+    *out = std::stod(raw);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void TrainingTelemetry::BeginRun(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_ = label;
+}
+
+void TrainingTelemetry::RecordStep(int step, double loss, double step_ms) {
+  TelemetryRecord record;
+  record.kind = TelemetryRecord::Kind::kStep;
+  record.step = step;
+  record.loss = loss;
+  record.step_ms = step_ms;
+  Append(std::move(record));
+}
+
+void TrainingTelemetry::RecordValidation(int step, double micro_f1,
+                                         bool improved) {
+  TelemetryRecord record;
+  record.kind = TelemetryRecord::Kind::kValidation;
+  record.step = step;
+  record.micro_f1 = micro_f1;
+  record.improved = improved;
+  Append(std::move(record));
+}
+
+void TrainingTelemetry::Append(TelemetryRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.run = run_;
+  records_.push_back(std::move(record));
+}
+
+std::vector<TelemetryRecord> TrainingTelemetry::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t TrainingTelemetry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void TrainingTelemetry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+std::string TrainingTelemetry::ExportJsonl() const {
+  std::ostringstream os;
+  for (const TelemetryRecord& r : records()) {
+    os << "{\"run\": \"" << EscapeRun(r.run) << "\", ";
+    if (r.kind == TelemetryRecord::Kind::kStep) {
+      os << "\"kind\": \"step\", \"step\": " << r.step
+         << ", \"loss\": " << Num(r.loss)
+         << ", \"step_ms\": " << Num(r.step_ms);
+    } else {
+      os << "\"kind\": \"validation\", \"step\": " << r.step
+         << ", \"micro_f1\": " << Num(r.micro_f1)
+         << ", \"improved\": " << (r.improved ? "true" : "false");
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string TrainingTelemetry::ExportCsv() const {
+  std::ostringstream os;
+  os << "run,kind,step,loss,step_ms,micro_f1,improved\n";
+  for (const TelemetryRecord& r : records()) {
+    bool step = r.kind == TelemetryRecord::Kind::kStep;
+    os << r.run << "," << (step ? "step" : "validation") << "," << r.step
+       << ",";
+    if (step) {
+      os << Num(r.loss) << "," << Num(r.step_ms) << ",,";
+    } else {
+      os << ",," << Num(r.micro_f1) << "," << (r.improved ? 1 : 0);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool TrainingTelemetry::WriteJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ExportJsonl();
+  return static_cast<bool>(out);
+}
+
+bool TrainingTelemetry::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ExportCsv();
+  return static_cast<bool>(out);
+}
+
+bool TrainingTelemetry::ParseJsonl(const std::string& jsonl,
+                                   TrainingTelemetry* out) {
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    TelemetryRecord record;
+    std::string kind;
+    double step = 0;
+    if (!RawField(line, "run", &record.run) ||
+        !RawField(line, "kind", &kind) ||
+        !NumberField(line, "step", &step)) {
+      return false;
+    }
+    record.step = static_cast<int>(step);
+    if (kind == "step") {
+      record.kind = TelemetryRecord::Kind::kStep;
+      if (!NumberField(line, "loss", &record.loss) ||
+          !NumberField(line, "step_ms", &record.step_ms)) {
+        return false;
+      }
+    } else if (kind == "validation") {
+      record.kind = TelemetryRecord::Kind::kValidation;
+      std::string improved;
+      if (!NumberField(line, "micro_f1", &record.micro_f1) ||
+          !RawField(line, "improved", &improved)) {
+        return false;
+      }
+      record.improved = improved == "true";
+    } else {
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(out->mu_);
+    out->records_.push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace fieldswap

@@ -1,0 +1,64 @@
+#ifndef FIELDSWAP_OBS_TELEMETRY_H_
+#define FIELDSWAP_OBS_TELEMETRY_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fieldswap {
+namespace obs {
+
+/// One training-telemetry record: either a per-step loss sample or a
+/// validation-time micro-F1 sample, tagged with the run it belongs to.
+struct TelemetryRecord {
+  enum class Kind { kStep, kValidation };
+
+  std::string run;  // label set by TrainingTelemetry::BeginRun
+  Kind kind = Kind::kStep;
+  int step = 0;
+  double loss = 0;      // kStep only
+  double step_ms = 0;   // kStep only
+  double micro_f1 = 0;  // kValidation only
+  bool improved = false;  // kValidation only: new best checkpoint taken
+};
+
+/// Thread-safe recorder the trainer feeds per-step losses and validation
+/// micro-F1 into (TrainOptions::telemetry). Exportable as JSONL (one JSON
+/// object per line) or CSV for plotting the paper's training curves.
+class TrainingTelemetry {
+ public:
+  TrainingTelemetry() = default;
+  TrainingTelemetry(const TrainingTelemetry&) = delete;
+  TrainingTelemetry& operator=(const TrainingTelemetry&) = delete;
+
+  /// Starts a new labeled run; subsequent records are tagged with `label`.
+  void BeginRun(const std::string& label);
+
+  void RecordStep(int step, double loss, double step_ms);
+  void RecordValidation(int step, double micro_f1, bool improved);
+
+  std::vector<TelemetryRecord> records() const;
+  size_t size() const;
+  void Clear();
+
+  std::string ExportJsonl() const;
+  std::string ExportCsv() const;
+  bool WriteJsonl(const std::string& path) const;
+  bool WriteCsv(const std::string& path) const;
+
+  /// Parses ExportJsonl output back into `out` (appending). Returns false
+  /// on any malformed line. Only understands the exporter's own format.
+  static bool ParseJsonl(const std::string& jsonl, TrainingTelemetry* out);
+
+ private:
+  void Append(TelemetryRecord record);
+
+  mutable std::mutex mu_;
+  std::string run_ = "default";
+  std::vector<TelemetryRecord> records_;
+};
+
+}  // namespace obs
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_OBS_TELEMETRY_H_

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+namespace obs {
+namespace {
+
+/// Small sequential id per OS thread (Chrome's tid field renders better
+/// with small integers than with std::thread::id hashes).
+int ThreadTid() {
+  static std::atomic<int> next_tid{0};
+  thread_local int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local int t_span_depth = 0;
+
+std::string JsonEscapeName(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceRecorder::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool TraceRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::ExportChromeJson() const {
+  std::vector<TraceEvent> events = this->events();
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"name\": \"" << JsonEscapeName(e.name)
+       << "\", \"cat\": \"fieldswap\", \"ph\": \"X\", \"ts\": " << e.ts_us
+       << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": " << e.tid
+       << "}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}";
+  return os.str();
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ExportChromeJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+TraceRecorder& GlobalTrace() {
+  static TraceRecorder* recorder = [] {
+    ArmEnvExportAtExit();
+    return new TraceRecorder;
+  }();
+  return *recorder;
+}
+
+TraceSpan::TraceSpan(const char* name, TraceRecorder* recorder)
+    : recorder_(recorder != nullptr ? recorder : &GlobalTrace()) {
+  if (!recorder_->enabled()) {
+    recorder_ = nullptr;
+    return;
+  }
+  name_ = name;
+  depth_ = t_span_depth++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (recorder_ == nullptr) return;
+  auto end = std::chrono::steady_clock::now();
+  --t_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(start_ - recorder_->origin())
+          .count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - start_).count();
+  event.tid = ThreadTid();
+  event.depth = depth_;
+  recorder_->Record(std::move(event));
+}
+
+int TraceSpan::CurrentDepth() { return t_span_depth; }
+
+void ArmEnvExportAtExit() {
+  static bool armed = [] {
+    std::atexit([] {
+      if (const char* path = std::getenv("FS_TRACE_FILE");
+          path != nullptr && *path != '\0') {
+        if (GlobalTrace().WriteChromeTrace(path)) {
+          FS_LOG(Info) << "wrote trace (" << GlobalTrace().size()
+                       << " spans) to " << path;
+        } else {
+          FS_LOG(Error) << "failed to write trace to " << path;
+        }
+      }
+      if (const char* path = std::getenv("FS_METRICS_FILE");
+          path != nullptr && *path != '\0') {
+        if (GlobalMetrics().WriteJsonFile(path)) {
+          FS_LOG(Info) << "wrote metrics snapshot to " << path;
+        } else {
+          FS_LOG(Error) << "failed to write metrics to " << path;
+        }
+      }
+    });
+    return true;
+  }();
+  (void)armed;
+}
+
+}  // namespace obs
+}  // namespace fieldswap

@@ -1,0 +1,104 @@
+#ifndef FIELDSWAP_OBS_TRACE_H_
+#define FIELDSWAP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fieldswap {
+namespace obs {
+
+/// One completed span. Times are microseconds relative to the recorder's
+/// process-start reference so exported traces start near t=0.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0;   // span start
+  double dur_us = 0;  // span duration
+  int tid = 0;        // small sequential id, one per OS thread
+  int depth = 0;      // nesting depth at span start (0 = top level)
+};
+
+/// Thread-safe collector of completed spans with a Chrome
+/// `chrome://tracing` / Perfetto compatible JSON exporter. Spans are
+/// recorded on scope exit (RAII via TraceSpan), so children appear before
+/// their parent in `events()`.
+class TraceRecorder {
+ public:
+  TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Recording is on by default; disabling makes TraceSpan a cheap no-op.
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  void Record(TraceEvent event);
+  std::vector<TraceEvent> events() const;
+  size_t size() const;
+  /// Number of spans dropped after the in-memory cap was hit.
+  int64_t dropped() const;
+  void Clear();
+
+  /// {"traceEvents": [{"name", "ph": "X", "ts", "dur", "pid", "tid"}...]}
+  /// — load via chrome://tracing or https://ui.perfetto.dev.
+  std::string ExportChromeJson() const;
+  /// Writes ExportChromeJson() to `path`; returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  std::chrono::steady_clock::time_point origin() const { return origin_; }
+
+  /// In-memory cap on retained spans; further spans increment dropped().
+  static constexpr size_t kMaxEvents = 1 << 20;
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point origin_;
+  bool enabled_ = true;
+  std::vector<TraceEvent> events_;
+  int64_t dropped_ = 0;
+};
+
+/// Process-wide recorder used by FS_TRACE_SPAN. First use arms the
+/// FS_TRACE_FILE at-exit export.
+TraceRecorder& GlobalTrace();
+
+/// RAII span: measures from construction to destruction and records the
+/// completed event into the recorder (global by default). Nesting is
+/// tracked via a thread-local depth counter shared by all recorders.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, TraceRecorder* recorder = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Current nesting depth on this thread (0 when no span is open).
+  static int CurrentDepth();
+
+ private:
+  TraceRecorder* recorder_;  // null when recording was disabled at entry
+  const char* name_ = nullptr;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Installs (once) a std::atexit hook that exports the global trace to
+/// $FS_TRACE_FILE and the global metrics registry to $FS_METRICS_FILE when
+/// those variables are set. Called automatically on first use of
+/// GlobalTrace()/GlobalMetrics(); safe to call directly.
+void ArmEnvExportAtExit();
+
+}  // namespace obs
+}  // namespace fieldswap
+
+#define FS_TRACE_CONCAT_INNER(a, b) a##b
+#define FS_TRACE_CONCAT(a, b) FS_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a RAII trace span covering the rest of the enclosing scope.
+#define FS_TRACE_SPAN(name) \
+  ::fieldswap::obs::TraceSpan FS_TRACE_CONCAT(fs_trace_span_, __COUNTER__)(name)
+
+#endif  // FIELDSWAP_OBS_TRACE_H_

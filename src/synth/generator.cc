@@ -1,8 +1,11 @@
 #include "synth/generator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/builder.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -268,6 +271,8 @@ Document GenerateDocument(const DomainSpec& spec, const std::string& doc_id,
 std::vector<Document> GenerateCorpus(const DomainSpec& spec, int count,
                                      uint64_t seed,
                                      const std::string& id_prefix) {
+  FS_TRACE_SPAN("synth.generate_corpus");
+  auto start = std::chrono::steady_clock::now();
   Rng rng(seed);
   std::vector<Document> docs;
   docs.reserve(static_cast<size_t>(count));
@@ -277,6 +282,14 @@ std::vector<Document> GenerateCorpus(const DomainSpec& spec, int count,
     docs.push_back(GenerateDocument(spec, id_prefix + "-" + std::to_string(i),
                                     template_id,
                                     rng.Split(static_cast<uint64_t>(i))));
+  }
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  obs::CounterAdd("fieldswap.synth.docs", count);
+  if (seconds > 0) {
+    obs::GaugeSet("fieldswap.synth.docs_per_sec",
+                  static_cast<double>(count) / seconds);
   }
   return docs;
 }

@@ -1,0 +1,117 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace fieldswap {
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+// Guarded by SinkMutex(); nullptr means "write to stderr".
+LogSink*& ActiveSink() {
+  static LogSink* sink = nullptr;
+  return sink;
+}
+
+std::atomic<LogSeverity>& MinSeverity() {
+  static std::atomic<LogSeverity>* severity = [] {
+    LogSeverity initial = LogSeverity::kInfo;
+    if (const char* env = std::getenv("FS_LOG_LEVEL");
+        env != nullptr && *env != '\0') {
+      ParseLogSeverity(env, &initial);
+    }
+    return new std::atomic<LogSeverity>(initial);
+  }();
+  return *severity;
+}
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+bool EqualsLower(std::string_view a, std::string_view lower) {
+  if (a.size() != lower.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char c = a[i] >= 'A' && a[i] <= 'Z' ? static_cast<char>(a[i] + 32) : a[i];
+    if (c != lower[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() { return MinSeverity().load(); }
+
+void SetMinLogSeverity(LogSeverity severity) { MinSeverity().store(severity); }
+
+bool ParseLogSeverity(std::string_view name, LogSeverity* out) {
+  if (EqualsLower(name, "info")) {
+    *out = LogSeverity::kInfo;
+  } else if (EqualsLower(name, "warning") || EqualsLower(name, "warn")) {
+    *out = LogSeverity::kWarning;
+  } else if (EqualsLower(name, "error")) {
+    *out = LogSeverity::kError;
+  } else if (EqualsLower(name, "fatal")) {
+    *out = LogSeverity::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogSink* SetLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink* previous = ActiveSink();
+  ActiveSink() = sink;
+  return previous;
+}
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << SeverityTag(severity) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  bool fatal = severity_ == LogSeverity::kFatal;
+  if (fatal || severity_ >= MinLogSeverity()) {
+    std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    if (ActiveSink() != nullptr) {
+      ActiveSink()->Write(severity_, line);
+    } else {
+      std::cerr << line;
+      std::cerr.flush();
+    }
+  }
+  if (fatal) {
+    std::abort();
+  }
+}
+
+}  // namespace fieldswap

@@ -1,64 +1,64 @@
 #ifndef FIELDSWAP_UTIL_LOGGING_H_
 #define FIELDSWAP_UTIL_LOGGING_H_
 
-#include <cstdlib>
-#include <iostream>
 #include <sstream>
+#include <string_view>
 
 namespace fieldswap {
 
 /// Severity levels for LogMessage.
 enum class LogSeverity { kInfo, kWarning, kError, kFatal };
 
-/// Minimal streaming log sink. A LogMessage accumulates a line and flushes
-/// it to stderr on destruction; kFatal additionally aborts the process.
+/// Destination for formatted log lines. Implementations receive the fully
+/// formatted line (severity tag, location, message, trailing newline) and
+/// must be safe to call from multiple threads: the logger serializes all
+/// Write calls behind one mutex.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogSeverity severity, std::string_view line) = 0;
+};
+
+/// Minimum severity that reaches the sink. Initialized once from the
+/// FS_LOG_LEVEL environment variable ("info", "warning", "error", "fatal";
+/// default info). kFatal messages are always emitted and always abort.
+LogSeverity MinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Parses a severity name; returns false (and leaves `out` alone) on an
+/// unrecognized value. Accepts "info", "warning"/"warn", "error", "fatal"
+/// (case-insensitive).
+bool ParseLogSeverity(std::string_view name, LogSeverity* out);
+
+/// Replaces the process-wide sink; returns the previous one (nullptr means
+/// the default stderr sink was active). Passing nullptr restores the
+/// default. The caller keeps ownership of the installed sink and must keep
+/// it alive until replaced.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Minimal streaming logger. A LogMessage accumulates a line and flushes it
+/// to the active sink on destruction (under a mutex, so concurrent log
+/// lines never interleave); kFatal additionally aborts the process.
 class LogMessage {
  public:
-  LogMessage(LogSeverity severity, const char* file, int line)
-      : severity_(severity) {
-    stream_ << SeverityTag(severity) << " " << Basename(file) << ":" << line
-            << "] ";
-  }
-
+  LogMessage(LogSeverity severity, const char* file, int line);
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
-
-  ~LogMessage() {
-    stream_ << "\n";
-    std::cerr << stream_.str();
-    if (severity_ == LogSeverity::kFatal) {
-      std::cerr.flush();
-      std::abort();
-    }
-  }
+  ~LogMessage();
 
   std::ostream& stream() { return stream_; }
 
  private:
-  static const char* SeverityTag(LogSeverity severity) {
-    switch (severity) {
-      case LogSeverity::kInfo:
-        return "I";
-      case LogSeverity::kWarning:
-        return "W";
-      case LogSeverity::kError:
-        return "E";
-      case LogSeverity::kFatal:
-        return "F";
-    }
-    return "?";
-  }
-
-  static const char* Basename(const char* path) {
-    const char* base = path;
-    for (const char* p = path; *p != '\0'; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    return base;
-  }
-
   LogSeverity severity_;
   std::ostringstream stream_;
+};
+
+/// Swallows the stream expression in FS_CHECK's success branch. operator&
+/// binds looser than << and tighter than ?:, so the whole macro stays one
+/// void expression.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
 };
 
 }  // namespace fieldswap
@@ -69,15 +69,18 @@ class LogMessage {
       .stream()
 
 // CHECK-style assertion that is active in all build modes. On failure it
-// logs the failed condition and aborts.
-#define FS_CHECK(condition)                                      \
-  if (!(condition))                                              \
-  FS_LOG(Fatal) << "Check failed: " #condition " "
+// logs the failed condition and aborts. Expands to a single void
+// expression, so `if (x) FS_CHECK(y); else ...` binds as intended.
+#define FS_CHECK(condition)                       \
+  (condition) ? (void)0                           \
+              : ::fieldswap::LogMessageVoidify() & \
+                    FS_LOG(Fatal) << "Check failed: " #condition " "
 
-#define FS_CHECK_OP(op, a, b)                                              \
-  if (!((a)op(b)))                                                         \
-  FS_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " \
-                << (b) << ") "
+#define FS_CHECK_OP(op, a, b)                                               \
+  ((a)op(b)) ? (void)0                                                      \
+             : ::fieldswap::LogMessageVoidify() &                           \
+                   FS_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" \
+                                 << (a) << " vs " << (b) << ") "
 
 #define FS_CHECK_EQ(a, b) FS_CHECK_OP(==, a, b)
 #define FS_CHECK_NE(a, b) FS_CHECK_OP(!=, a, b)

@@ -1,0 +1,308 @@
+// Tests for the src/obs observability subsystem: metric semantics,
+// concurrent registry access (run under -DFIELDSWAP_SANITIZE=thread to
+// verify data-race freedom), trace span nesting, telemetry JSONL
+// round-trip, and log severity filtering through a pluggable sink.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+namespace {
+
+using obs::HistogramData;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::TelemetryRecord;
+using obs::TraceEvent;
+using obs::TraceRecorder;
+using obs::TraceSpan;
+using obs::TrainingTelemetry;
+
+TEST(MetricsRegistryTest, CounterSemantics) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("fieldswap.test.count"), 0);
+  registry.CounterAdd("fieldswap.test.count");
+  registry.CounterAdd("fieldswap.test.count", 4);
+  EXPECT_EQ(registry.CounterValue("fieldswap.test.count"), 5);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.count("fieldswap.test.count"), 1u);
+  EXPECT_EQ(snapshot.counters.at("fieldswap.test.count"), 5);
+
+  registry.Reset();
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  registry.GaugeSet("fieldswap.test.gauge", 1.5);
+  registry.GaugeSet("fieldswap.test.gauge", -2.25);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("fieldswap.test.gauge"), -2.25);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAndStats) {
+  MetricsRegistry registry;
+  std::vector<double> bounds = {1.0, 10.0, 100.0};
+  registry.HistogramObserve("h", 0.5, bounds);   // bucket 0
+  registry.HistogramObserve("h", 1.0, bounds);   // bucket 0 (inclusive bound)
+  registry.HistogramObserve("h", 7.0, bounds);   // bucket 1
+  registry.HistogramObserve("h", 500.0, bounds); // overflow
+
+  HistogramData hist = registry.Snapshot().histograms.at("h");
+  ASSERT_EQ(hist.bucket_counts.size(), 4u);
+  EXPECT_EQ(hist.bucket_counts[0], 2);
+  EXPECT_EQ(hist.bucket_counts[1], 1);
+  EXPECT_EQ(hist.bucket_counts[2], 0);
+  EXPECT_EQ(hist.bucket_counts[3], 1);
+  EXPECT_EQ(hist.count, 4);
+  EXPECT_DOUBLE_EQ(hist.sum, 508.5);
+  EXPECT_DOUBLE_EQ(hist.min, 0.5);
+  EXPECT_DOUBLE_EQ(hist.max, 500.0);
+}
+
+TEST(MetricsRegistryTest, HistogramLayoutFixedByFirstObservation) {
+  MetricsRegistry registry;
+  registry.HistogramObserve("h", 2.0, {1.0, 3.0});
+  registry.HistogramObserve("h", 2.0, {100.0});  // layout ignored
+  HistogramData hist = registry.Snapshot().histograms.at("h");
+  EXPECT_EQ(hist.bounds, (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(hist.count, 2);
+}
+
+TEST(MetricsRegistryTest, ExportsContainMetrics) {
+  MetricsRegistry registry;
+  registry.CounterAdd("fieldswap.test.applied", 3);
+  registry.GaugeSet("fieldswap.test.rate", 0.5);
+  registry.HistogramObserve("fieldswap.test.ms", 2.0, {1.0, 4.0});
+
+  std::string text = registry.ExportText();
+  EXPECT_NE(text.find("fieldswap.test.applied 3"), std::string::npos);
+  EXPECT_NE(text.find("fieldswap.test.rate 0.5"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+
+  std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"fieldswap.test.applied\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [0, 1, 0]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kIters; ++i) {
+        registry.CounterAdd("fieldswap.test.concurrent");
+        registry.GaugeSet("fieldswap.test.gauge", static_cast<double>(t));
+        registry.HistogramObserve("fieldswap.test.hist",
+                                  static_cast<double>(i % 16), {4.0, 8.0});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(registry.CounterValue("fieldswap.test.concurrent"),
+            kThreads * kIters);
+  HistogramData hist = registry.Snapshot().histograms.at("fieldswap.test.hist");
+  EXPECT_EQ(hist.count, kThreads * kIters);
+}
+
+TEST(TraceTest, SpansNestAndRecordOnScopeExit) {
+  TraceRecorder recorder;
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  {
+    TraceSpan outer("outer", &recorder);
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+    {
+      TraceSpan inner("inner", &recorder);
+      EXPECT_EQ(TraceSpan::CurrentDepth(), 2);
+    }
+    // The inner span is recorded as soon as it closes; outer is still open.
+    EXPECT_EQ(recorder.size(), 1u);
+  }
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+
+  std::vector<TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  // RAII order: children complete before parents.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 0);
+  // The parent encloses the child in time.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+}
+
+TEST(TraceTest, DisabledRecorderSkipsSpans) {
+  TraceRecorder recorder;
+  recorder.set_enabled(false);
+  {
+    TraceSpan span("skipped", &recorder);
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  }
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonExportShape) {
+  TraceRecorder recorder;
+  { TraceSpan span("phase \"x\"", &recorder); }
+  std::string json = recorder.ExportChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("phase \\\"x\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+}
+
+TEST(TraceTest, GlobalMacroRecordsIntoGlobalRecorder) {
+  size_t before = obs::GlobalTrace().size();
+  { FS_TRACE_SPAN("obs_test.macro_span"); }
+  std::vector<TraceEvent> events = obs::GlobalTrace().events();
+  ASSERT_GT(events.size(), before);
+  EXPECT_EQ(events.back().name, "obs_test.macro_span");
+}
+
+TEST(TelemetryTest, JsonlRoundTrip) {
+  TrainingTelemetry telemetry;
+  telemetry.BeginRun("baseline");
+  telemetry.RecordStep(1, 2.5, 0.75);
+  telemetry.RecordStep(2, 1.25, 0.5);
+  telemetry.BeginRun("fieldswap \"t2t\"");
+  telemetry.RecordValidation(200, 0.875, true);
+  telemetry.RecordValidation(400, 0.75, false);
+
+  std::string jsonl = telemetry.ExportJsonl();
+  TrainingTelemetry parsed;
+  ASSERT_TRUE(TrainingTelemetry::ParseJsonl(jsonl, &parsed));
+
+  std::vector<TelemetryRecord> original = telemetry.records();
+  std::vector<TelemetryRecord> round = parsed.records();
+  ASSERT_EQ(round.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(round[i].run, original[i].run);
+    EXPECT_EQ(round[i].kind, original[i].kind);
+    EXPECT_EQ(round[i].step, original[i].step);
+    EXPECT_DOUBLE_EQ(round[i].loss, original[i].loss);
+    EXPECT_DOUBLE_EQ(round[i].step_ms, original[i].step_ms);
+    EXPECT_DOUBLE_EQ(round[i].micro_f1, original[i].micro_f1);
+    EXPECT_EQ(round[i].improved, original[i].improved);
+  }
+}
+
+TEST(TelemetryTest, ParseRejectsMalformedLines) {
+  TrainingTelemetry out;
+  EXPECT_FALSE(TrainingTelemetry::ParseJsonl("{\"run\": \"x\"}\n", &out));
+  EXPECT_FALSE(TrainingTelemetry::ParseJsonl(
+      "{\"run\": \"x\", \"kind\": \"bogus\", \"step\": 1}\n", &out));
+}
+
+TEST(TelemetryTest, CsvHasHeaderAndRows) {
+  TrainingTelemetry telemetry;
+  telemetry.BeginRun("r");
+  telemetry.RecordStep(1, 0.5, 1.0);
+  telemetry.RecordValidation(10, 0.25, true);
+  std::string csv = telemetry.ExportCsv();
+  EXPECT_NE(csv.find("run,kind,step,loss,step_ms,micro_f1,improved"),
+            std::string::npos);
+  EXPECT_NE(csv.find("r,step,1,"), std::string::npos);
+  EXPECT_NE(csv.find("r,validation,10,"), std::string::npos);
+}
+
+/// Captures formatted log lines for assertions.
+class CaptureSink : public LogSink {
+ public:
+  void Write(LogSeverity severity, std::string_view line) override {
+    severities.push_back(severity);
+    lines.emplace_back(line);
+  }
+  std::vector<LogSeverity> severities;
+  std::vector<std::string> lines;
+};
+
+class LoggingFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_sink_ = SetLogSink(&sink_);
+    previous_min_ = MinLogSeverity();
+  }
+  void TearDown() override {
+    SetLogSink(previous_sink_);
+    SetMinLogSeverity(previous_min_);
+  }
+  CaptureSink sink_;
+  LogSink* previous_sink_ = nullptr;
+  LogSeverity previous_min_ = LogSeverity::kInfo;
+};
+
+TEST_F(LoggingFilterTest, MinSeverityFiltersThroughSink) {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  FS_LOG(Info) << "suppressed";
+  FS_LOG(Warning) << "kept warning";
+  FS_LOG(Error) << "kept error";
+  ASSERT_EQ(sink_.lines.size(), 2u);
+  EXPECT_EQ(sink_.severities[0], LogSeverity::kWarning);
+  EXPECT_NE(sink_.lines[0].find("kept warning"), std::string::npos);
+  EXPECT_NE(sink_.lines[0].find("obs_test.cc"), std::string::npos);
+  EXPECT_EQ(sink_.severities[1], LogSeverity::kError);
+}
+
+TEST_F(LoggingFilterTest, InfoPassesAtDefaultLevel) {
+  SetMinLogSeverity(LogSeverity::kInfo);
+  FS_LOG(Info) << "visible";
+  ASSERT_EQ(sink_.lines.size(), 1u);
+  EXPECT_NE(sink_.lines[0].find("visible"), std::string::npos);
+}
+
+TEST(LoggingTest, ParseLogSeverityNames) {
+  LogSeverity severity = LogSeverity::kInfo;
+  EXPECT_TRUE(ParseLogSeverity("warning", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("WARN", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("Error", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+  EXPECT_TRUE(ParseLogSeverity("fatal", &severity));
+  EXPECT_EQ(severity, LogSeverity::kFatal);
+  EXPECT_TRUE(ParseLogSeverity("info", &severity));
+  EXPECT_EQ(severity, LogSeverity::kInfo);
+  EXPECT_FALSE(ParseLogSeverity("verbose", &severity));
+  EXPECT_EQ(severity, LogSeverity::kInfo);
+}
+
+TEST(LoggingTest, ChecksBindCorrectlyUnderDanglingElse) {
+  // Regression for the dangling-else hazard: before the fix, the `else`
+  // below would have bound to FS_CHECK's internal if. With the expression
+  // form, this must compile and take the `if` branch only.
+  bool took_else = false;
+  if (true)
+    FS_CHECK(1 + 1 == 2);
+  else
+    took_else = true;
+  EXPECT_FALSE(took_else);
+
+  if (false)
+    FS_CHECK_EQ(1, 2);  // must not evaluate/abort
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(FS_CHECK(false) << "boom", "Check failed: false");
+  EXPECT_DEATH(FS_CHECK_EQ(2, 3), "Check failed: 2 == 3");
+}
+
+}  // namespace
+}  // namespace fieldswap
