@@ -34,9 +34,8 @@ bool OverlapsAnyAnnotation(const Document& doc, const PhraseMatch& match) {
   return false;
 }
 
-/// All matches of any source phrase, longest-first and non-overlapping,
-/// excluding matches that touch annotated value tokens (key phrases are
-/// labels; values are never replaced).
+}  // namespace
+
 std::vector<PhraseMatch> CollectSourceMatches(
     const Document& doc, const std::vector<KeyPhrase>& source_phrases) {
   std::vector<PhraseMatch> all;
@@ -71,8 +70,6 @@ std::vector<PhraseMatch> CollectSourceMatches(
             });
   return kept;
 }
-
-}  // namespace
 
 std::optional<Document> SwapOnce(const Document& doc,
                                  const std::string& source_field,

@@ -44,6 +44,14 @@ struct SwapStats {
   int64_t pairs_with_match = 0;
 };
 
+/// All matches of any source key phrase in `doc`, returned in token order.
+/// Overlapping matches resolve longest-match-wins ("Base Salary" beats
+/// "Base"; equal lengths tie-break on the earlier start), and matches that
+/// overlap an annotated value span are excluded (key phrases are labels;
+/// values are never replaced).
+std::vector<PhraseMatch> CollectSourceMatches(
+    const Document& doc, const std::vector<KeyPhrase>& source_phrases);
+
 /// Generates one synthetic document: replaces every occurrence of any key
 /// phrase of `source_field` (per `phrases`) in `doc` with `target_phrase`,
 /// and relabels all instances of `source_field` as `target_field`. Returns

@@ -1,0 +1,45 @@
+#include "doc/span_match.h"
+
+namespace fieldswap {
+
+void MatchSpansPerField(const std::vector<EntitySpan>& gold,
+                        const std::vector<EntitySpan>& predicted,
+                        std::map<std::string, SpanMatchCounts>& counts) {
+  std::vector<bool> gold_matched(gold.size(), false);
+  for (const EntitySpan& p : predicted) {
+    bool hit = false;
+    for (size_t g = 0; g < gold.size(); ++g) {
+      if (!gold_matched[g] && gold[g] == p) {
+        gold_matched[g] = true;
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      ++counts[p.field].tp;
+    } else {
+      ++counts[p.field].fp;
+    }
+  }
+  for (size_t g = 0; g < gold.size(); ++g) {
+    if (!gold_matched[g]) ++counts[gold[g].field].fn;
+  }
+}
+
+SpanMatchCounts MatchSpans(const std::vector<EntitySpan>& gold,
+                           const std::vector<EntitySpan>& predicted) {
+  std::map<std::string, SpanMatchCounts> per_field;
+  MatchSpansPerField(gold, predicted, per_field);
+  SpanMatchCounts total;
+  for (const auto& [field, counts] : per_field) total += counts;
+  return total;
+}
+
+double F1FromCounts(const SpanMatchCounts& counts) {
+  double denom = 2.0 * static_cast<double>(counts.tp) +
+                 static_cast<double>(counts.fp) +
+                 static_cast<double>(counts.fn);
+  return denom == 0 ? 0.0 : 2.0 * static_cast<double>(counts.tp) / denom;
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,49 @@
+#ifndef FIELDSWAP_DOC_SPAN_MATCH_H_
+#define FIELDSWAP_DOC_SPAN_MATCH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+
+namespace fieldswap {
+
+/// Span-level true/false positive and false negative counts.
+struct SpanMatchCounts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+
+  SpanMatchCounts& operator+=(const SpanMatchCounts& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+    return *this;
+  }
+};
+
+/// One-to-one greedy matching of predicted spans against gold spans: a
+/// predicted span is a true positive iff an *unmatched* gold span has the
+/// same field and the exact same token range, and each gold span can
+/// satisfy at most one prediction. Duplicate predictions of one gold span
+/// therefore count one tp + (k-1) fp, and duplicated gold spans need
+/// duplicated predictions — `std::find`-style set membership would count
+/// both sides multiple times and inflate F1. This is the single scoring
+/// implementation shared by trainer validation (MicroF1OnDocs) and the
+/// eval harness (AccumulateSpanScores).
+SpanMatchCounts MatchSpans(const std::vector<EntitySpan>& gold,
+                           const std::vector<EntitySpan>& predicted);
+
+/// Same matching, accumulated per field name into `counts`.
+void MatchSpansPerField(const std::vector<EntitySpan>& gold,
+                        const std::vector<EntitySpan>& predicted,
+                        std::map<std::string, SpanMatchCounts>& counts);
+
+/// F1 = 2tp / (2tp + fp + fn); 0 when the denominator is 0.
+double F1FromCounts(const SpanMatchCounts& counts);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_DOC_SPAN_MATCH_H_

@@ -7,6 +7,7 @@
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 #include "synth/generator.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -74,7 +75,13 @@ LearningCurve ExperimentRunner::Run(const ExperimentSetting& setting) {
         synth_counts.push_back(static_cast<double>(augmented.stats.generated));
       }
 
-      for (int trial = 0; trial < config_.num_trials; ++trial) {
+      // Trials are independent (each owns its model, seeded by trial
+      // index), so they fan out across the pool; results merge serially
+      // in trial order to keep the reported statistics bit-identical for
+      // any thread count. With a telemetry recorder attached the trials
+      // stay serial — interleaved per-step records from concurrent trials
+      // would make the recorded stream order depend on scheduling.
+      auto run_trial = [&](size_t trial) {
         FS_TRACE_SPAN("eval.train_trial");
         obs::CounterAdd("fieldswap.eval.trials");
         SequenceModelConfig model_config = config_.model;
@@ -89,7 +96,19 @@ LearningCurve ExperimentRunner::Run(const ExperimentSetting& setting) {
         TrainSequenceModel(model, originals, synthetics, train);
 
         FS_TRACE_SPAN("eval.evaluate");
-        EvalResult eval = EvaluateModel(model, test_docs_);
+        return EvaluateModel(model, test_docs_);
+      };
+      std::vector<EvalResult> trial_evals;
+      if (config_.train.telemetry != nullptr) {
+        trial_evals.reserve(static_cast<size_t>(config_.num_trials));
+        for (int trial = 0; trial < config_.num_trials; ++trial) {
+          trial_evals.push_back(run_trial(static_cast<size_t>(trial)));
+        }
+      } else {
+        trial_evals = par::ParallelMap(
+            static_cast<size_t>(config_.num_trials), run_trial);
+      }
+      for (const EvalResult& eval : trial_evals) {
         macros.push_back(eval.macro_f1 * 100.0);
         micros.push_back(eval.micro_f1 * 100.0);
         for (const auto& [field, score] : eval.per_field) {

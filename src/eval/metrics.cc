@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
-#include <algorithm>
+#include "doc/span_match.h"
+#include "par/parallel.h"
 
 namespace fieldswap {
 
@@ -14,26 +15,18 @@ double FieldScore::Recall() const {
                       : static_cast<double>(tp) / static_cast<double>(tp + fn);
 }
 
-double FieldScore::F1() const {
-  double denom = 2.0 * static_cast<double>(tp) + static_cast<double>(fp) +
-                 static_cast<double>(fn);
-  return denom == 0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
-}
+double FieldScore::F1() const { return F1FromCounts({tp, fp, fn}); }
 
 void AccumulateSpanScores(const std::vector<EntitySpan>& gold,
                           const std::vector<EntitySpan>& predicted,
                           std::map<std::string, FieldScore>& scores) {
-  for (const EntitySpan& p : predicted) {
-    if (std::find(gold.begin(), gold.end(), p) != gold.end()) {
-      ++scores[p.field].tp;
-    } else {
-      ++scores[p.field].fp;
-    }
-  }
-  for (const EntitySpan& g : gold) {
-    if (std::find(predicted.begin(), predicted.end(), g) == predicted.end()) {
-      ++scores[g.field].fn;
-    }
+  std::map<std::string, SpanMatchCounts> counts;
+  MatchSpansPerField(gold, predicted, counts);
+  for (const auto& [field, c] : counts) {
+    FieldScore& score = scores[field];
+    score.tp += c.tp;
+    score.fp += c.fp;
+    score.fn += c.fn;
   }
 }
 
@@ -59,9 +52,14 @@ EvalResult FinalizeScores(std::map<std::string, FieldScore> scores) {
 
 EvalResult EvaluateModel(const SequenceLabelingModel& model,
                          const std::vector<Document>& test_docs) {
+  // Prediction fans out across the pool; scores accumulate serially in
+  // document order so the result is identical for any thread count.
+  std::vector<std::vector<EntitySpan>> predictions = par::ParallelMap(
+      test_docs.size(),
+      [&](size_t i) { return model.Predict(test_docs[i]); });
   std::map<std::string, FieldScore> scores;
-  for (const Document& doc : test_docs) {
-    AccumulateSpanScores(doc.annotations(), model.Predict(doc), scores);
+  for (size_t i = 0; i < test_docs.size(); ++i) {
+    AccumulateSpanScores(test_docs[i].annotations(), predictions[i], scores);
   }
   return FinalizeScores(std::move(scores));
 }

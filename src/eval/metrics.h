@@ -36,8 +36,10 @@ struct EvalResult {
 };
 
 /// Scores one document's predictions against its gold annotations,
-/// accumulating into `scores`. A predicted span is a true positive iff a
-/// gold span has the same field and the exact same token range.
+/// accumulating into `scores`. Matching is one-to-one greedy (see
+/// doc/span_match.h): a predicted span is a true positive iff an unmatched
+/// gold span has the same field and the exact same token range, so
+/// duplicate predictions cannot inflate tp.
 void AccumulateSpanScores(const std::vector<EntitySpan>& gold,
                           const std::vector<EntitySpan>& predicted,
                           std::map<std::string, FieldScore>& scores);

@@ -4,55 +4,28 @@
 #include <chrono>
 #include <cmath>
 
+#include "doc/span_match.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 #include "util/logging.h"
 
 namespace fieldswap {
-namespace {
-
-/// L2 norm over every parameter gradient (0 for params Backward never
-/// reached this step).
-double GradientNorm(const std::vector<NamedParam>& params) {
-  double sum_sq = 0;
-  for (const NamedParam& param : params) {
-    const Matrix& grad = param.param->grad;
-    const float* data = grad.data();
-    int64_t size = static_cast<int64_t>(grad.rows()) * grad.cols();
-    for (int64_t i = 0; i < size; ++i) {
-      sum_sq += static_cast<double>(data[i]) * static_cast<double>(data[i]);
-    }
-  }
-  return std::sqrt(sum_sq);
-}
-
-}  // namespace
 
 double MicroF1OnDocs(const SequenceLabelingModel& model,
                      const std::vector<Document>& docs) {
-  int64_t tp = 0, fp = 0, fn = 0;
-  for (const Document& doc : docs) {
-    std::vector<EntitySpan> predicted = model.Predict(doc);
-    const std::vector<EntitySpan>& gold = doc.annotations();
-    for (const EntitySpan& p : predicted) {
-      bool hit = std::find(gold.begin(), gold.end(), p) != gold.end();
-      if (hit) {
-        ++tp;
-      } else {
-        ++fp;
-      }
-    }
-    for (const EntitySpan& g : gold) {
-      if (std::find(predicted.begin(), predicted.end(), g) ==
-          predicted.end()) {
-        ++fn;
-      }
-    }
+  // Prediction fans out across the pool; counts accumulate serially in
+  // document order. Matching is the shared one-to-one implementation from
+  // doc/span_match.h — the same scoring the eval harness uses — so a
+  // duplicated predicted span counts one tp + one fp instead of two tps.
+  std::vector<std::vector<EntitySpan>> predictions = par::ParallelMap(
+      docs.size(), [&](size_t i) { return model.Predict(docs[i]); });
+  SpanMatchCounts counts;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    counts += MatchSpans(docs[i].annotations(), predictions[i]);
   }
-  double denom = 2.0 * static_cast<double>(tp) + static_cast<double>(fp) +
-                 static_cast<double>(fn);
-  return denom == 0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+  return F1FromCounts(counts);
 }
 
 TrainResult TrainSequenceModel(SequenceLabelingModel& model,
@@ -80,19 +53,19 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
   }
   if (val_docs.empty()) val_docs.push_back(originals[0]);
 
-  // Pre-encode original and synthetic pools once.
+  // Pre-encode original and synthetic pools once. Each document encodes
+  // independently on the pool; ParallelMap keeps the pool order identical
+  // to the serial loop's.
   std::vector<EncodedDoc> encoded_orig;
   std::vector<EncodedDoc> encoded_synth;
   {
     FS_TRACE_SPAN("train.encode_pools");
-    encoded_orig.reserve(train_docs.size());
-    for (const Document* doc : train_docs) {
-      encoded_orig.push_back(model.EncodeDoc(*doc));
-    }
-    encoded_synth.reserve(synthetics.size());
-    for (const Document& doc : synthetics) {
-      encoded_synth.push_back(model.EncodeDoc(doc));
-    }
+    encoded_orig = par::ParallelMap(train_docs.size(), [&](size_t i) {
+      return model.EncodeDoc(*train_docs[i]);
+    });
+    encoded_synth = par::ParallelMap(synthetics.size(), [&](size_t i) {
+      return model.EncodeDoc(synthetics[i]);
+    });
   }
 
   AdamOptimizer::Options opt_options;
@@ -116,7 +89,7 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
     Var loss = model.Loss(doc);
     result.final_loss = loss->value.At(0, 0);
     Backward(loss);
-    obs::GaugeSet("fieldswap.train.grad_norm", GradientNorm(params));
+    obs::GaugeSet("fieldswap.train.grad_norm", GlobalGradNorm(params));
     optimizer.Step();
     ++result.steps;
 

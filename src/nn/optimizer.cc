@@ -23,16 +23,13 @@ void AdamOptimizer::Step() {
   const float b2 = options_.beta2;
   const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_));
   const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  if (options_.grad_clip_norm > 0) {
+    ClipGlobalGradNorm(params_, options_.grad_clip_norm);
+  }
   for (size_t p = 0; p < params_.size(); ++p) {
     Var& param = params_[p].param;
     param->EnsureGrad();
     Matrix& grad = param->grad;
-    if (options_.grad_clip_norm > 0) {
-      float norm = grad.Norm();
-      if (norm > options_.grad_clip_norm) {
-        grad.ScaleInPlace(options_.grad_clip_norm / norm);
-      }
-    }
     float* w = param->value.data();
     float* g = grad.data();
     float* m = m_[p].data();
@@ -54,6 +51,32 @@ void AdamOptimizer::ZeroGrad() {
     np.param->EnsureGrad();
     np.param->grad.Zero();
   }
+}
+
+double GlobalGradNorm(const std::vector<NamedParam>& params) {
+  double sum_sq = 0;
+  for (const NamedParam& np : params) {
+    np.param->EnsureGrad();
+    const Matrix& grad = np.param->grad;
+    const float* data = grad.data();
+    int64_t size = static_cast<int64_t>(grad.rows()) * grad.cols();
+    for (int64_t i = 0; i < size; ++i) {
+      sum_sq += static_cast<double>(data[i]) * static_cast<double>(data[i]);
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+double ClipGlobalGradNorm(const std::vector<NamedParam>& params,
+                          double max_norm) {
+  double norm = GlobalGradNorm(params);
+  if (max_norm > 0 && norm > max_norm) {
+    float scale = static_cast<float>(max_norm / norm);
+    for (const NamedParam& np : params) {
+      np.param->grad.ScaleInPlace(scale);
+    }
+  }
+  return norm;
 }
 
 std::vector<Matrix> SnapshotParams(const std::vector<NamedParam>& params) {

@@ -15,7 +15,9 @@ class AdamOptimizer {
     float beta1 = 0.9f;
     float beta2 = 0.999f;
     float epsilon = 1e-8f;
-    /// Clip each parameter's gradient to this L2 norm (0 disables).
+    /// Clip the *global* gradient L2 norm — over all parameters jointly —
+    /// to this value (0 disables). Matches the global norm the trainer
+    /// reports as fieldswap.train.grad_norm.
     float grad_clip_norm = 5.0f;
   };
 
@@ -39,6 +41,17 @@ class AdamOptimizer {
   std::vector<Matrix> v_;
   int64_t step_ = 0;
 };
+
+/// L2 norm over every parameter gradient taken jointly (0 for params
+/// Backward never reached). Grads are materialized via EnsureGrad.
+double GlobalGradNorm(const std::vector<NamedParam>& params);
+
+/// Jointly rescales every gradient so the global norm is at most
+/// `max_norm` (standard global-norm clipping: all tensors share one scale
+/// factor). No-op when max_norm <= 0 or the norm is already under the
+/// limit. Returns the pre-clip global norm.
+double ClipGlobalGradNorm(const std::vector<NamedParam>& params,
+                          double max_norm);
 
 /// Snapshot of parameter values (for best-validation checkpointing).
 std::vector<Matrix> SnapshotParams(const std::vector<NamedParam>& params);

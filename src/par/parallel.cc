@@ -1,0 +1,223 @@
+#include "par/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace fieldswap {
+namespace par {
+namespace {
+
+thread_local bool t_in_region = false;
+
+/// Times one task and feeds the fieldswap.par.* instrumentation. Shared by
+/// the serial fallback and the pool workers so both paths are observable.
+void RunOneTask(const std::function<void(size_t)>& fn, size_t i) {
+  auto start = std::chrono::steady_clock::now();
+  fn(i);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  obs::HistogramObserve("fieldswap.par.task_ms", ms);
+}
+
+/// One indexed batch of tasks. Each Run call gets its own Batch held by
+/// shared_ptr: a worker that wakes late (or lingers after the batch is
+/// drained) only ever touches the batch it captured, whose claim counter
+/// is already exhausted — it can never claim indices of a newer batch or
+/// run a function whose captures have been destroyed.
+struct Batch {
+  std::function<void(size_t)> fn;
+  size_t n = 0;
+  std::atomic<size_t> next_index{0};
+  std::atomic<size_t> tasks_completed{0};
+  std::exception_ptr first_error;  // guarded by the pool mutex
+};
+
+/// Fixed-size pool of worker threads executing one indexed batch at a
+/// time. The thread that calls Run participates as an extra worker, so a
+/// pool built for `threads` uses `threads - 1` dedicated workers. Indices
+/// are claimed dynamically (atomic counter); determinism comes from tasks
+/// writing only to their own output slot, not from scheduling order.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers) {
+    workers_.reserve(static_cast<size_t>(num_workers));
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    job_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n) across the workers plus the calling
+  /// thread; blocks until every task completed. One batch at a time.
+  void Run(size_t n, const std::function<void(size_t)>& fn) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    auto batch = std::make_shared<Batch>();
+    batch->fn = fn;  // batch-owned copy: workers never see a dangling ref
+    batch->n = n;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_batch_ = batch;
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    DrainTasks(*batch);
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return batch->tasks_completed.load(std::memory_order_acquire) == n;
+      });
+      error = std::exchange(batch->first_error, nullptr);
+      current_batch_.reset();
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        job_cv_.wait(lock, [&] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        batch = current_batch_;
+      }
+      if (batch != nullptr) DrainTasks(*batch);
+    }
+  }
+
+  /// Claims and runs indices until the batch is exhausted. Marks the thread
+  /// as inside a parallel region so nested ParallelFor degrades to serial
+  /// instead of deadlocking the pool.
+  void DrainTasks(Batch& batch) {
+    bool was_in_region = std::exchange(t_in_region, true);
+    for (;;) {
+      size_t i = batch.next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch.n) break;
+      try {
+        RunOneTask(batch.fn, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!batch.first_error) batch.first_error = std::current_exception();
+      }
+      if (batch.tasks_completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          batch.n) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+    t_in_region = was_in_region;
+  }
+
+  std::mutex run_mu_;  // serializes concurrent external Run calls
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  uint64_t generation_ = 0;
+  std::shared_ptr<Batch> current_batch_;
+
+  std::vector<std::thread> workers_;
+};
+
+int& ThreadOverride() {
+  static int override_threads = 0;  // 0 = unset
+  return override_threads;
+}
+
+int EnvThreads() {
+  static int env_threads = [] {
+    const char* value = std::getenv("FIELDSWAP_THREADS");
+    if (value == nullptr || *value == '\0') return 0;
+    int parsed = std::atoi(value);
+    return parsed > 0 ? parsed : 0;
+  }();
+  return env_threads;
+}
+
+int DefaultThreads() {
+#ifdef FIELDSWAP_SANITIZE_BUILD
+  // Serial fallback under sanitizers: keeps reports focused on the tests
+  // that exercise concurrency on purpose. FIELDSWAP_THREADS still wins.
+  return 1;
+#else
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+#endif
+}
+
+std::mutex& PoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Shared pool, lazily created and resized when the thread count changes.
+ThreadPool& PoolFor(int threads) {
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(PoolMutex());
+  if (pool == nullptr || pool->num_workers() != threads - 1) {
+    pool.reset();  // join old workers before spawning the new set
+    pool = std::make_unique<ThreadPool>(threads - 1);
+  }
+  return *pool;
+}
+
+}  // namespace
+
+int Threads() {
+  if (ThreadOverride() > 0) return ThreadOverride();
+  if (EnvThreads() > 0) return EnvThreads();
+  return DefaultThreads();
+}
+
+void SetThreads(int n) { ThreadOverride() = n < 1 ? 1 : n; }
+
+bool InParallelRegion() { return t_in_region; }
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const int threads = Threads();
+  obs::GaugeSet("fieldswap.par.pool_size", threads);
+  obs::CounterAdd("fieldswap.par.tasks", static_cast<int64_t>(n));
+  if (threads <= 1 || n <= 1 || t_in_region) {
+    obs::CounterAdd("fieldswap.par.serial_batches");
+    bool was_in_region = std::exchange(t_in_region, true);
+    for (size_t i = 0; i < n; ++i) RunOneTask(fn, i);
+    t_in_region = was_in_region;
+    return;
+  }
+  obs::CounterAdd("fieldswap.par.batches");
+  PoolFor(threads).Run(n, fn);
+}
+
+}  // namespace par
+}  // namespace fieldswap

@@ -1,0 +1,61 @@
+#ifndef FIELDSWAP_PAR_PARALLEL_H_
+#define FIELDSWAP_PAR_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace fieldswap {
+namespace par {
+
+/// Deterministic parallel execution layer.
+///
+/// Determinism contract: every task is a pure function of its index — it
+/// reads shared immutable inputs, draws randomness only from an Rng that
+/// was `Split` off the parent stream *before* the parallel region (keyed by
+/// the task index), and writes only to its own output slot. Under that
+/// contract `ParallelFor`/`ParallelMap` produce bit-identical results for
+/// any thread count, including the serial `threads=1` fallback, so
+/// `FIELDSWAP_THREADS=1` and `FIELDSWAP_THREADS=4` runs of the same seed
+/// generate identical corpora and identical trained models.
+///
+/// Thread count resolution (first match wins):
+///   1. `SetThreads(n)` — programmatic override, used by tests and benches.
+///   2. `FIELDSWAP_THREADS` env var (read once, at first use).
+///   3. 1 when built with -DFIELDSWAP_SANITIZE (serial fallback keeps
+///      sanitizer reports focused on intentionally-concurrent tests).
+///   4. std::thread::hardware_concurrency().
+
+/// Effective worker count (>= 1).
+int Threads();
+
+/// Overrides the worker count (clamped to >= 1) and resizes the shared
+/// pool. Not safe to call concurrently with running parallel regions.
+void SetThreads(int n);
+
+/// True while the calling thread is executing a pool task. Nested parallel
+/// regions detect this and degrade to the serial path (the outer region
+/// already owns the workers; blocking a worker on an inner region would
+/// deadlock the pool).
+bool InParallelRegion();
+
+/// Runs fn(i) for every i in [0, n) and blocks until all calls finished.
+/// Serial (and loop-ordered) when Threads() == 1, n <= 1, or called from
+/// inside another parallel region. The first exception thrown by a task is
+/// rethrown on the calling thread after the region drains.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+/// Ordering-preserving map: returns {fn(0), fn(1), ..., fn(n-1)} with each
+/// call placed at its own index, regardless of completion order.
+/// R must be default-constructible.
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn) -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> results(n);
+  ParallelFor(n, [&](size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace par
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_PAR_PARALLEL_H_

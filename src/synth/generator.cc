@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/parallel.h"
 #include "synth/builder.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -274,15 +275,28 @@ std::vector<Document> GenerateCorpus(const DomainSpec& spec, int count,
   FS_TRACE_SPAN("synth.generate_corpus");
   auto start = std::chrono::steady_clock::now();
   Rng rng(seed);
-  std::vector<Document> docs;
-  docs.reserve(static_cast<size_t>(count));
+  // Draw each document's template and child Rng serially from the master
+  // stream, then generate on the pool: every document is a pure function
+  // of its (template_id, rng) pair, so the corpus is bit-identical for any
+  // FIELDSWAP_THREADS value.
+  struct DocSeed {
+    int template_id = 0;
+    Rng rng{0};
+  };
+  std::vector<DocSeed> seeds;
+  seeds.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
-    int template_id = static_cast<int>(rng.Index(
+    DocSeed doc_seed;
+    doc_seed.template_id = static_cast<int>(rng.Index(
         static_cast<size_t>(std::max(spec.num_templates, 1))));
-    docs.push_back(GenerateDocument(spec, id_prefix + "-" + std::to_string(i),
-                                    template_id,
-                                    rng.Split(static_cast<uint64_t>(i))));
+    doc_seed.rng = rng.Split(static_cast<uint64_t>(i));
+    seeds.push_back(doc_seed);
   }
+  std::vector<Document> docs =
+      par::ParallelMap(seeds.size(), [&](size_t i) {
+        return GenerateDocument(spec, id_prefix + "-" + std::to_string(i),
+                                seeds[i].template_id, seeds[i].rng);
+      });
   double seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();

@@ -14,9 +14,18 @@ namespace fieldswap {
 /// training shuffles, and experiment subsets are all reproducible. `Split`
 /// derives an independent child stream, which lets one master seed fan out
 /// to per-document / per-trial generators without correlation.
+///
+/// Stream version 2: standard SplitMix64 seeding (state = seed, with one
+/// advance burned so the first output is fully mixed). The original
+/// `state = seed ^ kGolden` construction aliased seed families (any two
+/// seeds related by the XOR constant produced each other's streams, e.g.
+/// Rng(kGolden) ran the canonical seed-0 sequence). Every seeded stream —
+/// and therefore every generated corpus — changed at this version bump;
+/// see the golden-value test in tests/util_test.cc that pins the v2
+/// streams.
 class Rng {
  public:
-  explicit Rng(uint64_t seed) : state_(seed ^ kGolden) {}
+  explicit Rng(uint64_t seed) : state_(seed + kGolden) {}
 
   /// Next raw 64-bit value.
   uint64_t Next();

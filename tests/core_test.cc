@@ -51,6 +51,59 @@ KeyPhraseConfig PayRowConfig() {
   return config;
 }
 
+// ---- CollectSourceMatches -------------------------------------------------
+
+TEST(CollectSourceMatchesTest, LongestMatchWinsOnOverlap) {
+  Document doc = PayRowDoc();
+  // "Base Salary" (tokens 0-1) and "Base" (token 0) overlap; the longer
+  // phrase must win and the shorter must be suppressed.
+  std::vector<PhraseMatch> matches = CollectSourceMatches(
+      doc, {MakePhrase({"Base", "Salary"}), MakePhrase({"Base"})});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].first_token, 0);
+  EXPECT_EQ(matches[0].num_tokens, 2);
+}
+
+TEST(CollectSourceMatchesTest, EqualLengthTieBreaksOnEarlierStart) {
+  Document doc = PayRowDoc();
+  // "Salary $100.00" would match tokens 1-2 but token 2 is annotated, so
+  // build the tie on the unannotated "Net Pay:" row instead: "Net Pay"
+  // (tokens 4-5) vs "Pay $70.00" — token 6 is annotated too. Use a doc
+  // without annotations to isolate pure tie-breaking.
+  Document plain("t", "test", 612, 792);
+  plain.AddToken("Gross", BBox{0, 0, 30, 10});
+  plain.AddToken("Pay", BBox{34, 0, 54, 10});
+  plain.AddToken("Rate", BBox{58, 0, 80, 10});
+  DetectAndAssignLines(plain);
+  // Two 2-token matches overlap at token 1; equal length, so the earlier
+  // start (tokens 0-1) is kept.
+  std::vector<PhraseMatch> matches = CollectSourceMatches(
+      plain, {MakePhrase({"Pay", "Rate"}), MakePhrase({"Gross", "Pay"})});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].first_token, 0);
+  EXPECT_EQ(matches[0].num_tokens, 2);
+}
+
+TEST(CollectSourceMatchesTest, ExcludesMatchesOverlappingAnnotations) {
+  Document doc = PayRowDoc();
+  // "$100.00" is token 2, the annotated current.salary value: key phrases
+  // are labels, so a match on a value span must be excluded.
+  EXPECT_TRUE(CollectSourceMatches(doc, {MakePhrase({"$100.00"})}).empty());
+  // A phrase straddling label and value ("Salary $100.00") is excluded for
+  // the same reason.
+  EXPECT_TRUE(
+      CollectSourceMatches(doc, {MakePhrase({"Salary", "$100.00"})}).empty());
+}
+
+TEST(CollectSourceMatchesTest, DisjointMatchesReturnInTokenOrder) {
+  Document doc = PayRowDoc();
+  std::vector<PhraseMatch> matches = CollectSourceMatches(
+      doc, {MakePhrase({"Net", "Pay"}), MakePhrase({"Base", "Salary"})});
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].first_token, 0);
+  EXPECT_EQ(matches[1].first_token, 4);
+}
+
 // ---- SwapOnce -------------------------------------------------------------
 
 TEST(SwapOnceTest, ReplacesPhraseAndRelabels) {

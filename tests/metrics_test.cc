@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "doc/span_match.h"
 #include "eval/metrics.h"
 
 namespace fieldswap {
@@ -55,6 +56,79 @@ TEST(AccumulateTest, MissedGoldIsFalseNegative) {
                        scores);
   EXPECT_EQ(scores["a"].tp, 1);
   EXPECT_EQ(scores["b"].fn, 1);
+}
+
+// Regression for the duplicate-span F1 inflation bug: set-membership
+// matching (std::find) counted a duplicated predicted span as two true
+// positives against a single gold span, yielding a perfect F1. One-to-one
+// matching scores it tp=1, fp=1.
+TEST(AccumulateTest, DuplicatePredictionIsNotDoubleCounted) {
+  std::map<std::string, FieldScore> scores;
+  AccumulateSpanScores({Span("a", 0, 2)}, {Span("a", 0, 2), Span("a", 0, 2)},
+                       scores);
+  EXPECT_EQ(scores["a"].tp, 1);
+  EXPECT_EQ(scores["a"].fp, 1);
+  EXPECT_EQ(scores["a"].fn, 0);
+  EXPECT_LT(scores["a"].F1(), 1.0);
+}
+
+// The symmetric direction: one prediction cannot satisfy two identical
+// gold spans (std::find counted zero false negatives here).
+TEST(AccumulateTest, DuplicateGoldNeedsDuplicatePredictions) {
+  std::map<std::string, FieldScore> scores;
+  AccumulateSpanScores({Span("a", 0, 2), Span("a", 0, 2)}, {Span("a", 0, 2)},
+                       scores);
+  EXPECT_EQ(scores["a"].tp, 1);
+  EXPECT_EQ(scores["a"].fp, 0);
+  EXPECT_EQ(scores["a"].fn, 1);
+}
+
+// ---- Shared span matcher (doc/span_match.h) -------------------------------
+
+TEST(MatchSpansTest, ExactOneToOne) {
+  SpanMatchCounts counts =
+      MatchSpans({Span("a", 0, 2), Span("b", 3, 1)},
+                 {Span("a", 0, 2), Span("b", 3, 1)});
+  EXPECT_EQ(counts.tp, 2);
+  EXPECT_EQ(counts.fp, 0);
+  EXPECT_EQ(counts.fn, 0);
+  EXPECT_DOUBLE_EQ(F1FromCounts(counts), 1.0);
+}
+
+TEST(MatchSpansTest, DuplicatePredictionsCountOnceEach) {
+  SpanMatchCounts counts = MatchSpans(
+      {Span("a", 0, 2)},
+      {Span("a", 0, 2), Span("a", 0, 2), Span("a", 0, 2)});
+  EXPECT_EQ(counts.tp, 1);
+  EXPECT_EQ(counts.fp, 2);
+  EXPECT_EQ(counts.fn, 0);
+  EXPECT_NEAR(F1FromCounts(counts), 2.0 / 4.0, 1e-12);
+}
+
+TEST(MatchSpansTest, DuplicatedGoldMatchesDuplicatedPredictions) {
+  SpanMatchCounts counts = MatchSpans(
+      {Span("a", 0, 2), Span("a", 0, 2)}, {Span("a", 0, 2), Span("a", 0, 2)});
+  EXPECT_EQ(counts.tp, 2);
+  EXPECT_EQ(counts.fp, 0);
+  EXPECT_EQ(counts.fn, 0);
+}
+
+TEST(MatchSpansTest, EmptySides) {
+  SpanMatchCounts no_pred = MatchSpans({Span("a", 0, 1)}, {});
+  EXPECT_EQ(no_pred.fn, 1);
+  SpanMatchCounts no_gold = MatchSpans({}, {Span("a", 0, 1)});
+  EXPECT_EQ(no_gold.fp, 1);
+  SpanMatchCounts empty = MatchSpans({}, {});
+  EXPECT_DOUBLE_EQ(F1FromCounts(empty), 0.0);
+}
+
+TEST(MatchSpansTest, PerFieldSplitsCounts) {
+  std::map<std::string, SpanMatchCounts> counts;
+  MatchSpansPerField({Span("a", 0, 1), Span("b", 2, 1)},
+                     {Span("a", 0, 1), Span("a", 0, 1)}, counts);
+  EXPECT_EQ(counts["a"].tp, 1);
+  EXPECT_EQ(counts["a"].fp, 1);
+  EXPECT_EQ(counts["b"].fn, 1);
 }
 
 TEST(FinalizeTest, MicroPoolsAllFields) {

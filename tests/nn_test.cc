@@ -207,6 +207,39 @@ TEST(AdamTest, GradClipBoundsUpdate) {
   EXPECT_LT(std::fabs(x->value.At(0, 0)), 2.0f);
 }
 
+// Clipping is on the *global* norm: a two-tensor gradient of norms 3 and 4
+// (global norm 5) clipped to 1 scales both tensors by 1/5 jointly —
+// per-tensor clipping would have scaled them by 1/3 and 1/4 instead.
+TEST(ClipGlobalGradNormTest, TwoTensorsScaledJointly) {
+  Var a = Parameter(Matrix::FromValues(1, 1, {0}));
+  Var b = Parameter(Matrix::FromValues(1, 2, {0, 0}));
+  std::vector<NamedParam> params{{"a", a}, {"b", b}};
+  a->EnsureGrad();
+  b->EnsureGrad();
+  a->grad.At(0, 0) = 3.0f;
+  b->grad.At(0, 0) = 4.0f;
+
+  EXPECT_NEAR(GlobalGradNorm(params), 5.0, 1e-6);
+  double pre_clip = ClipGlobalGradNorm(params, 1.0);
+  EXPECT_NEAR(pre_clip, 5.0, 1e-6);
+  EXPECT_NEAR(a->grad.At(0, 0), 3.0f / 5.0f, 1e-6);
+  EXPECT_NEAR(b->grad.At(0, 0), 4.0f / 5.0f, 1e-6);
+  EXPECT_NEAR(GlobalGradNorm(params), 1.0, 1e-6);
+}
+
+TEST(ClipGlobalGradNormTest, UnderLimitIsUntouched) {
+  Var a = Parameter(Matrix::FromValues(1, 1, {0}));
+  std::vector<NamedParam> params{{"a", a}};
+  a->EnsureGrad();
+  a->grad.At(0, 0) = 0.5f;
+  ClipGlobalGradNorm(params, 1.0);
+  EXPECT_FLOAT_EQ(a->grad.At(0, 0), 0.5f);
+  // 0 disables clipping entirely.
+  a->grad.At(0, 0) = 100.0f;
+  ClipGlobalGradNorm(params, 0.0);
+  EXPECT_FLOAT_EQ(a->grad.At(0, 0), 100.0f);
+}
+
 TEST(SnapshotTest, RestoreRoundTrip) {
   Var x = Parameter(Matrix::FromValues(1, 2, {1, 2}));
   std::vector<NamedParam> params{{"x", x}};

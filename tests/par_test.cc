@@ -1,0 +1,208 @@
+// Tests of the deterministic parallel execution layer (src/par) and its
+// determinism contract: the corpus generator, trainer, and eval harness
+// must produce bit-identical results for any FIELDSWAP_THREADS value.
+// SetThreads(4) on a single-core machine still exercises the pool's
+// concurrency (scheduling is preemptive), just not its speedup.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "doc/serialize.h"
+#include "eval/metrics.h"
+#include "model/trainer.h"
+#include "nn/optimizer.h"
+#include "par/parallel.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+
+namespace fieldswap {
+namespace {
+
+/// Restores the ambient thread count when a test exits.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(par::Threads()) {
+    par::SetThreads(n);
+  }
+  ~ScopedThreads() { par::SetThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+TEST(ParallelTest, ThreadsRespectsSetThreads) {
+  ScopedThreads guard(3);
+  EXPECT_EQ(par::Threads(), 3);
+  par::SetThreads(0);  // clamped to the serial floor
+  EXPECT_EQ(par::Threads(), 1);
+}
+
+TEST(ParallelTest, ParallelForRunsEveryIndexOnce) {
+  ScopedThreads guard(4);
+  constexpr size_t kTasks = 257;
+  std::vector<std::atomic<int>> runs(kTasks);
+  par::ParallelFor(kTasks, [&](size_t i) { runs[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelTest, ParallelMapPreservesOrdering) {
+  ScopedThreads guard(4);
+  std::vector<size_t> squares =
+      par::ParallelMap(100, [](size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelTest, SerialFallbackMatchesPool) {
+  auto work = [](size_t i) { return std::to_string(i * 31 % 7); };
+  std::vector<std::string> serial, parallel;
+  {
+    ScopedThreads guard(1);
+    serial = par::ParallelMap(50, work);
+  }
+  {
+    ScopedThreads guard(4);
+    parallel = par::ParallelMap(50, work);
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelTest, NestedRegionsDegradeToSerialWithoutDeadlock) {
+  ScopedThreads guard(4);
+  EXPECT_FALSE(par::InParallelRegion());
+  std::vector<int> totals = par::ParallelMap(8, [](size_t i) {
+    EXPECT_TRUE(par::InParallelRegion());
+    // The inner region must run inline on this worker, not wait for the
+    // pool it is already occupying.
+    std::vector<int> inner =
+        par::ParallelMap(4, [&](size_t j) { return static_cast<int>(i + j); });
+    int total = 0;
+    for (int v : inner) total += v;
+    return total;
+  });
+  for (size_t i = 0; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i], static_cast<int>(4 * i + 6));
+  }
+  EXPECT_FALSE(par::InParallelRegion());
+}
+
+TEST(ParallelTest, FirstTaskExceptionPropagates) {
+  ScopedThreads guard(4);
+  EXPECT_THROW(
+      par::ParallelFor(32,
+                       [](size_t i) {
+                         if (i == 7) throw std::runtime_error("task 7");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::vector<int> ok = par::ParallelMap(8, [](size_t i) {
+    return static_cast<int>(i);
+  });
+  EXPECT_EQ(ok.size(), 8u);
+}
+
+TEST(ParallelTest, ReusesPoolAcrossManyBatches) {
+  ScopedThreads guard(4);
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<int> r =
+        par::ParallelMap(16, [&](size_t i) { return batch + static_cast<int>(i); });
+    EXPECT_EQ(r[15], batch + 15);
+  }
+}
+
+// ---- Determinism contract -------------------------------------------------
+
+std::vector<std::string> CorpusAsJson(int threads) {
+  ScopedThreads guard(threads);
+  std::vector<Document> docs = GenerateCorpus(FaraSpec(), 12, 99, "det");
+  std::vector<std::string> json;
+  json.reserve(docs.size());
+  for (const Document& doc : docs) json.push_back(DocumentToJson(doc));
+  return json;
+}
+
+TEST(ParallelDeterminismTest, GeneratedCorpusIsBitIdenticalAcrossThreads) {
+  EXPECT_EQ(CorpusAsJson(1), CorpusAsJson(4));
+}
+
+struct TrainRunOutcome {
+  TrainResult result;
+  std::vector<Matrix> params;
+  double eval_micro_f1 = 0;
+};
+
+TrainRunOutcome TrainRun(int threads) {
+  ScopedThreads guard(threads);
+  DomainSpec spec = FaraSpec();
+  std::vector<Document> originals = GenerateCorpus(spec, 10, 7, "tr");
+  std::vector<Document> synthetics = GenerateCorpus(spec, 6, 8, "sy");
+  std::vector<Document> test_docs = GenerateCorpus(spec, 5, 9, "te");
+
+  SequenceModelConfig config;
+  config.d_model = 16;
+  config.spatial_neighbors = 6;
+  SequenceLabelingModel model(config, spec.Schema());
+
+  TrainOptions options;
+  options.total_steps = 120;
+  options.validate_every = 40;
+  TrainRunOutcome outcome;
+  outcome.result = TrainSequenceModel(model, originals, synthetics, options);
+  outcome.params = SnapshotParams(model.Params());
+  outcome.eval_micro_f1 = EvaluateModel(model, test_docs).micro_f1;
+  return outcome;
+}
+
+TEST(ParallelDeterminismTest, FullTrainingRunIsBitIdenticalAcrossThreads) {
+  TrainRunOutcome serial = TrainRun(1);
+  TrainRunOutcome parallel = TrainRun(4);
+
+  EXPECT_EQ(serial.result.steps, parallel.result.steps);
+  EXPECT_EQ(serial.result.final_loss, parallel.result.final_loss);
+  EXPECT_EQ(serial.result.best_validation_f1,
+            parallel.result.best_validation_f1);
+  EXPECT_EQ(serial.eval_micro_f1, parallel.eval_micro_f1);
+
+  ASSERT_EQ(serial.params.size(), parallel.params.size());
+  for (size_t p = 0; p < serial.params.size(); ++p) {
+    const Matrix& a = serial.params[p];
+    const Matrix& b = parallel.params[p];
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (int r = 0; r < a.rows(); ++r) {
+      for (int c = 0; c < a.cols(); ++c) {
+        ASSERT_EQ(a.At(r, c), b.At(r, c))
+            << "param " << p << " at (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MicroF1OnDocsMatchesAcrossThreads) {
+  DomainSpec spec = FaraSpec();
+  std::vector<Document> docs = GenerateCorpus(spec, 6, 13, "f1");
+  SequenceModelConfig config;
+  config.d_model = 16;
+  SequenceLabelingModel model(config, spec.Schema());
+  double serial, parallel;
+  {
+    ScopedThreads guard(1);
+    serial = MicroF1OnDocs(model, docs);
+  }
+  {
+    ScopedThreads guard(4);
+    parallel = MicroF1OnDocs(model, docs);
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace fieldswap

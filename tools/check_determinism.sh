@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Verifies the src/par determinism contract: the full test suite must pass
+# and a seeded generated corpus must checksum identically whether the
+# parallel layer runs serially (FIELDSWAP_THREADS=1) or on a pool
+# (FIELDSWAP_THREADS=4).
+#
+# Usage: tools/check_determinism.sh [build_dir]   (default: build)
+#
+# Exits non-zero if either ctest pass fails or the corpus checksums drift.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build dir '$BUILD_DIR' not found; run cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j first" >&2
+  exit 2
+fi
+
+CHECKSUM_BIN="$BUILD_DIR/examples/corpus_checksum"
+if [[ ! -x "$CHECKSUM_BIN" ]]; then
+  echo "error: $CHECKSUM_BIN not built" >&2
+  exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for threads in 1 4; do
+  echo "=== ctest with FIELDSWAP_THREADS=$threads ==="
+  (cd "$BUILD_DIR" && FIELDSWAP_THREADS=$threads ctest --output-on-failure -j)
+
+  echo "=== corpus checksum with FIELDSWAP_THREADS=$threads ==="
+  FIELDSWAP_THREADS=$threads "$CHECKSUM_BIN" | tee "$tmpdir/checksum_$threads.txt"
+done
+
+echo "=== diffing corpus checksums (threads=1 vs threads=4) ==="
+if diff "$tmpdir/checksum_1.txt" "$tmpdir/checksum_4.txt"; then
+  echo "OK: corpus bit-identical across thread counts"
+else
+  echo "FAIL: generated corpus differs between FIELDSWAP_THREADS=1 and 4" >&2
+  exit 1
+fi
