@@ -1,0 +1,21 @@
+// Prints the canonical golden regression report (fixed-seed corpus
+// checksums, augmentation counts, train/eval F1, attack-ladder numbers) to
+// stdout. tools/update_goldens.sh redirects this into data/golden/
+// golden.json; tests/golden_test.cc recomputes the same report and fails
+// on any byte of drift.
+//
+//   $ ./build/examples/golden_dump > data/golden/golden.json
+//
+// Progress goes to stderr so stdout is exactly the report.
+
+#include <iostream>
+
+#include "eval/golden.h"
+#include "par/parallel.h"
+
+int main() {
+  std::cerr << "[golden_dump] threads " << fieldswap::par::Threads()
+            << " (report is thread-count invariant)\n";
+  std::cout << fieldswap::ComputeGoldenReport();
+  return 0;
+}

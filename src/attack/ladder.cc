@@ -1,0 +1,160 @@
+#include "attack/ladder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace fieldswap {
+namespace attack {
+
+namespace {
+
+std::string F4(double v) { return FormatDouble(v, 4); }
+
+void AppendEvalJson(std::ostringstream& os, const AttackEval& eval,
+                    const std::string& indent) {
+  os << "{\n";
+  os << indent << "  \"macro_f1\": " << F4(eval.macro_f1) << ",\n";
+  os << indent << "  \"micro_f1\": " << F4(eval.micro_f1) << ",\n";
+  os << indent << "  \"per_field_f1\": {";
+  bool first = true;
+  for (const auto& [field, f1] : eval.per_field_f1) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << indent << "    \"" << field << "\": " << F4(f1);
+  }
+  if (!eval.per_field_f1.empty()) os << "\n" << indent << "  ";
+  os << "}\n" << indent << "}";
+}
+
+}  // namespace
+
+double AttackCurve::MaxMacroDrop(double clean_macro_f1) const {
+  double max_drop = 0;
+  for (const LadderCell& cell : cells) {
+    max_drop = std::max(max_drop, clean_macro_f1 - cell.eval.macro_f1);
+  }
+  return max_drop;
+}
+
+const AttackCurve* DegradationReport::Find(const std::string& attack) const {
+  for (const AttackCurve& curve : curves) {
+    if (curve.attack == attack) return &curve;
+  }
+  return nullptr;
+}
+
+DegradationReport RunAttackLadder(const std::vector<Document>& test_docs,
+                                  const AttackSuite& suite,
+                                  const AttackLadderConfig& config,
+                                  const CorpusEvaluator& evaluator,
+                                  const std::string& domain_name) {
+  FS_TRACE_SPAN("attack.run_ladder");
+  FS_CHECK(evaluator != nullptr) << "RunAttackLadder needs an evaluator";
+
+  DegradationReport report;
+  report.domain = domain_name;
+  {
+    FS_TRACE_SPAN("attack.eval_clean");
+    report.clean = evaluator(test_docs);
+  }
+  obs::GaugeSet("fieldswap.attack.clean_macro_f1", report.clean.macro_f1);
+
+  for (const auto& attack : suite) {
+    FS_CHECK(attack != nullptr);
+    FS_TRACE_SPAN("attack.ladder");
+    AttackCurve curve;
+    curve.attack = attack->name();
+    for (double severity : config.severities) {
+      LadderCell cell;
+      cell.severity = severity;
+      std::vector<Document> attacked =
+          PerturbCorpus(test_docs, *attack, severity, config.seed);
+      {
+        FS_TRACE_SPAN("attack.eval_attacked");
+        cell.eval = evaluator(attacked);
+      }
+      obs::HistogramObserve("fieldswap.attack.macro_f1_drop",
+                            report.clean.macro_f1 - cell.eval.macro_f1);
+      curve.cells.push_back(std::move(cell));
+    }
+    obs::GaugeSet("fieldswap.attack." + curve.attack + ".max_macro_drop",
+                  curve.MaxMacroDrop(report.clean.macro_f1));
+    obs::CounterAdd("fieldswap.attack.ladders_run");
+    report.curves.push_back(std::move(curve));
+  }
+  return report;
+}
+
+std::map<std::string, double> F1ByFieldType(const AttackEval& eval,
+                                            const DomainSchema& schema) {
+  std::map<std::string, double> sum;
+  std::map<std::string, int> count;
+  for (const auto& [field, f1] : eval.per_field_f1) {
+    if (!schema.Has(field)) continue;
+    std::string type(FieldTypeName(schema.TypeOf(field)));
+    sum[type] += f1;
+    count[type] += 1;
+  }
+  std::map<std::string, double> mean;
+  for (const auto& [type, total] : sum) mean[type] = total / count[type];
+  return mean;
+}
+
+std::string ReportToText(const DegradationReport& report) {
+  std::ostringstream os;
+  os << "Attack degradation report — domain " << report.domain << "\n";
+  os << "clean: macro_f1=" << F4(report.clean.macro_f1)
+     << " micro_f1=" << F4(report.clean.micro_f1) << "\n\n";
+  TablePrinter table({"attack", "severity", "macro_f1", "micro_f1", "drop"});
+  for (const AttackCurve& curve : report.curves) {
+    for (const LadderCell& cell : curve.cells) {
+      table.AddRow({curve.attack, FormatDouble(cell.severity, 2),
+                    F4(cell.eval.macro_f1), F4(cell.eval.micro_f1),
+                    F4(report.clean.macro_f1 - cell.eval.macro_f1)});
+    }
+    table.AddSeparator();
+  }
+  table.Print(os);
+  return os.str();
+}
+
+std::string ReportToJson(const DegradationReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"domain\": \"" << report.domain << "\",\n";
+  os << "  \"clean\": ";
+  AppendEvalJson(os, report.clean, "  ");
+  os << ",\n  \"attacks\": [";
+  bool first_curve = true;
+  for (const AttackCurve& curve : report.curves) {
+    if (!first_curve) os << ",";
+    first_curve = false;
+    os << "\n    {\n      \"attack\": \"" << curve.attack << "\",\n";
+    os << "      \"max_macro_drop\": "
+       << F4(curve.MaxMacroDrop(report.clean.macro_f1)) << ",\n";
+    os << "      \"cells\": [";
+    bool first_cell = true;
+    for (const LadderCell& cell : curve.cells) {
+      if (!first_cell) os << ",";
+      first_cell = false;
+      os << "\n        {\n          \"severity\": "
+         << FormatDouble(cell.severity, 2) << ",\n          \"eval\": ";
+      AppendEvalJson(os, cell.eval, "          ");
+      os << "\n        }";
+    }
+    if (!curve.cells.empty()) os << "\n      ";
+    os << "]\n    }";
+  }
+  if (!report.curves.empty()) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace attack
+}  // namespace fieldswap

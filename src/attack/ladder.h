@@ -1,0 +1,88 @@
+#ifndef FIELDSWAP_ATTACK_LADDER_H_
+#define FIELDSWAP_ATTACK_LADDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/perturbation.h"
+#include "doc/document.h"
+#include "doc/schema.h"
+
+namespace fieldswap {
+namespace attack {
+
+/// Severity ladder configuration. Severity 0 is always the clean corpus by
+/// the DocumentPerturbation identity contract, so a ladder that includes 0
+/// doubles as a self-check against the clean evaluation.
+struct AttackLadderConfig {
+  std::vector<double> severities = {0.25, 0.5, 1.0};
+  uint64_t seed = 7332;
+};
+
+/// Extraction quality on one (possibly attacked) corpus, as the ladder
+/// consumes it. The model layer adapts its EvalResult into this (see
+/// MakeModelEvaluator in eval/experiment.h); keeping the ladder behind a
+/// callback keeps src/attack free of model/eval dependencies.
+struct AttackEval {
+  double macro_f1 = 0;
+  double micro_f1 = 0;
+  std::map<std::string, double> per_field_f1;
+};
+
+/// Scores a corpus; must be deterministic in the corpus contents.
+using CorpusEvaluator = std::function<AttackEval(const std::vector<Document>&)>;
+
+/// One rung of one attack's ladder.
+struct LadderCell {
+  double severity = 0;
+  AttackEval eval;
+};
+
+/// One attack's full severity ladder.
+struct AttackCurve {
+  std::string attack;
+  std::vector<LadderCell> cells;
+
+  /// Largest macro-F1 drop vs the clean evaluation across the ladder.
+  double MaxMacroDrop(double clean_macro_f1) const;
+};
+
+/// Degradation of one model over a whole attack suite.
+struct DegradationReport {
+  std::string domain;
+  AttackEval clean;
+  std::vector<AttackCurve> curves;
+
+  /// Curve by attack name; nullptr if absent.
+  const AttackCurve* Find(const std::string& attack) const;
+};
+
+/// Runs every attack's severity ladder over `test_docs`: perturb (via
+/// PerturbCorpus, deterministic at any thread count), evaluate, record.
+/// Emits fieldswap.attack.* metrics and attack.* trace spans.
+DegradationReport RunAttackLadder(const std::vector<Document>& test_docs,
+                                  const AttackSuite& suite,
+                                  const AttackLadderConfig& config,
+                                  const CorpusEvaluator& evaluator,
+                                  const std::string& domain_name);
+
+/// Mean per-field F1 grouped by the schema's base field type (the paper's
+/// Table II axis) — fields absent from the eval are skipped.
+std::map<std::string, double> F1ByFieldType(const AttackEval& eval,
+                                            const DomainSchema& schema);
+
+/// Renders the report as an aligned text table (macro/micro per rung, drop
+/// vs clean).
+std::string ReportToText(const DegradationReport& report);
+
+/// Renders the report as stable JSON (fixed key order, %.4f numbers) for
+/// the attack_sweep degradation report and the golden suite.
+std::string ReportToJson(const DegradationReport& report);
+
+}  // namespace attack
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_ATTACK_LADDER_H_

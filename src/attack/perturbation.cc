@@ -1,0 +1,437 @@
+#include "attack/perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "ocr/line_detector.h"
+#include "ocr/noise.h"
+#include "par/parallel.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace attack {
+namespace {
+
+double ClampSeverity(double severity) {
+  return std::min(1.0, std::max(0.0, severity));
+}
+
+bool OverlapsAnnotation(const Document& doc, int first_token, int num_tokens) {
+  int end = first_token + num_tokens;
+  for (const EntitySpan& span : doc.annotations()) {
+    if (span.first_token < end && first_token < span.end_token()) return true;
+  }
+  return false;
+}
+
+// ---- Key-phrase vocabulary groups ----------------------------------------
+
+/// A synonym group: surface variants that label the same thing (one field's
+/// phrase vocabulary, or one table column's title variants).
+using PhraseGroup = std::vector<std::string>;
+
+/// Collects every synonym group of the domain with at least two variants,
+/// deduplicated (table siblings share one vocabulary).
+std::vector<PhraseGroup> CollectPhraseGroups(const DomainSpec& spec) {
+  std::vector<PhraseGroup> groups;
+  auto add_unique = [&groups](const std::vector<std::string>& variants) {
+    if (variants.size() < 2) return;
+    for (const PhraseGroup& existing : groups) {
+      if (existing == variants) return;
+    }
+    groups.push_back(variants);
+  };
+  for (const FieldDef& def : spec.fields) add_unique(def.phrases);
+  for (const Section& section : spec.sections) {
+    if (section.kind != Section::Kind::kTable) continue;
+    for (const auto& variants : section.table.column_title_variants) {
+      add_unique(variants);
+    }
+  }
+  return groups;
+}
+
+/// One key-phrase occurrence in a document: which group and variant matched
+/// where.
+struct GroupMatch {
+  PhraseMatch match;
+  size_t group = 0;
+  size_t variant = 0;
+};
+
+/// All non-overlapping key-phrase occurrences, longest-match-wins (equal
+/// lengths tie-break on earlier start, then group/variant order), excluding
+/// anything that touches an annotated value span. Sorted by descending
+/// first_token so callers can splice back-to-front.
+std::vector<GroupMatch> CollectGroupMatches(
+    const Document& doc, const std::vector<PhraseGroup>& groups) {
+  std::vector<GroupMatch> candidates;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t v = 0; v < groups[g].size(); ++v) {
+      for (const PhraseMatch& match :
+           doc.FindPhrase(SplitWhitespace(groups[g][v]))) {
+        if (OverlapsAnnotation(doc, match.first_token, match.num_tokens)) {
+          continue;
+        }
+        candidates.push_back(GroupMatch{match, g, v});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const GroupMatch& a, const GroupMatch& b) {
+              if (a.match.num_tokens != b.match.num_tokens) {
+                return a.match.num_tokens > b.match.num_tokens;
+              }
+              if (a.match.first_token != b.match.first_token) {
+                return a.match.first_token < b.match.first_token;
+              }
+              if (a.group != b.group) return a.group < b.group;
+              return a.variant < b.variant;
+            });
+  std::vector<GroupMatch> kept;
+  for (const GroupMatch& candidate : candidates) {
+    bool overlaps = false;
+    for (const GroupMatch& k : kept) {
+      if (candidate.match.first_token <
+              k.match.first_token + k.match.num_tokens &&
+          k.match.first_token <
+              candidate.match.first_token + candidate.match.num_tokens) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) kept.push_back(candidate);
+  }
+  std::sort(kept.begin(), kept.end(), [](const GroupMatch& a,
+                                         const GroupMatch& b) {
+    return a.match.first_token > b.match.first_token;
+  });
+  return kept;
+}
+
+/// Splits a phrase into tokens, carrying over a trailing ':' when the
+/// template style rendered the replaced label with one.
+std::vector<std::string> ReplacementWords(const std::string& phrase,
+                                          const Document& doc,
+                                          const PhraseMatch& replaced) {
+  std::vector<std::string> words = SplitWhitespace(phrase);
+  const std::string& last =
+      doc.token(replaced.first_token + replaced.num_tokens - 1).text;
+  if (!words.empty() && EndsWith(last, ":")) words.back().push_back(':');
+  return words;
+}
+
+// ---- Attacks --------------------------------------------------------------
+
+class KeyPhraseSynonymAttack : public DocumentPerturbation {
+ public:
+  explicit KeyPhraseSynonymAttack(const DomainSpec& spec)
+      : DocumentPerturbation("keyphrase_synonym"),
+        groups_(CollectPhraseGroups(spec)) {}
+
+ protected:
+  void DoApply(Document& doc, double severity, Rng& rng) const override {
+    for (const GroupMatch& gm : CollectGroupMatches(doc, groups_)) {
+      if (!rng.Bernoulli(severity)) continue;
+      const PhraseGroup& group = groups_[gm.group];
+      // Pick a different variant of the same group.
+      size_t pick = rng.Index(group.size() - 1);
+      if (pick >= gm.variant) ++pick;
+      doc.ReplaceTokenRange(gm.match.first_token, gm.match.num_tokens,
+                            ReplacementWords(group[pick], doc, gm.match));
+    }
+  }
+
+ private:
+  std::vector<PhraseGroup> groups_;
+};
+
+/// Erases tokens [first, first+count), dropping overlapping annotations
+/// (callers only delete unannotated label tokens) and shifting the rest.
+/// Lines must be re-detected by the caller.
+void RemoveTokenRange(Document& doc, int first, int count) {
+  auto& tokens = doc.mutable_tokens();
+  tokens.erase(tokens.begin() + first, tokens.begin() + first + count);
+  std::vector<EntitySpan> kept;
+  for (EntitySpan span : doc.mutable_annotations()) {
+    if (span.end_token() <= first) {
+      kept.push_back(span);
+    } else if (span.first_token >= first + count) {
+      span.first_token -= count;
+      kept.push_back(span);
+    }
+  }
+  doc.mutable_annotations() = std::move(kept);
+}
+
+class KeyPhraseDeletionAttack : public DocumentPerturbation {
+ public:
+  explicit KeyPhraseDeletionAttack(const DomainSpec& spec)
+      : DocumentPerturbation("keyphrase_delete"),
+        groups_(CollectPhraseGroups(spec)) {}
+
+ protected:
+  void DoApply(Document& doc, double severity, Rng& rng) const override {
+    bool removed = false;
+    // Matches arrive sorted by descending first_token, so earlier splice
+    // points stay valid while we delete.
+    for (const GroupMatch& gm : CollectGroupMatches(doc, groups_)) {
+      if (!rng.Bernoulli(severity)) continue;
+      if (doc.num_tokens() - gm.match.num_tokens < 1) continue;
+      RemoveTokenRange(doc, gm.match.first_token, gm.match.num_tokens);
+      removed = true;
+    }
+    if (removed) DetectAndAssignLines(doc);
+  }
+
+ private:
+  std::vector<PhraseGroup> groups_;
+};
+
+class OcrNoiseAttack : public DocumentPerturbation {
+ public:
+  OcrNoiseAttack() : DocumentPerturbation("ocr_noise") {}
+
+ protected:
+  void DoApply(Document& doc, double severity, Rng& rng) const override {
+    OcrNoiseOptions options;
+    options.char_substitution_prob = 0.10 * severity;
+    options.token_split_prob = 0.06 * severity;
+    options.box_jitter_frac = 0.04 * severity;
+    ApplyOcrNoise(doc, options, rng);
+    DetectAndAssignLines(doc);
+  }
+};
+
+class BoxJitterAttack : public DocumentPerturbation {
+ public:
+  BoxJitterAttack() : DocumentPerturbation("box_jitter") {}
+
+ protected:
+  void DoApply(Document& doc, double severity, Rng& rng) const override {
+    for (Token& tok : doc.mutable_tokens()) {
+      double sigma = 0.35 * severity * tok.box.Height();
+      tok.box.x_min += rng.Gaussian(0, sigma);
+      tok.box.x_max += rng.Gaussian(0, sigma);
+      tok.box.y_min += rng.Gaussian(0, sigma);
+      tok.box.y_max += rng.Gaussian(0, sigma);
+      if (tok.box.x_max < tok.box.x_min) {
+        std::swap(tok.box.x_min, tok.box.x_max);
+      }
+      if (tok.box.y_max < tok.box.y_min) {
+        std::swap(tok.box.y_min, tok.box.y_max);
+      }
+    }
+    DetectAndAssignLines(doc);
+  }
+};
+
+class LineShuffleAttack : public DocumentPerturbation {
+ public:
+  LineShuffleAttack() : DocumentPerturbation("line_shuffle") {}
+
+ protected:
+  void DoApply(Document& doc, double severity, Rng& rng) const override {
+    for (const Line& line : doc.lines()) {
+      std::vector<int> slots;
+      for (int ti : line.token_indices) {
+        if (!OverlapsAnnotation(doc, ti, 1)) slots.push_back(ti);
+      }
+      if (slots.size() < 2) continue;
+      if (!rng.Bernoulli(severity)) continue;
+      std::vector<Token> shuffled;
+      shuffled.reserve(slots.size());
+      for (int slot : slots) shuffled.push_back(doc.token(slot));
+      rng.Shuffle(shuffled);
+      for (size_t i = 0; i < slots.size(); ++i) {
+        doc.mutable_tokens()[static_cast<size_t>(slots[i])] =
+            std::move(shuffled[i]);
+      }
+    }
+  }
+};
+
+class DistractorInjectionAttack : public DocumentPerturbation {
+ public:
+  explicit DistractorInjectionAttack(const DomainSpec& spec)
+      : DocumentPerturbation("distractor_inject") {
+    for (const FieldDef& def : spec.fields) {
+      for (const std::string& phrase : def.phrases) pool_.push_back(phrase);
+    }
+    for (const Section& section : spec.sections) {
+      if (section.kind != Section::Kind::kTable) continue;
+      for (const auto& variants : section.table.column_title_variants) {
+        for (const std::string& title : variants) pool_.push_back(title);
+      }
+    }
+  }
+
+ protected:
+  void DoApply(Document& doc, double severity, Rng& rng) const override {
+    if (pool_.empty()) return;
+    int injections = static_cast<int>(std::lround(severity * kMaxInjections));
+    if (injections <= 0) return;
+    const double char_width = 5.2;
+    const double height = 9.0;
+    for (int i = 0; i < injections; ++i) {
+      const std::string& phrase = rng.Choice(pool_);
+      double x = rng.Uniform(40.0, std::max(41.0, doc.width() - 160.0));
+      double y = rng.Uniform(40.0, std::max(41.0, doc.height() - 24.0));
+      for (const std::string& word : SplitWhitespace(phrase)) {
+        double w = char_width * static_cast<double>(word.size());
+        doc.AddToken(word, BBox{x, y, x + w, y + height});
+        x += w + char_width;
+      }
+    }
+    DetectAndAssignLines(doc);
+  }
+
+ private:
+  static constexpr int kMaxInjections = 4;
+  std::vector<std::string> pool_;
+};
+
+class FieldPositionPermutationAttack : public DocumentPerturbation {
+ public:
+  FieldPositionPermutationAttack()
+      : DocumentPerturbation("field_position_permute") {}
+
+ protected:
+  void DoApply(Document& doc, double severity, Rng& rng) const override {
+    const size_t num_lines = doc.lines().size();
+    if (num_lines < 2) return;
+    size_t swaps = static_cast<size_t>(
+        std::lround(severity * static_cast<double>(num_lines) / 2.0));
+    if (swaps == 0) return;
+    std::vector<size_t> order(num_lines);
+    for (size_t i = 0; i < num_lines; ++i) order[i] = i;
+    rng.Shuffle(order);
+    std::vector<Line> lines = doc.lines();
+    for (size_t s = 0; s + 1 < num_lines && s / 2 < swaps; s += 2) {
+      Line& a = lines[order[s]];
+      Line& b = lines[order[s + 1]];
+      // Swap the two lines' vertical positions; each line's tokens move as
+      // a block, so within-line geometry (and annotations) survive intact.
+      double dy = b.box.y_min - a.box.y_min;
+      for (int ti : a.token_indices) {
+        Token& tok = doc.mutable_tokens()[static_cast<size_t>(ti)];
+        tok.box.y_min += dy;
+        tok.box.y_max += dy;
+      }
+      for (int ti : b.token_indices) {
+        Token& tok = doc.mutable_tokens()[static_cast<size_t>(ti)];
+        tok.box.y_min -= dy;
+        tok.box.y_max -= dy;
+      }
+      a.box.y_min += dy;
+      a.box.y_max += dy;
+      b.box.y_min -= dy;
+      b.box.y_max -= dy;
+    }
+    doc.set_lines(std::move(lines));
+  }
+};
+
+class ComposedPerturbation : public DocumentPerturbation {
+ public:
+  ComposedPerturbation(std::string name, AttackSuite parts)
+      : DocumentPerturbation(std::move(name)), parts_(std::move(parts)) {}
+
+ protected:
+  void DoApply(Document& doc, double severity, Rng& rng) const override {
+    for (const auto& part : parts_) part->Apply(doc, severity, rng);
+  }
+
+ private:
+  AttackSuite parts_;
+};
+
+}  // namespace
+
+void DocumentPerturbation::Apply(Document& doc, double severity,
+                                 Rng& rng) const {
+  severity = ClampSeverity(severity);
+  if (severity <= 0) return;  // identity: no edits, no rng draws
+  DoApply(doc, severity, rng);
+}
+
+std::unique_ptr<DocumentPerturbation> MakeKeyPhraseSynonymAttack(
+    const DomainSpec& spec) {
+  return std::make_unique<KeyPhraseSynonymAttack>(spec);
+}
+
+std::unique_ptr<DocumentPerturbation> MakeKeyPhraseDeletionAttack(
+    const DomainSpec& spec) {
+  return std::make_unique<KeyPhraseDeletionAttack>(spec);
+}
+
+std::unique_ptr<DocumentPerturbation> MakeOcrNoiseAttack() {
+  return std::make_unique<OcrNoiseAttack>();
+}
+
+std::unique_ptr<DocumentPerturbation> MakeBoxJitterAttack() {
+  return std::make_unique<BoxJitterAttack>();
+}
+
+std::unique_ptr<DocumentPerturbation> MakeLineShuffleAttack() {
+  return std::make_unique<LineShuffleAttack>();
+}
+
+std::unique_ptr<DocumentPerturbation> MakeDistractorInjectionAttack(
+    const DomainSpec& spec) {
+  return std::make_unique<DistractorInjectionAttack>(spec);
+}
+
+std::unique_ptr<DocumentPerturbation> MakeFieldPositionPermutationAttack() {
+  return std::make_unique<FieldPositionPermutationAttack>();
+}
+
+std::unique_ptr<DocumentPerturbation> MakeComposedPerturbation(
+    std::string name, AttackSuite parts) {
+  return std::make_unique<ComposedPerturbation>(std::move(name),
+                                                std::move(parts));
+}
+
+AttackSuite BuildAttackSuite(const DomainSpec& spec) {
+  AttackSuite suite;
+  suite.push_back(MakeKeyPhraseSynonymAttack(spec));
+  suite.push_back(MakeKeyPhraseDeletionAttack(spec));
+  suite.push_back(MakeOcrNoiseAttack());
+  suite.push_back(MakeBoxJitterAttack());
+  suite.push_back(MakeLineShuffleAttack());
+  suite.push_back(MakeDistractorInjectionAttack(spec));
+  suite.push_back(MakeFieldPositionPermutationAttack());
+  return suite;
+}
+
+std::vector<Document> PerturbCorpus(const std::vector<Document>& docs,
+                                    const DocumentPerturbation& attack,
+                                    double severity, uint64_t seed) {
+  FS_TRACE_SPAN("attack.perturb_corpus");
+  // One child stream per document, pre-split serially; the name salt keeps
+  // different attacks on the same (corpus, seed) uncorrelated.
+  Rng master(seed ^ Fnv1a64(attack.name()));
+  std::vector<Rng> rngs;
+  rngs.reserve(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    rngs.push_back(master.Split(static_cast<uint64_t>(i)));
+  }
+  std::vector<Document> perturbed =
+      par::ParallelMap(docs.size(), [&](size_t i) {
+        Document copy = docs[i];
+        Rng rng = rngs[i];
+        attack.Apply(copy, severity, rng);
+        return copy;
+      });
+  obs::CounterAdd("fieldswap.attack.docs_perturbed",
+                  static_cast<int64_t>(docs.size()));
+  return perturbed;
+}
+
+}  // namespace attack
+}  // namespace fieldswap

@@ -1,0 +1,112 @@
+#ifndef FIELDSWAP_ATTACK_PERTURBATION_H_
+#define FIELDSWAP_ATTACK_PERTURBATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "doc/document.h"
+#include "synth/spec.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+namespace attack {
+
+/// A deterministic, seeded document perturbation ("form attack", after Xue
+/// et al.'s robustness evaluation of form field extractors). Attacks stress
+/// exactly the variation FieldSwap claims to protect against: key-phrase
+/// wording, OCR imperfections, geometry, and layout.
+///
+/// Contract:
+///  - severity is clamped to [0, 1]; severity 0 is the identity (the
+///    document is not touched and the rng is not advanced), severity 1 the
+///    strongest configured form of the attack.
+///  - all randomness flows from the caller-provided `Rng`, so a (doc,
+///    severity, rng) triple maps to exactly one output — `PerturbCorpus`
+///    pre-splits one child rng per document serially and fans out on the
+///    src/par pool, making attacked corpora bit-identical at any
+///    FIELDSWAP_THREADS value.
+///  - document invariants are preserved: annotation spans stay in-bounds
+///    on schema fields, bounding boxes stay normalized (min <= max), and
+///    every token keeps a valid line id. Ground-truth value tokens are
+///    never edited (labels may move or disappear; values never lie).
+class DocumentPerturbation {
+ public:
+  virtual ~DocumentPerturbation() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Applies the attack in place. Severity <= 0 returns immediately.
+  void Apply(Document& doc, double severity, Rng& rng) const;
+
+ protected:
+  explicit DocumentPerturbation(std::string name) : name_(std::move(name)) {}
+
+  virtual void DoApply(Document& doc, double severity, Rng& rng) const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// An owned list of attacks (one severity ladder is run per entry).
+using AttackSuite = std::vector<std::unique_ptr<DocumentPerturbation>>;
+
+/// Replaces matched key phrases with a *different* synonym from the same
+/// vocabulary group (the domain's phrase variants plus table column-title
+/// variants). Severity = per-occurrence replacement probability. This is
+/// the attack FieldSwap augmentation explicitly trains against.
+std::unique_ptr<DocumentPerturbation> MakeKeyPhraseSynonymAttack(
+    const DomainSpec& spec);
+
+/// Deletes matched key-phrase tokens outright (a form whose labels were
+/// lost to scan damage). Severity = per-occurrence deletion probability.
+std::unique_ptr<DocumentPerturbation> MakeKeyPhraseDeletionAttack(
+    const DomainSpec& spec);
+
+/// OCR character noise via ocr/noise: confusable-glyph substitutions,
+/// token splits, and small box jitter on unannotated tokens, scaled by
+/// severity. Lines are re-detected afterwards.
+std::unique_ptr<DocumentPerturbation> MakeOcrNoiseAttack();
+
+/// Gaussian jitter of *every* token box (annotated ones included — the
+/// text stays truthful, the geometry degrades), sigma = severity fraction
+/// of the token height. Lines are re-detected afterwards.
+std::unique_ptr<DocumentPerturbation> MakeBoxJitterAttack();
+
+/// Shuffles the token-array order of unannotated tokens within each OCR
+/// line (reading order no longer matches left-to-right geometry).
+/// Severity = per-line shuffle probability.
+std::unique_ptr<DocumentPerturbation> MakeLineShuffleAttack();
+
+/// Injects distractor key phrases — real label vocabulary of the domain's
+/// fields — as unannotated tokens at random empty positions. Severity
+/// scales the injection count (up to 4 phrases per document).
+std::unique_ptr<DocumentPerturbation> MakeDistractorInjectionAttack(
+    const DomainSpec& spec);
+
+/// Swaps the vertical positions of whole OCR lines (a field layout another
+/// template might use: absolute position stops identifying the field).
+/// Severity = fraction of line pairs swapped.
+std::unique_ptr<DocumentPerturbation> MakeFieldPositionPermutationAttack();
+
+/// Applies `parts` in sequence under one rng (severity passes through),
+/// composing single attacks into compound ones.
+std::unique_ptr<DocumentPerturbation> MakeComposedPerturbation(
+    std::string name, AttackSuite parts);
+
+/// The full default suite for a domain, in fixed report order.
+AttackSuite BuildAttackSuite(const DomainSpec& spec);
+
+/// Applies `attack` at `severity` to a copy of every document. Child rngs
+/// are split serially per document index before the parallel fan-out, so
+/// the result is bit-identical for any FIELDSWAP_THREADS value. The seed
+/// stream is salted with the attack name, so different attacks on the same
+/// corpus draw uncorrelated randomness.
+std::vector<Document> PerturbCorpus(const std::vector<Document>& docs,
+                                    const DocumentPerturbation& attack,
+                                    double severity, uint64_t seed);
+
+}  // namespace attack
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_ATTACK_PERTURBATION_H_

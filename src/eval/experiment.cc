@@ -131,6 +131,71 @@ LearningCurve ExperimentRunner::Run(const ExperimentSetting& setting) {
   return curve;
 }
 
+SequenceLabelingModel ExperimentRunner::TrainModelFor(
+    const ExperimentSetting& setting, int train_size, int subset_index,
+    int trial) {
+  FS_TRACE_SPAN("eval.train_model_for");
+  std::vector<Document> originals = Subset(train_size, subset_index);
+
+  std::vector<Document> synthetics;
+  if (setting.augmentation.has_value()) {
+    FieldSwapPipelineOptions options = *setting.augmentation;
+    options.swap.max_synthetics = config_.max_synthetics_for_training;
+    AugmentationResult augmented =
+        RunFieldSwap(originals, spec_, candidate_model_, options);
+    synthetics = std::move(augmented.synthetics);
+  }
+
+  // Seeding mirrors Run()'s per-trial leg exactly, so an attacked eval of
+  // (setting, size, subset, trial) stresses the very model the learning
+  // curve scored clean.
+  SequenceModelConfig model_config = config_.model;
+  model_config.seed = config_.seed + 31 * static_cast<uint64_t>(trial) +
+                      17 * static_cast<uint64_t>(subset_index) + 1;
+  SequenceLabelingModel model(model_config, spec_.Schema());
+
+  TrainOptions train = config_.train;
+  train.total_steps =
+      std::max(config_.min_steps, config_.steps_per_doc * train_size);
+  train.seed = model_config.seed ^ 0x5eed;
+  TrainSequenceModel(model, originals, synthetics, train);
+  return model;
+}
+
+attack::CorpusEvaluator MakeModelEvaluator(SequenceLabelingModel model) {
+  return [model = std::move(model)](const std::vector<Document>& docs) {
+    EvalResult eval = EvaluateModel(model, docs);
+    attack::AttackEval out;
+    out.macro_f1 = eval.macro_f1;
+    out.micro_f1 = eval.micro_f1;
+    for (const auto& [field, score] : eval.per_field) {
+      out.per_field_f1[field] = score.F1();
+    }
+    return out;
+  };
+}
+
+std::vector<AttackedEvalArm> RunAttackedEval(
+    ExperimentRunner& runner, const std::vector<ExperimentSetting>& settings,
+    const attack::AttackSuite& suite, const attack::AttackLadderConfig& config,
+    int train_size) {
+  FS_TRACE_SPAN("eval.attacked_eval");
+  std::vector<AttackedEvalArm> arms;
+  for (const ExperimentSetting& setting : settings) {
+    obs::CounterAdd("fieldswap.attack.arms_run");
+    AttackedEvalArm arm;
+    arm.setting_label = setting.label;
+    SequenceLabelingModel model =
+        runner.TrainModelFor(setting, train_size, /*subset_index=*/0,
+                             /*trial=*/0);
+    arm.report = attack::RunAttackLadder(
+        runner.test_docs(), suite, config, MakeModelEvaluator(std::move(model)),
+        runner.spec().name + " / " + setting.label);
+    arms.push_back(std::move(arm));
+  }
+  return arms;
+}
+
 double ExperimentRunner::CountSynthetics(const ExperimentSetting& setting,
                                          int train_size) {
   if (!setting.augmentation.has_value()) return 0;

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "attack/ladder.h"
+#include "attack/perturbation.h"
 #include "core/pipeline.h"
 #include "eval/metrics.h"
 #include "model/candidate_model.h"
@@ -80,6 +82,13 @@ class ExperimentRunner {
 
   LearningCurve Run(const ExperimentSetting& setting);
 
+  /// Trains the model of one (subset, trial) leg of Run() — identical
+  /// subset selection, augmentation, seeding, and step budget — and
+  /// returns it for out-of-band evaluation (the attacked-eval arm).
+  SequenceLabelingModel TrainModelFor(const ExperimentSetting& setting,
+                                      int train_size, int subset_index,
+                                      int trial);
+
   /// Average number of synthetic documents generated per subset at the
   /// given size, uncapped (for Table III).
   double CountSynthetics(const ExperimentSetting& setting, int train_size);
@@ -96,6 +105,25 @@ class ExperimentRunner {
   std::vector<Document> pool_;
   std::vector<Document> test_docs_;
 };
+
+/// Adapts EvaluateModel into the attack ladder's corpus evaluator. The
+/// model is copied into the callback, so the evaluator outlives its source.
+attack::CorpusEvaluator MakeModelEvaluator(SequenceLabelingModel model);
+
+/// Degradation of one experiment setting under an attack suite.
+struct AttackedEvalArm {
+  std::string setting_label;
+  attack::DegradationReport report;
+};
+
+/// The attacked-eval arm: trains one model per setting (subset 0, trial 0
+/// at `train_size`, the same leg Run() would train) and runs the full
+/// attack ladder on the shared held-out test set — the paper's
+/// FieldSwap-vs-baseline comparison, reproduced under perturbation.
+std::vector<AttackedEvalArm> RunAttackedEval(
+    ExperimentRunner& runner, const std::vector<ExperimentSetting>& settings,
+    const attack::AttackSuite& suite, const attack::AttackLadderConfig& config,
+    int train_size);
 
 /// Builds and pre-trains the out-of-domain (invoices) candidate scoring
 /// model used for automatic key phrase inference. `corpus_size` invoices

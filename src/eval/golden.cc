@@ -1,0 +1,133 @@
+#include "eval/golden.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "attack/ladder.h"
+#include "attack/perturbation.h"
+#include "core/pipeline.h"
+#include "doc/serialize.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "model/trainer.h"
+#include "obs/trace.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace {
+
+uint64_t CorpusChecksum(const std::vector<Document>& docs) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const Document& doc : docs) {
+    hash = hash * 31 + Fnv1a64(DocumentToJson(doc));
+  }
+  return hash;
+}
+
+std::string Hex(uint64_t value) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << value;
+  return out.str();
+}
+
+/// Indents every line of a rendered JSON block by `indent`, dropping the
+/// trailing newline, so standalone renderings nest cleanly.
+std::string Reindent(const std::string& json, const std::string& indent) {
+  std::ostringstream out;
+  bool at_line_start = false;
+  for (char c : json) {
+    if (at_line_start) {
+      out << indent;
+      at_line_start = false;
+    }
+    if (c == '\n') {
+      at_line_start = true;
+      out << c;
+    } else {
+      out << c;
+    }
+  }
+  std::string result = out.str();
+  while (!result.empty() && (result.back() == '\n' || result.back() == ' ')) {
+    result.pop_back();
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string ComputeGoldenReport(const GoldenConfig& config) {
+  FS_TRACE_SPAN("eval.golden_report");
+  std::ostringstream os;
+  os << "{\n  \"golden_version\": 1,\n";
+
+  // 1. Corpus checksums: pins the generator + serializer for every domain.
+  os << "  \"corpus_checksums\": {\n";
+  std::vector<DomainSpec> domains = AllEvalDomains();
+  for (size_t i = 0; i < domains.size(); ++i) {
+    std::vector<Document> docs = GenerateCorpus(
+        domains[i], config.checksum_docs, config.checksum_seed, "gold");
+    os << "    \"" << domains[i].name << "\": \"" << Hex(CorpusChecksum(docs))
+       << "\"" << (i + 1 < domains.size() ? "," : "") << "\n";
+  }
+  os << "  },\n";
+
+  // 2. Human-expert augmentation counts: pins phrase matching + swapping.
+  DomainSpec spec = SpecByName(config.domain);
+  std::vector<Document> train =
+      GenerateCorpus(spec, config.train_docs, config.seed, "gold-train");
+  std::vector<Document> test = GenerateCorpus(
+      spec, config.test_docs, config.seed ^ 0x7e57ULL, "gold-test");
+  FieldSwapPipelineOptions options;
+  options.strategy = MappingStrategy::kHumanExpert;
+  AugmentationResult augmented = RunFieldSwap(train, spec, nullptr, options);
+  os << "  \"augmentation\": {\n"
+     << "    \"domain\": \"" << config.domain << "\",\n"
+     << "    \"generated\": " << augmented.stats.generated << ",\n"
+     << "    \"discarded_unchanged\": " << augmented.stats.discarded_unchanged
+     << ",\n"
+     << "    \"pairs_with_match\": " << augmented.stats.pairs_with_match
+     << ",\n"
+     << "    \"kept_synthetics\": " << augmented.synthetics.size() << "\n"
+     << "  },\n";
+
+  // 3. Fixed-seed train/eval run: pins encoding, training, and scoring.
+  SequenceModelConfig model_config;
+  model_config.d_model = 16;
+  model_config.seed = config.seed + 1;
+  SequenceLabelingModel model(model_config, spec.Schema());
+  TrainOptions train_options;
+  train_options.total_steps = config.train_steps;
+  train_options.seed = model_config.seed ^ 0x5eed;
+  TrainSequenceModel(model, train, augmented.synthetics, train_options);
+  EvalResult eval = EvaluateModel(model, test);
+  os << "  \"train_eval\": {\n"
+     << "    \"macro_f1\": " << FormatDouble(eval.macro_f1, 4) << ",\n"
+     << "    \"micro_f1\": " << FormatDouble(eval.micro_f1, 4) << ",\n"
+     << "    \"per_field_f1\": {\n";
+  size_t remaining = eval.per_field.size();
+  for (const auto& [field, score] : eval.per_field) {
+    os << "      \"" << field << "\": " << FormatDouble(score.F1(), 4)
+       << (--remaining > 0 ? "," : "") << "\n";
+  }
+  os << "    }\n  },\n";
+
+  // 4. Attack-ladder degradation of that model: pins the attack layer.
+  attack::AttackLadderConfig ladder;
+  ladder.severities = config.attack_severities;
+  ladder.seed = config.seed;
+  attack::DegradationReport report =
+      attack::RunAttackLadder(test, attack::BuildAttackSuite(spec), ladder,
+                              MakeModelEvaluator(std::move(model)),
+                              config.domain);
+  os << "  \"attack_ladder\": "
+     << Reindent(attack::ReportToJson(report), "  ") << "\n";
+
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fieldswap

@@ -1,0 +1,38 @@
+#ifndef FIELDSWAP_EVAL_GOLDEN_H_
+#define FIELDSWAP_EVAL_GOLDEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fieldswap {
+
+/// Fixed-seed configuration of the golden regression report. Everything is
+/// deliberately small: the suite pins *exact* behaviour, so it only needs
+/// enough work to touch every stage (generation, augmentation, training,
+/// scoring, attacks), not enough to reach good F1.
+struct GoldenConfig {
+  /// Corpus checksum sweep (one per eval domain).
+  int checksum_docs = 12;
+  uint64_t checksum_seed = 4242;
+
+  /// Fixed-seed train/eval run + attack ladder, on one domain.
+  std::string domain = "earnings";
+  int train_docs = 10;
+  int test_docs = 12;
+  int train_steps = 400;
+  uint64_t seed = 2025;
+  std::vector<double> attack_severities = {0.5};
+};
+
+/// Computes the canonical golden report: corpus checksums for every eval
+/// domain, human-expert augmentation counts, per-field F1 of a fixed-seed
+/// train/eval run, and the attack-ladder degradation numbers for that
+/// model. The output is stable JSON — byte-identical for a fixed config on
+/// any machine and FIELDSWAP_THREADS value — and is compared verbatim
+/// against data/golden/golden.json by tests/golden_test.cc.
+std::string ComputeGoldenReport(const GoldenConfig& config = {});
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_EVAL_GOLDEN_H_

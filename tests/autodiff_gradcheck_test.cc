@@ -2,9 +2,13 @@
 
 #include <cmath>
 #include <functional>
+#include <vector>
 
 #include "nn/autodiff.h"
+#include "nn/layers.h"
 #include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/sparsemax.h"
 #include "util/rng.h"
 
 namespace fieldswap {
@@ -250,6 +254,146 @@ TEST(GradCheckTest, GradientPrunedForConstants) {
   // Constants never allocate gradient storage via the backward pass.
   EXPECT_TRUE(c->grad.empty());
   EXPECT_FALSE(p->grad.empty());
+}
+
+// ---- Sparsemax boundary cases ---------------------------------------------
+//
+// Sparsemax is a simplex projection used outside the autodiff graph (token
+// selection, Sec. II-A2), so these are exact-value checks of the piecewise
+// boundaries rather than gradient probes.
+
+double Sum(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return s;
+}
+
+TEST(SparsemaxBoundaryTest, AllEqualLogitsGiveUniform) {
+  for (double value : {-3.0, 0.0, 42.0}) {
+    std::vector<double> p = Sparsemax({value, value, value, value});
+    ASSERT_EQ(p.size(), 4u);
+    for (double pi : p) EXPECT_NEAR(pi, 0.25, 1e-12) << "logit " << value;
+  }
+}
+
+TEST(SparsemaxBoundaryTest, TiedLeadersShareMassEqually) {
+  // Two leaders tied far above the rest: exactly those two split the mass.
+  std::vector<double> p = Sparsemax({2.0, 2.0, 0.0});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+  EXPECT_NEAR(p[2], 0.0, 1e-12);
+}
+
+TEST(SparsemaxBoundaryTest, ProjectionSatisfiesKkt) {
+  // Simplex-projection KKT conditions: p >= 0, sum(p) = 1, and for every
+  // pair with p_i > 0 and p_j > 0, z_i - p_i == z_j - p_j (shared
+  // threshold tau); supported entries dominate unsupported ones.
+  Rng rng(2718);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> z;
+    size_t n = 1 + rng.Index(6);
+    for (size_t i = 0; i < n; ++i) z.push_back(rng.Gaussian(0, 3));
+    std::vector<double> p = Sparsemax(z);
+    ASSERT_EQ(p.size(), z.size());
+    EXPECT_NEAR(Sum(p), 1.0, 1e-9);
+    double tau = 0;
+    bool have_tau = false;
+    for (size_t i = 0; i < p.size(); ++i) {
+      EXPECT_GE(p[i], 0.0);
+      if (p[i] <= 0) continue;
+      if (!have_tau) {
+        tau = z[i] - p[i];
+        have_tau = true;
+      } else {
+        EXPECT_NEAR(z[i] - p[i], tau, 1e-9);
+      }
+    }
+    ASSERT_TRUE(have_tau);
+    // Unsupported entries are at or below the threshold.
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (p[i] <= 0) {
+        EXPECT_LE(z[i], tau + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(SparsemaxBoundaryTest, ScaleSharpensSupport) {
+  std::vector<double> z = {1.0, 0.6, 0.2, -0.4};
+  auto support = [](const std::vector<double>& p) {
+    int n = 0;
+    for (double pi : p) n += pi > 0 ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(support(Sparsemax(z, 100.0)), 1);
+  EXPECT_GE(support(Sparsemax(z, 0.01)), support(Sparsemax(z, 1.0)));
+  // Scale 1 matches the plain overload.
+  std::vector<double> a = Sparsemax(z);
+  std::vector<double> b = Sparsemax(z, 1.0);
+  for (size_t i = 0; i < z.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(SparsemaxBoundaryTest, SingleAndEmptyInputs) {
+  std::vector<double> one = Sparsemax({-7.5});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_NEAR(one[0], 1.0, 1e-12);
+  EXPECT_TRUE(Sparsemax({}).empty());
+}
+
+// ---- Global gradient-norm clipping ----------------------------------------
+
+std::vector<NamedParam> TwoParams(Matrix ga, Matrix gb) {
+  Var a = Parameter(Matrix::Full(ga.rows(), ga.cols(), 0.0f));
+  Var b = Parameter(Matrix::Full(gb.rows(), gb.cols(), 0.0f));
+  a->EnsureGrad();
+  b->EnsureGrad();
+  a->grad = std::move(ga);
+  b->grad = std::move(gb);
+  return {{"a", a}, {"b", b}};
+}
+
+TEST(GlobalGradClipTest, NormMatchesHandComputation) {
+  // Grads (3, 4) and (12,): norm = sqrt(9 + 16 + 144) = 13.
+  auto params = TwoParams(Matrix::FromValues(1, 2, {3.0f, 4.0f}),
+                          Matrix::FromValues(1, 1, {12.0f}));
+  EXPECT_NEAR(GlobalGradNorm(params), 13.0, 1e-6);
+}
+
+TEST(GlobalGradClipTest, JointScalePreservesDirection) {
+  auto params = TwoParams(Matrix::FromValues(1, 2, {3.0f, 4.0f}),
+                          Matrix::FromValues(1, 1, {12.0f}));
+  double pre = ClipGlobalGradNorm(params, 6.5);
+  EXPECT_NEAR(pre, 13.0, 1e-6);
+  // All tensors share one scale factor (13 -> 6.5 is exactly 0.5).
+  EXPECT_NEAR(params[0].param->grad.At(0, 0), 1.5, 1e-6);
+  EXPECT_NEAR(params[0].param->grad.At(0, 1), 2.0, 1e-6);
+  EXPECT_NEAR(params[1].param->grad.At(0, 0), 6.0, 1e-6);
+  EXPECT_NEAR(GlobalGradNorm(params), 6.5, 1e-5);
+}
+
+TEST(GlobalGradClipTest, NoOpUnderTheLimitOrWhenDisabled) {
+  auto params = TwoParams(Matrix::FromValues(1, 2, {3.0f, 4.0f}),
+                          Matrix::FromValues(1, 1, {12.0f}));
+  EXPECT_NEAR(ClipGlobalGradNorm(params, 100.0), 13.0, 1e-6);
+  EXPECT_NEAR(params[1].param->grad.At(0, 0), 12.0, 1e-6);
+  // max_norm <= 0 disables clipping entirely.
+  EXPECT_NEAR(ClipGlobalGradNorm(params, 0.0), 13.0, 1e-6);
+  EXPECT_NEAR(params[1].param->grad.At(0, 0), 12.0, 1e-6);
+}
+
+TEST(GlobalGradClipTest, UnreachedParamsCountAsZero) {
+  // A parameter Backward never visited has an empty grad; the global norm
+  // treats it as zero instead of crashing.
+  Var reached = Parameter(Matrix::FromValues(1, 1, {5.0f}));
+  reached->EnsureGrad();
+  reached->grad = Matrix::FromValues(1, 1, {5.0f});
+  Var unreached = Parameter(Matrix::FromValues(1, 1, {1.0f}));
+  std::vector<NamedParam> params = {{"r", reached}, {"u", unreached}};
+  EXPECT_NEAR(GlobalGradNorm(params), 5.0, 1e-6);
+  double pre = ClipGlobalGradNorm(params, 2.5);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(reached->grad.At(0, 0), 2.5, 1e-6);
 }
 
 }  // namespace

@@ -1,9 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "doc/bbox.h"
 #include "doc/document.h"
 #include "doc/schema.h"
+#include "doc/serialize.h"
 #include "ocr/line_detector.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
 
 namespace fieldswap {
 namespace {
@@ -257,6 +268,81 @@ TEST(DocumentTest, ReplacePreservesPhraseFindability) {
   doc.ReplaceTokenRange(0, 2, {"Balance", "Owed"});
   EXPECT_EQ(doc.FindPhrase({"Balance", "Owed"}).size(), 1u);
   EXPECT_TRUE(doc.FindPhrase({"Amount", "Due"}).empty());
+}
+
+// ---- Serialization round-trip fuzz sweep ----------------------------------
+//
+// write -> read -> write must be byte-identical: the first serialization
+// quantizes coordinates to the printed precision, so parsing it back and
+// printing again reproduces the same bytes exactly. A drift here breaks the
+// golden corpus checksums.
+
+TEST(SerializeFuzzTest, GeneratedCorporaRoundTripByteIdentically) {
+  const char* domains[] = {"fara", "fcc_forms", "brokerage_statements",
+                           "earnings", "loan_payments"};
+  for (const char* domain : domains) {
+    DomainSpec spec = SpecByName(domain);
+    for (uint64_t seed : {7ULL, 1234ULL, 0xfeedULL}) {
+      for (const Document& doc : GenerateCorpus(spec, 4, seed, "fuzz")) {
+        std::string json1 = DocumentToJson(doc);
+        std::optional<Document> parsed = DocumentFromJson(json1);
+        ASSERT_TRUE(parsed.has_value()) << domain << " seed " << seed;
+        EXPECT_EQ(DocumentToJson(*parsed), json1)
+            << domain << " seed " << seed << " doc " << doc.id();
+        // Structure survives, not just bytes.
+        EXPECT_TRUE(parsed->SameTokenTexts(doc));
+        EXPECT_EQ(parsed->annotations(), doc.annotations());
+        EXPECT_EQ(parsed->lines().size(), doc.lines().size());
+      }
+    }
+  }
+}
+
+TEST(SerializeFuzzTest, JsonlCorpusSurvivesSaveLoadSave) {
+  std::vector<Document> corpus =
+      GenerateCorpus(SpecByName("earnings"), 6, 77, "fuzz");
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "fieldswap_fuzz_jsonl";
+  std::filesystem::create_directories(dir);
+  std::string path_a = (dir / "a.jsonl").string();
+  std::string path_b = (dir / "b.jsonl").string();
+
+  ASSERT_TRUE(SaveCorpusJsonl(path_a, corpus));
+  std::optional<std::vector<Document>> loaded = LoadCorpusJsonl(path_a);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), corpus.size());
+  ASSERT_TRUE(SaveCorpusJsonl(path_b, *loaded));
+
+  std::ifstream a(path_a), b(path_b);
+  std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                      std::istreambuf_iterator<char>());
+  std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(SerializeFuzzTest, HostileDocumentRoundTrips) {
+  // Negative coordinates, quotes/backslashes/control chars in text, an
+  // empty-text token, and a token far off the page.
+  Document doc("fuzz \"quoted\"\\id", "t", 100, 100);
+  doc.AddToken("says \"hi\"", BBox{-5.25, -3.5, 12.125, 4.75});
+  doc.AddToken("back\\slash", BBox{0, 10, 8, 20});
+  doc.AddToken("tab\there", BBox{0, 30, 8, 40});
+  doc.AddToken("", BBox{50, 50, 50, 50});
+  doc.AddToken("far", BBox{9000, 9000, 9010, 9010});
+  DetectAndAssignLines(doc);
+  doc.AddAnnotation(EntitySpan{"field", 1, 2});
+
+  std::string json1 = DocumentToJson(doc);
+  std::optional<Document> parsed = DocumentFromJson(json1);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(DocumentToJson(*parsed), json1);
+  EXPECT_EQ(parsed->id(), doc.id());
+  EXPECT_TRUE(parsed->SameTokenTexts(doc));
+  EXPECT_EQ(parsed->annotations(), doc.annotations());
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+// Golden regression suite: recomputes the canonical fixed-seed report
+// (corpus checksums, augmentation counts, train/eval F1, attack-ladder
+// degradation) and compares it byte-for-byte against the checked-in
+// fixture. Any drift in corpus generation, serialization, augmentation,
+// training, scoring, or the attack layer fails here with a line-level diff.
+//
+// Intentional behaviour changes: regenerate with tools/update_goldens.sh
+// and commit the new fixture together with the change that explains it.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/golden.h"
+
+namespace fieldswap {
+namespace {
+
+// Injected by tests/CMakeLists.txt; ctest runs from build/tests, so the
+// fixture is located relative to the source tree, not the working dir.
+#ifndef FIELDSWAP_REPO_ROOT
+#error "FIELDSWAP_REPO_ROOT must be defined by the build"
+#endif
+
+std::string GoldenPath() {
+  return std::string(FIELDSWAP_REPO_ROOT) + "/data/golden/golden.json";
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(GoldenTest, ReportMatchesCheckedInFixture) {
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in) << "missing fixture " << GoldenPath()
+                  << " — run tools/update_goldens.sh";
+  std::string expected((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  std::string actual = ComputeGoldenReport();
+
+  if (actual == expected) return;  // PASS
+
+  // Pinpoint the first drifting line so the failure names the stage
+  // (checksums, augmentation, train_eval, or attack_ladder).
+  std::vector<std::string> want = SplitLines(expected);
+  std::vector<std::string> got = SplitLines(actual);
+  size_t n = std::min(want.size(), got.size());
+  size_t first_diff = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (want[i] != got[i]) {
+      first_diff = i;
+      break;
+    }
+  }
+  std::ostringstream diff;
+  if (first_diff < n) {
+    diff << "first drift at line " << (first_diff + 1) << ":\n"
+         << "  golden: " << want[first_diff] << "\n"
+         << "  actual: " << got[first_diff] << "\n";
+  } else {
+    diff << "line counts differ: golden " << want.size() << ", actual "
+         << got.size() << "\n";
+  }
+  FAIL() << "golden report drifted from " << GoldenPath() << "\n"
+         << diff.str()
+         << "If this change is intentional, regenerate the fixture with "
+            "tools/update_goldens.sh and commit it with an explanation.";
+}
+
+TEST(GoldenTest, ReportIsInternallyReproducible) {
+  // Two in-process computations must agree exactly — if this fails, the
+  // pipeline itself is nondeterministic and the fixture comparison above
+  // is meaningless noise.
+  EXPECT_EQ(ComputeGoldenReport(), ComputeGoldenReport());
+}
+
+}  // namespace
+}  // namespace fieldswap

@@ -6,8 +6,10 @@
 
 #include <set>
 
+#include "attack/perturbation.h"
 #include "core/human_expert.h"
 #include "core/pipeline.h"
+#include "doc/serialize.h"
 #include "model/sequence_model.h"
 #include "synth/domains.h"
 #include "synth/generator.h"
@@ -112,6 +114,80 @@ TEST_P(DomainPropertyTest, DiscardRuleImpliesTextChange) {
     for (const Document& original : docs) {
       if (original.id() != source_id) continue;
       EXPECT_FALSE(synthetic.SameTokenTexts(original)) << synthetic.id();
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, AttacksAreIdentityAtSeverityZero) {
+  auto docs = GenerateCorpus(spec_, 4, 97, "p");
+  for (const auto& attack : attack::BuildAttackSuite(spec_)) {
+    std::vector<Document> out =
+        attack::PerturbCorpus(docs, *attack, 0.0, 1234);
+    ASSERT_EQ(out.size(), docs.size());
+    for (size_t i = 0; i < docs.size(); ++i) {
+      EXPECT_EQ(DocumentToJson(out[i]), DocumentToJson(docs[i]))
+          << attack->name();
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, AttacksPreserveDocumentInvariants) {
+  auto docs = GenerateCorpus(spec_, 5, 98, "p");
+  DomainSchema schema = spec_.Schema();
+  for (const auto& attack : attack::BuildAttackSuite(spec_)) {
+    for (const Document& doc :
+         attack::PerturbCorpus(docs, *attack, 0.7, 4321)) {
+      EXPECT_GT(doc.num_tokens(), 0) << attack->name();
+      // Annotations stay in-bounds on schema fields; attacks may drop
+      // labels but never invent or corrupt ground truth.
+      for (const EntitySpan& span : doc.annotations()) {
+        EXPECT_TRUE(schema.Has(span.field)) << attack->name();
+        EXPECT_GE(span.first_token, 0) << attack->name();
+        EXPECT_GT(span.num_tokens, 0) << attack->name();
+        EXPECT_LE(span.end_token(), doc.num_tokens()) << attack->name();
+      }
+      // Bounding boxes stay normalized.
+      for (const Token& tok : doc.tokens()) {
+        EXPECT_LE(tok.box.x_min, tok.box.x_max) << attack->name();
+        EXPECT_LE(tok.box.y_min, tok.box.y_max) << attack->name();
+      }
+      // Every token sits in exactly one valid line.
+      std::set<int> assigned;
+      for (const Line& line : doc.lines()) {
+        for (int ti : line.token_indices) {
+          EXPECT_TRUE(assigned.insert(ti).second)
+              << attack->name() << ": token in two lines";
+          EXPECT_GE(ti, 0);
+          EXPECT_LT(ti, doc.num_tokens());
+        }
+      }
+      EXPECT_EQ(static_cast<int>(assigned.size()), doc.num_tokens())
+          << attack->name();
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, AttacksNeverGrowAnnotationCount) {
+  auto docs = GenerateCorpus(spec_, 5, 99, "p");
+  for (const auto& attack : attack::BuildAttackSuite(spec_)) {
+    std::vector<Document> out =
+        attack::PerturbCorpus(docs, *attack, 1.0, 555);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      EXPECT_LE(out[i].annotations().size(), docs[i].annotations().size())
+          << attack->name();
+    }
+  }
+}
+
+TEST_P(DomainPropertyTest, AttacksAreDeterministicForAFixedSeed) {
+  auto docs = GenerateCorpus(spec_, 4, 100, "p");
+  for (const auto& attack : attack::BuildAttackSuite(spec_)) {
+    std::vector<Document> a =
+        attack::PerturbCorpus(docs, *attack, 0.6, 2024);
+    std::vector<Document> b =
+        attack::PerturbCorpus(docs, *attack, 0.6, 2024);
+    for (size_t i = 0; i < docs.size(); ++i) {
+      EXPECT_EQ(DocumentToJson(a[i]), DocumentToJson(b[i])) << attack->name();
     }
   }
 }

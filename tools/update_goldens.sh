@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerates the golden regression fixture (data/golden/golden.json) from
+# the current build. Run this ONLY when a behaviour change is intentional,
+# and commit the new fixture together with the change that explains it —
+# tests/golden_test.cc fails on any byte of drift until you do.
+#
+# Usage: tools/update_goldens.sh [build_dir]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+DUMP_BIN="$BUILD_DIR/examples/golden_dump"
+if [[ ! -x "$DUMP_BIN" ]]; then
+  echo "error: $DUMP_BIN not built; run cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j first" >&2
+  exit 2
+fi
+
+mkdir -p data/golden
+
+# The report must be thread-count invariant; regenerate at two thread
+# counts and refuse to update if they disagree (a nondeterministic report
+# would make the golden suite flaky instead of protective).
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+FIELDSWAP_THREADS=1 "$DUMP_BIN" > "$tmpdir/golden_1.json"
+FIELDSWAP_THREADS=4 "$DUMP_BIN" > "$tmpdir/golden_4.json"
+if ! diff -q "$tmpdir/golden_1.json" "$tmpdir/golden_4.json" > /dev/null; then
+  echo "FAIL: golden report differs between FIELDSWAP_THREADS=1 and 4;" >&2
+  echo "      fix the determinism regression before updating fixtures" >&2
+  diff "$tmpdir/golden_1.json" "$tmpdir/golden_4.json" >&2 || true
+  exit 1
+fi
+
+if [[ -f data/golden/golden.json ]] \
+    && diff -q "$tmpdir/golden_1.json" data/golden/golden.json > /dev/null; then
+  echo "data/golden/golden.json is already up to date"
+  exit 0
+fi
+
+cp "$tmpdir/golden_1.json" data/golden/golden.json
+echo "updated data/golden/golden.json:"
+git --no-pager diff --stat -- data/golden/golden.json || true
+echo "review the diff and commit the fixture with the change that caused it"
