@@ -13,12 +13,13 @@
 #include "doc/serialize.h"
 #include "synth/domains.h"
 #include "synth/generator.h"
+#include "util/strings.h"
 
 using namespace fieldswap;
 
 int main(int argc, char** argv) {
   std::string domain = argc > 1 ? argv[1] : "earnings";
-  int count = argc > 2 ? std::atoi(argv[2]) : 25;
+  int count = argc > 2 ? ParseInt(argv[2], 25) : 25;
   std::string out_dir = argc > 3 ? argv[3] : ".";
 
   DomainSpec spec = SpecByName(domain);

@@ -19,7 +19,7 @@ using namespace fieldswap;
 
 int main(int argc, char** argv) {
   std::string domain = argc > 1 ? argv[1] : "earnings";
-  int train_size = argc > 2 ? std::atoi(argv[2]) : 10;
+  int train_size = argc > 2 ? ParseInt(argv[2], 10) : 10;
 
   std::cout << "Pre-training / loading the candidate model...\n";
   CandidateScoringModel candidate_model = GetOrTrainCachedCandidateModel();

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/strings.h"
+
 namespace fieldswap {
 namespace {
 
@@ -91,7 +93,7 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) return false;
-    out = std::atof(text_.substr(start, pos_ - start).c_str());
+    out = ParseDouble(text_.substr(start, pos_ - start).c_str(), 0.0);
     return true;
   }
 

@@ -10,6 +10,7 @@
 #include "par/parallel.h"
 #include "synth/generator.h"
 #include "util/logging.h"
+#include "util/strings.h"
 #include "util/stats.h"
 
 namespace fieldswap {
@@ -264,7 +265,7 @@ CandidateScoringModel GetOrTrainCachedCandidateModel(
 int EnvInt(const char* name, int fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
-  int parsed = std::atoi(value);
+  int parsed = ParseInt(value, 0);
   return parsed > 0 ? parsed : fallback;
 }
 

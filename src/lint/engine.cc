@@ -1,0 +1,186 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace fieldswap {
+namespace lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& path) {
+  static const std::vector<std::string> kExts = {".cc",  ".h",  ".cpp",
+                                                 ".hpp", ".hh", ".cxx"};
+  std::string ext = path.extension().string();
+  return std::find(kExts.begin(), kExts.end(), ext) != kExts.end();
+}
+
+bool IsExcluded(const std::string& rel_path, const LintConfig& config) {
+  for (const std::string& needle : config.exclude_substrings) {
+    if (rel_path.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Forward-slashed path of `path` relative to root (or lexically normal
+/// `path` when it does not live under root).
+std::string RelPath(const fs::path& path, const fs::path& root) {
+  fs::path rel = path.lexically_normal().lexically_relative(root);
+  if (rel.empty() || *rel.begin() == "..") rel = path.lexically_normal();
+  return rel.generic_string();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LintReport LintPaths(const LintConfig& config,
+                     const std::vector<std::string>& paths) {
+  const fs::path root = fs::path(config.root).lexically_normal();
+
+  // Expand directories, filter, and sort so the report is deterministic
+  // regardless of directory-iteration order.
+  std::vector<fs::path> files;
+  for (const std::string& raw : paths) {
+    fs::path p(raw);
+    if (p.is_relative()) p = root / p;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::vector<std::pair<std::string, fs::path>> rel_files;
+  rel_files.reserve(files.size());
+  for (const fs::path& file : files) {
+    std::string rel = RelPath(file, root);
+    if (!IsExcluded(rel, config)) rel_files.emplace_back(rel, file);
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+  rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
+                  rel_files.end());
+
+  LintReport report;
+  for (const auto& [rel, file] : rel_files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      report.unreadable_files.push_back(rel);
+      continue;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    FileLintResult result = LintSource(rel, content.str(), config.layers);
+    ++report.files_scanned;
+    report.suppressions_used += result.suppressions_used;
+    for (Diagnostic& diag : result.diagnostics) {
+      ++report.violations_by_rule[diag.rule];
+      report.diagnostics.push_back(std::move(diag));
+    }
+  }
+  return report;
+}
+
+std::string RenderText(const LintReport& report) {
+  std::ostringstream out;
+  for (const Diagnostic& diag : report.diagnostics) {
+    out << diag.file << ":" << diag.line << ": error[" << diag.rule
+        << "]: " << diag.message << "\n";
+  }
+  for (const std::string& file : report.unreadable_files) {
+    out << file << ":0: error[io]: could not read file\n";
+  }
+  out << "fslint: " << report.diagnostics.size() << " violation(s), "
+      << report.files_scanned << " file(s) scanned, "
+      << report.suppressions_used << " justified suppression(s)";
+  if (report.clean()) out << " — clean";
+  out << "\n";
+  return out.str();
+}
+
+std::string RenderJson(const LintReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  out << "  \"violations\": " << report.diagnostics.size() << ",\n";
+  out << "  \"suppressions_used\": " << report.suppressions_used << ",\n";
+  out << "  \"clean\": " << (report.clean() ? "true" : "false") << ",\n";
+  out << "  \"by_rule\": {";
+  bool first = true;
+  for (const auto& [rule, count] : report.violations_by_rule) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(rule) << "\": " << count;
+  }
+  out << "},\n";
+  out << "  \"unreadable_files\": [";
+  first = true;
+  for (const std::string& file : report.unreadable_files) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(file) << "\"";
+  }
+  out << "],\n";
+  out << "  \"diagnostics\": [";
+  first = true;
+  for (const Diagnostic& diag : report.diagnostics) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"file\": \"" << JsonEscape(diag.file)
+        << "\", \"line\": " << diag.line << ", \"rule\": \""
+        << JsonEscape(diag.rule) << "\", \"message\": \""
+        << JsonEscape(diag.message) << "\"}";
+  }
+  if (!first) out << "\n  ";
+  out << "]\n";
+  out << "}\n";
+  return out.str();
+}
+
+void PublishLintMetrics(const LintReport& report) {
+  obs::CounterAdd("fieldswap.lint.files_scanned", report.files_scanned);
+  obs::CounterAdd("fieldswap.lint.violations",
+                  static_cast<int64_t>(report.diagnostics.size()));
+  obs::CounterAdd("fieldswap.lint.suppressions_used",
+                  report.suppressions_used);
+  obs::GaugeSet("fieldswap.lint.clean", report.clean() ? 1.0 : 0.0);
+  for (const auto& [rule, count] : report.violations_by_rule) {
+    obs::CounterAdd("fieldswap.lint.rule." + rule, count);
+  }
+}
+
+}  // namespace lint
+}  // namespace fieldswap

@@ -1,0 +1,60 @@
+#ifndef FIELDSWAP_LINT_ENGINE_H_
+#define FIELDSWAP_LINT_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/layers.h"
+#include "lint/rules.h"
+
+namespace fieldswap {
+namespace lint {
+
+/// Configuration for a lint run over a source tree.
+struct LintConfig {
+  /// Absolute repo root; scanned paths and diagnostics are relative to it.
+  std::string root;
+  /// Paths containing any of these substrings are skipped. The default
+  /// keeps the deliberately-violating fixture files out of the real gate.
+  std::vector<std::string> exclude_substrings = {"lint_fixtures"};
+  /// Layer manifest; layering checks are skipped when null.
+  const LayerGraph* layers = nullptr;
+};
+
+/// Aggregate result of linting many files.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  int files_scanned = 0;
+  int suppressions_used = 0;
+  std::map<std::string, int> violations_by_rule;
+  /// Paths that could not be read (reported and counted as failures).
+  std::vector<std::string> unreadable_files;
+
+  bool clean() const {
+    return diagnostics.empty() && unreadable_files.empty();
+  }
+};
+
+/// Lints every C++ source file (.cc/.h/.cpp/.hpp/.hh/.cxx) under `paths`
+/// (files or directories, absolute or relative to `config.root`). File
+/// order — and therefore diagnostic order — is sorted and deterministic.
+LintReport LintPaths(const LintConfig& config,
+                     const std::vector<std::string>& paths);
+
+/// `file:line: error[rule]: message` lines plus a one-line summary.
+std::string RenderText(const LintReport& report);
+
+/// Machine-readable report:
+///   {"files_scanned", "violations", "suppressions_used",
+///    "by_rule": {...}, "diagnostics": [{file, line, rule, message}...]}
+std::string RenderJson(const LintReport& report);
+
+/// Publishes fieldswap.lint.* counters/gauges to the global obs registry
+/// so lint health lands in the same metric sidecars as everything else.
+void PublishLintMetrics(const LintReport& report);
+
+}  // namespace lint
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_LINT_ENGINE_H_

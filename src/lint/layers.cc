@@ -1,0 +1,116 @@
+#include "lint/layers.h"
+
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace lint {
+
+namespace {
+
+/// DFS cycle check over the allowed-dependency edges. `state`: 0 = unseen,
+/// 1 = on the current path, 2 = done.
+bool HasCycleFrom(const std::string& node,
+                  const std::map<std::string, std::set<std::string>>& edges,
+                  std::map<std::string, int>& state) {
+  state[node] = 1;
+  for (const std::string& dep : edges.at(node)) {
+    int s = state.count(dep) ? state.at(dep) : 0;
+    if (s == 1) return true;
+    if (s == 0 && HasCycleFrom(dep, edges, state)) return true;
+  }
+  state[node] = 2;
+  return false;
+}
+
+}  // namespace
+
+bool LayerGraph::Parse(const std::string& manifest, LayerGraph* out,
+                       std::string* error) {
+  LayerGraph graph;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= manifest.size()) {
+    size_t eol = manifest.find('\n', pos);
+    if (eol == std::string::npos) eol = manifest.size();
+    std::string raw = manifest.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    std::string line = raw.substr(0, raw.find('#'));
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) {
+      *error = "layers.txt line " + std::to_string(line_no) +
+               ": expected '<layer>: <deps...>'";
+      return false;
+    }
+    std::string name(TrimWhitespace(trimmed.substr(0, colon)));
+    if (name.empty()) {
+      *error = "layers.txt line " + std::to_string(line_no) +
+               ": empty layer name";
+      return false;
+    }
+    if (graph.allowed_.count(name)) {
+      *error = "layers.txt line " + std::to_string(line_no) +
+               ": duplicate layer '" + name + "'";
+      return false;
+    }
+    graph.order_.push_back(name);
+    std::set<std::string>& deps = graph.allowed_[name];
+    for (const std::string& dep :
+         SplitWhitespace(trimmed.substr(colon + 1))) {
+      deps.insert(dep);
+    }
+  }
+  if (graph.order_.empty()) {
+    *error = "layers.txt declares no layers";
+    return false;
+  }
+  for (const auto& [name, deps] : graph.allowed_) {
+    for (const std::string& dep : deps) {
+      if (!graph.allowed_.count(dep)) {
+        *error = "layer '" + name + "' allows undeclared layer '" + dep + "'";
+        return false;
+      }
+      if (dep == name) {
+        *error = "layer '" + name + "' lists itself (self-includes are "
+                 "implicit)";
+        return false;
+      }
+    }
+  }
+  std::map<std::string, int> state;
+  for (const std::string& name : graph.order_) {
+    if ((state.count(name) ? state[name] : 0) == 0 &&
+        HasCycleFrom(name, graph.allowed_, state)) {
+      *error = "layer manifest contains a dependency cycle through '" +
+               name + "'";
+      return false;
+    }
+  }
+  *out = std::move(graph);
+  return true;
+}
+
+std::string LayerGraph::LayerForPath(const std::string& rel_path) const {
+  static const std::string kPrefix = "src/";
+  if (rel_path.compare(0, kPrefix.size(), kPrefix) != 0) return "";
+  size_t slash = rel_path.find('/', kPrefix.size());
+  if (slash == std::string::npos) return "";
+  std::string dir = rel_path.substr(kPrefix.size(), slash - kPrefix.size());
+  return allowed_.count(dir) ? dir : "";
+}
+
+bool LayerGraph::IsLayer(const std::string& name) const {
+  return allowed_.count(name) != 0;
+}
+
+bool LayerGraph::Allowed(const std::string& from,
+                         const std::string& to) const {
+  if (from == to) return true;
+  auto it = allowed_.find(from);
+  return it != allowed_.end() && it->second.count(to) != 0;
+}
+
+}  // namespace lint
+}  // namespace fieldswap

@@ -1,0 +1,49 @@
+#ifndef FIELDSWAP_LINT_LAYERS_H_
+#define FIELDSWAP_LINT_LAYERS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fieldswap {
+namespace lint {
+
+/// The subsystem dependency DAG, loaded from tools/layers.txt. Manifest
+/// format, one layer per line, `#` comments:
+///
+///   <layer>: <allowed dep> <allowed dep> ...
+///
+/// A layer may always include itself; every other `#include "<dir>/..."`
+/// whose first path segment names a declared layer must appear in the
+/// layer's allowed list, or fslint reports a `layering` back-edge. The
+/// allowed lists are direct (not transitive) on purpose: every edge a
+/// subsystem actually uses must be spelled out in the manifest.
+class LayerGraph {
+ public:
+  /// Parses manifest text. Returns false (with a human-readable `error`)
+  /// on duplicate layers, deps naming undeclared layers, or cycles.
+  static bool Parse(const std::string& manifest, LayerGraph* out,
+                    std::string* error);
+
+  /// Layer owning `rel_path` ("src/<layer>/..."), or "" for paths outside
+  /// src/ and for src/ subdirectories not declared in the manifest.
+  std::string LayerForPath(const std::string& rel_path) const;
+
+  bool IsLayer(const std::string& name) const;
+
+  /// True when a file in layer `from` may include headers of layer `to`.
+  bool Allowed(const std::string& from, const std::string& to) const;
+
+  /// Declared layers in manifest order.
+  const std::vector<std::string>& layers() const { return order_; }
+
+ private:
+  std::vector<std::string> order_;
+  std::map<std::string, std::set<std::string>> allowed_;
+};
+
+}  // namespace lint
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_LINT_LAYERS_H_

@@ -1,0 +1,188 @@
+#include "lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace fieldswap {
+namespace lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when the quote at `pos` opens a raw string: the identifier token
+/// ending just before it must be exactly R, u8R, uR, UR, or LR.
+bool IsRawStringQuote(const std::string& text, size_t pos) {
+  if (pos == 0 || text[pos - 1] != 'R') return false;
+  size_t start = pos - 1;
+  while (start > 0 && IsIdentChar(text[start - 1])) --start;
+  std::string prefix = text.substr(start, pos - start);
+  return prefix == "R" || prefix == "u8R" || prefix == "uR" ||
+         prefix == "UR" || prefix == "LR";
+}
+
+/// True when the quote at `pos` opens the path of `#include "..."`: every
+/// byte between the start of the line and the quote must spell the
+/// directive. Those paths stay visible in the code view for the layering
+/// checker.
+bool IsIncludePathQuote(const std::string& text, size_t pos) {
+  size_t line_start = text.rfind('\n', pos == 0 ? 0 : pos - 1);
+  line_start = (line_start == std::string::npos) ? 0 : line_start + 1;
+  std::string head = text.substr(line_start, pos - line_start);
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < head.size() && (head[i] == ' ' || head[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= head.size() || head[i] != '#') return false;
+  ++i;
+  skip_ws();
+  static const std::string kInclude = "include";
+  if (head.compare(i, kInclude.size(), kInclude) != 0) return false;
+  i += kInclude.size();
+  skip_ws();
+  return i == head.size();
+}
+
+/// True when the quote at `pos` is a C++14 digit separator (1'000'000)
+/// rather than a char-literal delimiter.
+bool IsDigitSeparator(const std::string& text, size_t pos) {
+  return pos > 0 &&
+         std::isalnum(static_cast<unsigned char>(text[pos - 1])) != 0;
+}
+
+}  // namespace
+
+int LexedFile::LineAt(size_t offset) const {
+  auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+LexedFile LexCppSource(const std::string& text) {
+  LexedFile out;
+  out.code = text;
+  out.line_starts.push_back(0);
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') out.line_starts.push_back(i + 1);
+  }
+
+  auto blank = [&](size_t from, size_t to_exclusive) {
+    for (size_t i = from; i < to_exclusive && i < out.code.size(); ++i) {
+      if (out.code[i] != '\n') out.code[i] = ' ';
+    }
+  };
+  // True when only whitespace precedes `pos` on its line (the comment is a
+  // standalone line, not trailing after code).
+  auto standalone_at = [&](size_t pos) {
+    size_t ls = text.rfind('\n', pos == 0 ? 0 : pos - 1);
+    ls = (ls == std::string::npos) ? 0 : ls + 1;
+    for (size_t i = ls; i < pos; ++i) {
+      if (text[i] != ' ' && text[i] != '\t') return false;
+    }
+    return true;
+  };
+  struct RawComment {
+    Comment comment;
+    bool is_line = false;
+    bool standalone = false;
+  };
+  std::vector<RawComment> raw_comments;
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      RawComment raw;
+      raw.comment.start_line = out.LineAt(i);
+      raw.comment.end_line = raw.comment.start_line;
+      raw.comment.text = text.substr(i, end - i);
+      raw.is_line = true;
+      raw.standalone = standalone_at(i);
+      raw_comments.push_back(std::move(raw));
+      blank(i, end);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t end = text.find("*/", i + 2);
+      size_t stop = (end == std::string::npos) ? n : end + 2;
+      RawComment raw;
+      raw.comment.start_line = out.LineAt(i);
+      raw.comment.end_line = out.LineAt(stop == 0 ? 0 : stop - 1);
+      raw.comment.text = text.substr(i, stop - i);
+      raw_comments.push_back(std::move(raw));
+      blank(i, stop);
+      i = stop;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == '"' && IsRawStringQuote(text, i)) {
+      size_t paren = text.find('(', i + 1);
+      if (paren == std::string::npos) {  // malformed; blank to end of file
+        blank(i + 1, n);
+        break;
+      }
+      std::string delim = text.substr(i + 1, paren - i - 1);
+      std::string closer = ")" + delim + "\"";
+      size_t end = text.find(closer, paren + 1);
+      size_t stop = (end == std::string::npos) ? n : end + closer.size();
+      blank(i + 1, stop == n ? n : stop - 1);  // keep both quote marks
+      i = stop;
+      continue;
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      bool is_include = IsIncludePathQuote(text, i);
+      size_t j = i + 1;
+      while (j < n && text[j] != '"' && text[j] != '\n') {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      size_t stop = (j < n && text[j] == '"') ? j + 1 : j;
+      if (!is_include) blank(i + 1, stop == 0 ? 0 : stop - 1);
+      i = stop == i ? i + 1 : stop;
+      continue;
+    }
+    // Char literal (skipping digit separators like 1'000).
+    if (c == '\'' && !IsDigitSeparator(text, i)) {
+      size_t j = i + 1;
+      while (j < n && text[j] != '\'' && text[j] != '\n') {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      size_t stop = (j < n && text[j] == '\'') ? j + 1 : j;
+      blank(i + 1, stop == 0 ? 0 : stop - 1);
+      i = stop == i ? i + 1 : stop;
+      continue;
+    }
+    ++i;
+  }
+
+  // Merge runs of adjacent standalone `//` lines into one logical comment
+  // block, so a suppression whose justification wraps onto following
+  // comment lines still covers the code line right after the block.
+  bool prev_mergeable = false;
+  for (RawComment& raw : raw_comments) {
+    bool mergeable = raw.is_line && raw.standalone;
+    if (prev_mergeable && mergeable && !out.comments.empty() &&
+        raw.comment.start_line == out.comments.back().end_line + 1) {
+      Comment& prev = out.comments.back();
+      prev.end_line = raw.comment.end_line;
+      prev.text += "\n" + raw.comment.text;
+    } else {
+      out.comments.push_back(std::move(raw.comment));
+    }
+    prev_mergeable = mergeable;
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace fieldswap

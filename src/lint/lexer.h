@@ -1,0 +1,46 @@
+#ifndef FIELDSWAP_LINT_LEXER_H_
+#define FIELDSWAP_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace fieldswap {
+namespace lint {
+
+/// One comment (line or block) from the original source, with the physical
+/// lines it covers. `text` keeps the delimiters (`//`, `/* */`) so callers
+/// can distinguish comment kinds if they care.
+struct Comment {
+  int start_line = 0;  // 1-based
+  int end_line = 0;    // == start_line for `//` comments
+  std::string text;
+};
+
+/// A C++ translation unit reduced to the parts the rule engine may match
+/// against. Both views are byte-for-byte the same length as the input with
+/// newlines preserved, so any byte offset maps to the same file:line in the
+/// original.
+struct LexedFile {
+  /// Comments and string/char-literal *contents* replaced by spaces.
+  /// Exception: the quoted path of an `#include "..."` directive survives,
+  /// so the layering checker can read it without seeing ordinary strings.
+  std::string code;
+  /// All comments, in file order, for suppression parsing.
+  std::vector<Comment> comments;
+  /// Byte offset of the start of each line; line_starts[0] == 0.
+  std::vector<size_t> line_starts;
+
+  /// 1-based line containing byte `offset` of `code`.
+  int LineAt(size_t offset) const;
+};
+
+/// Scans `text` as C++ source. Handles `//` and `/* */` comments, ordinary
+/// string literals with escapes, char literals, and raw strings
+/// (`R"delim(...)delim"`, including u8R/uR/UR/LR prefixes), so rule
+/// patterns never fire on quoted or commented text.
+LexedFile LexCppSource(const std::string& text);
+
+}  // namespace lint
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_LINT_LEXER_H_

@@ -1,0 +1,286 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <regex>
+#include <set>
+
+#include "lint/lexer.h"
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace lint {
+
+namespace {
+
+bool PathHasPrefix(const std::string& path, const std::string& prefix) {
+  return path.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Matched source text cleaned up for a one-line diagnostic.
+std::string Snippet(const std::string& matched) {
+  std::string out;
+  for (char c : matched) out.push_back(c == '\n' ? ' ' : c);
+  std::string_view trimmed = TrimWhitespace(out);
+  std::string result(trimmed);
+  if (result.size() > 48) result = result.substr(0, 45) + "...";
+  return result;
+}
+
+/// A rule expressed as a single regex over the lexed code view, with path
+/// prefixes where the pattern is sanctioned and the rule stays quiet.
+struct RegexRule {
+  const char* name;
+  const char* message;
+  std::regex pattern;
+  std::vector<std::string> exempt_prefixes;
+};
+
+const std::vector<RegexRule>& RegexRules() {
+  static const std::vector<RegexRule>* rules = [] {
+    auto* r = new std::vector<RegexRule>;
+    r->push_back(RegexRule{
+        "no-unseeded-rng",
+        "unseeded or ambient randomness; use util/rng's Rng with an "
+        "explicit seed so runs are reproducible",
+        std::regex(
+            R"(\b(srand|rand)\s*\(|\brandom_device\b)"
+            R"(|\bmt19937(_64)?\s*(\{\s*\}|\(\s*\)))"
+            R"(|\bmt19937(_64)?\s+[A-Za-z_]\w*\s*(;|\{\s*\}))"),
+        {"src/util/rng"}});
+    r->push_back(RegexRule{
+        "no-wall-clock",
+        "wall-clock read outside the obs timing layer; use obs::Stopwatch "
+        "(src/obs/timing.h) so timing stays out of deterministic code paths",
+        std::regex(
+            R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"
+            R"(|\bgettimeofday\s*\(|\btime\s*\(|\bclock\s*\()"),
+        {"src/obs/", "src/par/", "bench/"}});
+    r->push_back(RegexRule{
+        "no-raw-thread",
+        "raw threading primitive outside src/par; use par::ParallelFor / "
+        "par::ParallelMap so execution stays deterministic and pooled",
+        std::regex(R"(\bstd\s*::\s*(jthread|thread|async)\b)"),
+        {"src/par/"}});
+    r->push_back(RegexRule{
+        "no-float-equality",
+        "== / != against a floating-point literal; compare with an epsilon "
+        "or justify the exact-value comparison",
+        std::regex(
+            R"([=!]=\s*[+-]?(\d+\.\d*|\.\d+|\d+\.?\d*[eE][+-]?\d+)[fFlL]?)"
+            R"(|(\d+\.\d*|\.\d+|\d+\.?\d*[eE][+-]?\d+)[fFlL]?\s*[=!]=)"),
+        {}});
+    r->push_back(RegexRule{
+        "banned-function",
+        "banned unsafe/locale-silent C function; use snprintf / "
+        "std::string / util ParseInt instead",
+        std::regex(
+            R"(\b(sprintf|vsprintf|strcpy|strcat|gets|atoi|atol|atof)\s*\()"),
+        {}});
+    return r;
+  }();
+  return *rules;
+}
+
+/// One parsed `fslint: allow(<rule>): <justification>` comment. Covers the
+/// comment's own lines plus the line immediately after it.
+struct Suppression {
+  std::string rule;
+  int first_line = 0;
+  int last_line = 0;
+  bool justified = false;
+};
+
+void ParseSuppressions(const LexedFile& lexed, const std::string& rel_path,
+                       std::vector<Suppression>* suppressions,
+                       std::vector<Diagnostic>* diagnostics) {
+  static const std::regex kAllow(
+      R"(fslint:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\)(\s*:\s*(\S[\s\S]*))?)");
+  for (const Comment& comment : lexed.comments) {
+    for (std::sregex_iterator it(comment.text.begin(), comment.text.end(),
+                                 kAllow),
+         end;
+         it != end; ++it) {
+      const std::smatch& m = *it;
+      std::string rule = m[1].str();
+      const std::vector<std::string>& known = RuleNames();
+      bool known_rule =
+          std::find(known.begin(), known.end(), rule) != known.end();
+      if (!known_rule || rule == "bad-suppression") {
+        diagnostics->push_back(Diagnostic{
+            rel_path, comment.start_line, "bad-suppression",
+            "allow() names unknown or unsuppressible rule '" + rule + "'"});
+        continue;
+      }
+      std::string justification(TrimWhitespace(m[3].str()));
+      // Block comments carry a trailing `*/` that is not justification.
+      if (EndsWith(justification, "*/")) {
+        justification = std::string(TrimWhitespace(
+            justification.substr(0, justification.size() - 2)));
+      }
+      if (justification.empty()) {
+        diagnostics->push_back(Diagnostic{
+            rel_path, comment.start_line, "bad-suppression",
+            "suppression of '" + rule +
+                "' lacks a justification; write "
+                "fslint: allow(" + rule + "): <why this is safe>"});
+        continue;
+      }
+      suppressions->push_back(Suppression{rule, comment.start_line,
+                                          comment.end_line + 1, true});
+    }
+  }
+}
+
+void RunRegexRules(const LexedFile& lexed, const std::string& rel_path,
+                   std::vector<Diagnostic>* diagnostics) {
+  for (const RegexRule& rule : RegexRules()) {
+    bool exempt = false;
+    for (const std::string& prefix : rule.exempt_prefixes) {
+      if (PathHasPrefix(rel_path, prefix)) exempt = true;
+    }
+    if (exempt) continue;
+    for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(),
+                                 rule.pattern),
+         end;
+         it != end; ++it) {
+      size_t offset = static_cast<size_t>(it->position());
+      diagnostics->push_back(Diagnostic{
+          rel_path, lexed.LineAt(offset), rule.name,
+          std::string(rule.message) + ": '" + Snippet(it->str()) + "'"});
+    }
+  }
+}
+
+/// Flags range-for loops over std::unordered_{map,set,...}: both inline
+/// (`for (auto& x : some.unordered_map_expr)`) and over variables the file
+/// itself declares with an unordered type. Iteration order of unordered
+/// containers is unspecified, which is exactly the hazard behind golden
+/// drift.
+void RunUnorderedIterationRule(const LexedFile& lexed,
+                               const std::string& rel_path,
+                               std::vector<Diagnostic>* diagnostics) {
+  static const char* kMessage =
+      "range-for over an unordered container; iteration order is "
+      "unspecified and breaks bit-identical output — use std::map/std::set "
+      "or sort the keys first";
+  static const std::regex kInline(
+      R"(for\s*\([^;{}]*:[^;{})]*\bunordered_(map|set|multimap|multiset)\b)");
+  for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(), kInline),
+       end;
+       it != end; ++it) {
+    size_t offset = static_cast<size_t>(it->position());
+    diagnostics->push_back(Diagnostic{
+        rel_path, lexed.LineAt(offset), "no-unordered-iteration",
+        std::string(kMessage) + ": '" + Snippet(it->str()) + "'"});
+  }
+
+  static const std::regex kDecl(
+      R"(\bunordered_(map|set|multimap|multiset)\s*<[^;{}()]*>\s*&?\s*([A-Za-z_]\w*)\s*[;={(),])");
+  std::set<std::string> unordered_vars;
+  for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(), kDecl),
+       end;
+       it != end; ++it) {
+    unordered_vars.insert((*it)[2].str());
+  }
+  for (const std::string& var : unordered_vars) {
+    std::regex loop(R"(for\s*\([^;{})]*:\s*&?\s*)" + var + R"(\s*\))");
+    for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(), loop),
+         end;
+         it != end; ++it) {
+      size_t offset = static_cast<size_t>(it->position());
+      diagnostics->push_back(Diagnostic{
+          rel_path, lexed.LineAt(offset), "no-unordered-iteration",
+          std::string(kMessage) + ": '" + Snippet(it->str()) + "'"});
+    }
+  }
+}
+
+/// Checks `#include "<layer>/..."` lines of src/ files against the layer
+/// manifest: any edge not explicitly allowed is a back-edge.
+void RunLayeringRule(const LexedFile& lexed, const std::string& rel_path,
+                     const LayerGraph& layers,
+                     std::vector<Diagnostic>* diagnostics) {
+  if (!PathHasPrefix(rel_path, "src/")) return;
+  std::string layer = layers.LayerForPath(rel_path);
+  if (layer.empty()) {
+    size_t slash = rel_path.find('/', 4);
+    if (slash != std::string::npos) {
+      diagnostics->push_back(Diagnostic{
+          rel_path, 1, "layering",
+          "subsystem 'src/" + rel_path.substr(4, slash - 4) +
+              "' is not declared in tools/layers.txt; add it to the "
+              "manifest with its allowed dependencies"});
+    }
+    return;
+  }
+  static const std::regex kInclude(
+      R"re(#[ \t]*include[ \t]*"([^"\n]+)")re");
+  for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(),
+                               kInclude),
+       end;
+       it != end; ++it) {
+    std::string path = (*it)[1].str();
+    size_t slash = path.find('/');
+    if (slash == std::string::npos) continue;
+    std::string target = path.substr(0, slash);
+    if (!layers.IsLayer(target)) continue;
+    if (layers.Allowed(layer, target)) continue;
+    size_t offset = static_cast<size_t>(it->position());
+    diagnostics->push_back(Diagnostic{
+        rel_path, lexed.LineAt(offset), "layering",
+        "back-edge: layer '" + layer + "' may not include '" + target +
+            "/...' (see tools/layers.txt); including '" + path + "'"});
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kNames = {
+      "no-unseeded-rng",        "no-wall-clock",     "no-raw-thread",
+      "no-unordered-iteration", "no-float-equality", "banned-function",
+      "layering",               "bad-suppression",
+  };
+  return kNames;
+}
+
+FileLintResult LintSource(const std::string& rel_path,
+                          const std::string& content,
+                          const LayerGraph* layers) {
+  LexedFile lexed = LexCppSource(content);
+
+  std::vector<Suppression> suppressions;
+  std::vector<Diagnostic> raw;
+  ParseSuppressions(lexed, rel_path, &suppressions, &raw);
+  RunRegexRules(lexed, rel_path, &raw);
+  RunUnorderedIterationRule(lexed, rel_path, &raw);
+  if (layers != nullptr) RunLayeringRule(lexed, rel_path, *layers, &raw);
+
+  FileLintResult result;
+  for (Diagnostic& diag : raw) {
+    bool suppressed = false;
+    if (diag.rule != "bad-suppression") {
+      for (const Suppression& s : suppressions) {
+        if (s.rule == diag.rule && diag.line >= s.first_line &&
+            diag.line <= s.last_line) {
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (suppressed) {
+      ++result.suppressions_used;
+    } else {
+      result.diagnostics.push_back(std::move(diag));
+    }
+  }
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace lint
+}  // namespace fieldswap

@@ -1,0 +1,50 @@
+#ifndef FIELDSWAP_LINT_RULES_H_
+#define FIELDSWAP_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/layers.h"
+
+namespace fieldswap {
+namespace lint {
+
+/// One rule violation, anchored to a file and 1-based line.
+struct Diagnostic {
+  std::string file;  // repo-relative path
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Result of linting a single file.
+struct FileLintResult {
+  std::vector<Diagnostic> diagnostics;
+  /// Number of diagnostics silenced by a justified
+  /// `// fslint: allow(<rule>): <why>` suppression.
+  int suppressions_used = 0;
+};
+
+/// Names of every rule the engine can emit, in stable order. Includes the
+/// meta-rule `bad-suppression` (malformed / unjustified / unknown-rule
+/// suppression comments).
+const std::vector<std::string>& RuleNames();
+
+/// Lints one file's `content`. `rel_path` is the repo-relative path (used
+/// both for diagnostics and for per-rule allowlists such as "clocks are
+/// fine under src/obs/"). `layers` may be null to skip the layering check
+/// (e.g. for fixture snippets with no manifest).
+///
+/// Suppressions: a comment `// fslint: allow(<rule>): <justification>`
+/// silences that rule on the comment's own line(s) and on the line
+/// immediately after the comment ends. The justification is mandatory;
+/// an allow() without one (or naming an unknown rule) is itself reported
+/// as `bad-suppression` and silences nothing.
+FileLintResult LintSource(const std::string& rel_path,
+                          const std::string& content,
+                          const LayerGraph* layers);
+
+}  // namespace lint
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_LINT_RULES_H_

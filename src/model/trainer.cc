@@ -1,12 +1,12 @@
 #include "model/trainer.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "doc/span_match.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 #include "par/parallel.h"
 #include "util/logging.h"
@@ -78,7 +78,7 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
   double best_f1 = -1.0;
 
   for (int step = 0; step < options.total_steps; ++step) {
-    auto step_start = std::chrono::steady_clock::now();
+    obs::Stopwatch step_timer;
     // Bernoulli is drawn unconditionally so the training stream is
     // identical whether the synthetic pool is empty or merely unused.
     bool use_synth =
@@ -93,9 +93,7 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
     optimizer.Step();
     ++result.steps;
 
-    double step_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - step_start)
-                         .count();
+    double step_ms = step_timer.ElapsedMs();
     obs::CounterAdd("fieldswap.train.steps");
     if (use_synth) obs::CounterAdd("fieldswap.train.synthetic_steps");
     obs::HistogramObserve("fieldswap.train.step_ms", step_ms);

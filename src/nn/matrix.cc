@@ -93,6 +93,8 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
     float* orow = out.Row(i);
     for (int p = 0; p < k; ++p) {
       const float av = arow[p];
+      // fslint: allow(no-float-equality): exact-zero sparsity skip —
+      // skipping only bit-exact zeros cannot change the product.
       if (av == 0.0f) continue;
       const float* brow = b.Row(p);
       for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
@@ -112,6 +114,8 @@ void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix& out) {
     const float* brow = b.Row(p);
     for (int i = 0; i < m; ++i) {
       const float av = arow[i];
+      // fslint: allow(no-float-equality): exact-zero sparsity skip —
+      // skipping only bit-exact zeros cannot change the product.
       if (av == 0.0f) continue;
       float* orow = out.Row(i);
       for (int j = 0; j < n; ++j) orow[j] += av * brow[j];

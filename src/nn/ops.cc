@@ -176,6 +176,8 @@ Var NeighborAttention(const Var& q, const Var& k, const Var& v,
           float* qg = gq ? q->grad.Row(i) : nullptr;
           for (size_t j = 0; j < ns.size(); ++j) {
             float ds = a[j] * (da[j] - dot_a_da) * inv_sqrt_d;
+            // fslint: allow(no-float-equality): exact-zero sparsity skip —
+            // only bit-exact zeros carry no gradient, so == is the point.
             if (ds == 0.0f) continue;
             const float* krow = k->value.Row(ns[j]);
             if (gq) {

@@ -1,0 +1,39 @@
+#ifndef FIELDSWAP_OBS_TIMING_H_
+#define FIELDSWAP_OBS_TIMING_H_
+
+#include <chrono>
+
+namespace fieldswap {
+namespace obs {
+
+/// Monotonic stopwatch for duration measurement. This is the sanctioned
+/// way for code outside obs/par/bench to time itself: fslint's
+/// no-wall-clock rule bans raw std::chrono clock reads elsewhere, so that
+/// clock access is concentrated here where it is visibly observability-only
+/// and can never leak into a deterministic code path's output.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_OBS_TIMING_H_

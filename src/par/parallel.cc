@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "util/strings.h"
 
 namespace fieldswap {
 namespace par {
@@ -158,7 +159,7 @@ int EnvThreads() {
   static int env_threads = [] {
     const char* value = std::getenv("FIELDSWAP_THREADS");
     if (value == nullptr || *value == '\0') return 0;
-    int parsed = std::atoi(value);
+    int parsed = ParseInt(value, 0);
     return parsed > 0 ? parsed : 0;
   }();
   return env_threads;

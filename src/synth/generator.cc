@@ -1,10 +1,10 @@
 #include "synth/generator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 
 #include "obs/metrics.h"
+#include "obs/timing.h"
 #include "obs/trace.h"
 #include "par/parallel.h"
 #include "synth/builder.h"
@@ -273,7 +273,7 @@ std::vector<Document> GenerateCorpus(const DomainSpec& spec, int count,
                                      uint64_t seed,
                                      const std::string& id_prefix) {
   FS_TRACE_SPAN("synth.generate_corpus");
-  auto start = std::chrono::steady_clock::now();
+  obs::Stopwatch timer;
   Rng rng(seed);
   // Draw each document's template and child Rng serially from the master
   // stream, then generate on the pool: every document is a pure function
@@ -297,9 +297,7 @@ std::vector<Document> GenerateCorpus(const DomainSpec& spec, int count,
         return GenerateDocument(spec, id_prefix + "-" + std::to_string(i),
                                 seeds[i].template_id, seeds[i].rng);
       });
-  double seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  double seconds = timer.ElapsedSeconds();
   obs::CounterAdd("fieldswap.synth.docs", count);
   if (seconds > 0) {
     obs::GaugeSet("fieldswap.synth.docs_per_sec",

@@ -1,7 +1,10 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 
 namespace fieldswap {
 namespace {
@@ -106,6 +109,26 @@ bool IsAllDigits(std::string_view text) {
     if (!std::isdigit(static_cast<unsigned char>(c))) return false;
   }
   return true;
+}
+
+int ParseInt(const char* text, int fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value > INT_MAX ||
+      value < INT_MIN) {
+    return fallback;
+  }
+  return static_cast<int>(value);
+}
+
+double ParseDouble(const char* text, double fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return fallback;
+  return value;
 }
 
 std::string FormatDouble(double value, int digits) {

@@ -39,6 +39,16 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 /// True if every character is an ASCII digit (and text is non-empty).
 bool IsAllDigits(std::string_view text);
 
+/// Parses `text` as a base-10 int. Returns `fallback` when `text` is
+/// null/empty, has non-numeric trailing characters, or overflows int —
+/// unlike atoi (banned by fslint), which silently returns 0 on garbage.
+int ParseInt(const char* text, int fallback);
+
+/// Parses `text` as a double. Returns `fallback` when `text` is
+/// null/empty or not fully numeric — unlike atof (banned by fslint),
+/// which silently returns 0.0 on garbage.
+double ParseDouble(const char* text, double fallback);
+
 /// Formats a double with `digits` places after the decimal point.
 std::string FormatDouble(double value, int digits);
 

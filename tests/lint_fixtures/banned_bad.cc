@@ -1,0 +1,10 @@
+// Fixture: banned C functions. Never compiled.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int Violations(char* dst, const char* src) {
+  sprintf(dst, "%s", src);   // line 7
+  strcpy(dst, src);          // line 8
+  return atoi(src);          // line 9
+}

@@ -1,0 +1,7 @@
+// Fixture: justified suppression of banned-function. Never compiled.
+#include <cstdlib>
+
+int Suppressed(const char* src) {
+  // fslint: allow(banned-function): fixture exercising the suppression path
+  return atoi(src);
+}

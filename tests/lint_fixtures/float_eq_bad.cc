@@ -1,0 +1,10 @@
+// Fixture: float-literal equality no-float-equality must catch. Never
+// compiled.
+bool Violations(double x, float y) {
+  bool a = x == 0.0;     // line 4
+  bool b = y != 1.5f;    // line 5
+  bool c = 2.5 == x;     // line 6
+  bool d = x == 1e-6;    // line 7: exponent form
+  bool ok = x <= 0.5 && y >= 1.5f;  // comparisons, not equality: no hits
+  return a || b || c || d || ok;
+}

@@ -1,0 +1,5 @@
+// Fixture: justified suppression of no-float-equality. Never compiled.
+bool Suppressed(float y) {
+  // fslint: allow(no-float-equality): exact sentinel comparison on purpose
+  return y == 0.0f;
+}

@@ -1,0 +1,9 @@
+// Fixture: a layering back-edge. The test lints this content under the
+// pretend path src/attack/layering_backedge.cc against the real
+// tools/layers.txt manifest: attack must never include model/ or eval/.
+#include "attack/ladder.h"
+#include "doc/document.h"
+#include "model/trainer.h"
+#include "eval/metrics.h"
+
+int Dummy() { return 0; }

@@ -1,0 +1,20 @@
+// Fixture: every rule pattern appears ONLY inside comments, strings, char
+// literals, or raw strings — the lexer must keep fslint fully quiet here.
+//
+// In comments: rand() srand(7) std::random_device std::mt19937 gen;
+// steady_clock::now() system_clock time(nullptr) std::thread std::async
+// sprintf( strcpy( atoi( x == 0.5 for (auto& kv : unordered_map_var)
+#include <string>
+
+/* Block comment too: std::thread t; time(nullptr); y != 1.0f; atoi("4");
+   for (int v : my_unordered_set) {} */
+
+std::string Clean() {
+  std::string a = "rand() time(nullptr) std::thread sprintf( x == 0.5";
+  std::string b = "for (auto& kv : some_unordered_map) { strcpy(d, s); }";
+  std::string c = R"raw(std::random_device rd; steady_clock::now();
+      std::mt19937 gen; atoi(buf); y != 2.5f; std::async(f);)raw";
+  char d = '"';
+  std::string e = "std::unordered_map<int, int> m; for (auto& kv : m) {}";
+  return a + b + c + d + e;
+}

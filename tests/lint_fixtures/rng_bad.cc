@@ -1,0 +1,12 @@
+// Fixture: every construct no-unseeded-rng must catch. Never compiled.
+#include <random>
+
+int Violations() {
+  std::random_device rd;        // line 5: ambient entropy source
+  std::mt19937 gen;             // line 6: default-constructed engine
+  int a = rand();               // line 7: C rand
+  srand(42);                    // line 8: C srand
+  auto b = std::mt19937{}();    // line 9: default-constructed temporary
+  return a + static_cast<int>(rd()) + static_cast<int>(gen()) +
+         static_cast<int>(b);
+}

@@ -1,0 +1,8 @@
+// Fixture: a justified suppression silences no-unseeded-rng. Never compiled.
+#include <random>
+
+int Suppressed() {
+  // fslint: allow(no-unseeded-rng): fixture exercising the suppression path
+  int value = rand();
+  return value;
+}

@@ -1,0 +1,9 @@
+// Fixture: suppressions that must be rejected. Never compiled.
+#include <cstdlib>
+
+int Bad(const char* src) {
+  // fslint: allow(banned-function)
+  int a = atoi(src);  // line 6: still reported — no justification given
+  // fslint: allow(not-a-real-rule): the rule name does not exist
+  return a;
+}

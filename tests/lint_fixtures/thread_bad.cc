@@ -1,0 +1,10 @@
+// Fixture: raw threading primitives no-raw-thread must catch. Never compiled.
+#include <future>
+#include <thread>
+
+void Violations() {
+  std::thread worker([] {});              // line 6
+  auto task = std::async([] { return 1; });  // line 7
+  worker.join();
+  task.get();
+}

@@ -1,0 +1,8 @@
+// Fixture: justified suppression of no-raw-thread. Never compiled.
+#include <thread>
+
+void Suppressed() {
+  // fslint: allow(no-raw-thread): fixture exercising the suppression path
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,16 @@
+// Fixture: range-for over unordered containers. Never compiled.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int Violations(const std::unordered_map<std::string, int>& scores) {
+  std::unordered_set<int> seen;
+  int total = 0;
+  for (const auto& [key, value] : scores) {  // line 9: param iteration
+    total += value + static_cast<int>(key.size());
+  }
+  for (int v : seen) {  // line 12: local-variable iteration
+    total += v;
+  }
+  return total;
+}

@@ -1,0 +1,12 @@
+// Fixture: justified suppression of no-unordered-iteration. Never compiled.
+#include <unordered_set>
+
+int Suppressed(const std::unordered_set<int>& seen) {
+  int total = 0;
+  // fslint: allow(no-unordered-iteration): order-independent sum; the
+  // result is the same whatever order the buckets iterate in
+  for (int v : seen) {
+    total += v;
+  }
+  return total;
+}

@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads no-wall-clock must catch. Never compiled.
+#include <chrono>
+#include <ctime>
+
+double Violations() {
+  auto a = std::chrono::steady_clock::now();           // line 6
+  auto b = std::chrono::system_clock::now();           // line 7
+  auto c = std::chrono::high_resolution_clock::now();  // line 8
+  long d = time(nullptr);                              // line 9
+  return static_cast<double>(d) + a.time_since_epoch().count() +
+         b.time_since_epoch().count() + c.time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified suppression silences no-wall-clock. Never compiled.
+#include <ctime>
+
+long Suppressed() {
+  // fslint: allow(no-wall-clock): fixture exercising the suppression path
+  return time(nullptr);
+}

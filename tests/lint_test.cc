@@ -1,0 +1,329 @@
+// Tests for the fslint static analyzer (src/lint): lexer, layer manifest,
+// rule engine, suppressions, and the engine/report layer, driven over the
+// checked-in fixture files in tests/lint_fixtures/.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/engine.h"
+#include "lint/layers.h"
+#include "lint/lexer.h"
+#include "lint/rules.h"
+
+namespace fieldswap {
+namespace lint {
+namespace {
+
+std::string RepoRoot() { return FIELDSWAP_REPO_ROOT; }
+
+std::string ReadRepoFile(const std::string& rel_path) {
+  std::ifstream in(RepoRoot() + "/" + rel_path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << rel_path;
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+LayerGraph RealLayers() {
+  LayerGraph layers;
+  std::string error;
+  EXPECT_TRUE(LayerGraph::Parse(ReadRepoFile("tools/layers.txt"), &layers,
+                                &error))
+      << error;
+  return layers;
+}
+
+/// Lints a checked-in fixture under its real repo-relative path.
+FileLintResult LintFixture(const std::string& name) {
+  std::string rel = "tests/lint_fixtures/" + name;
+  return LintSource(rel, ReadRepoFile(rel), nullptr);
+}
+
+std::vector<std::pair<int, std::string>> LinesAndRules(
+    const FileLintResult& result) {
+  std::vector<std::pair<int, std::string>> out;
+  for (const Diagnostic& diag : result.diagnostics) {
+    out.emplace_back(diag.line, diag.rule);
+  }
+  return out;
+}
+
+using Expected = std::vector<std::pair<int, std::string>>;
+
+// ---------------------------------------------------------------- lexer --
+
+TEST(LintLexer, BlanksCommentsButRecordsThem) {
+  LexedFile lexed = LexCppSource("int a; // trailing note\nint b;\n");
+  EXPECT_EQ(lexed.code.find("trailing"), std::string::npos);
+  EXPECT_NE(lexed.code.find("int a;"), std::string::npos);
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_EQ(lexed.comments[0].start_line, 1);
+  EXPECT_NE(lexed.comments[0].text.find("trailing note"), std::string::npos);
+}
+
+TEST(LintLexer, BlanksStringAndCharLiteralContents) {
+  LexedFile lexed =
+      LexCppSource("const char* s = \"secret\";\nchar c = 'x';\n");
+  EXPECT_EQ(lexed.code.find("secret"), std::string::npos);
+  EXPECT_EQ(lexed.code.find("'x'"), std::string::npos);
+  // Delimiters stay so offsets line up byte-for-byte.
+  EXPECT_EQ(lexed.code.size(), std::string("const char* s = \"secret\";\n"
+                                           "char c = 'x';\n")
+                                   .size());
+}
+
+TEST(LintLexer, BlanksRawStringsAcrossLines) {
+  LexedFile lexed = LexCppSource(
+      "auto s = R\"raw(line one\nline two)raw\";\nint after = 1;\n");
+  EXPECT_EQ(lexed.code.find("line one"), std::string::npos);
+  EXPECT_EQ(lexed.code.find("line two"), std::string::npos);
+  EXPECT_NE(lexed.code.find("int after"), std::string::npos);
+  // Newlines inside the raw string survive, keeping line numbers honest.
+  EXPECT_EQ(lexed.LineAt(lexed.code.find("int after")), 3);
+}
+
+TEST(LintLexer, KeepsIncludePathsVisible) {
+  LexedFile lexed = LexCppSource(
+      "#include \"model/trainer.h\"\nconst char* s = \"model/hidden.h\";\n");
+  EXPECT_NE(lexed.code.find("model/trainer.h"), std::string::npos);
+  EXPECT_EQ(lexed.code.find("model/hidden.h"), std::string::npos);
+}
+
+TEST(LintLexer, MergesAdjacentStandaloneLineComments) {
+  LexedFile lexed = LexCppSource(
+      "// first line of a wrapped comment\n"
+      "// second line of the same comment\n"
+      "int code = 1;\n"
+      "\n"
+      "// separate comment after a blank line\n");
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].start_line, 1);
+  EXPECT_EQ(lexed.comments[0].end_line, 2);
+  EXPECT_EQ(lexed.comments[1].start_line, 5);
+}
+
+// --------------------------------------------------------- layer manifest --
+
+TEST(LayerGraph, RealManifestParsesAndEncodesDesignRules) {
+  LayerGraph layers = RealLayers();
+  for (const char* name : {"util", "obs", "par", "doc", "ocr", "nn", "lint",
+                           "synth", "attack", "model", "core", "eval"}) {
+    EXPECT_TRUE(layers.IsLayer(name)) << name;
+  }
+  // attack never sees model/core/eval (PR 3's design rule).
+  EXPECT_FALSE(layers.Allowed("attack", "model"));
+  EXPECT_FALSE(layers.Allowed("attack", "core"));
+  EXPECT_FALSE(layers.Allowed("attack", "eval"));
+  // eval sits on top; nothing may include it.
+  for (const std::string& layer : layers.layers()) {
+    if (layer != "eval") {
+      EXPECT_FALSE(layers.Allowed(layer, "eval")) << layer;
+    }
+  }
+  EXPECT_TRUE(layers.Allowed("eval", "attack"));
+  EXPECT_TRUE(layers.Allowed("model", "nn"));
+  // Self-includes are implicit.
+  EXPECT_TRUE(layers.Allowed("doc", "doc"));
+}
+
+TEST(LayerGraph, LayerForPath) {
+  LayerGraph layers = RealLayers();
+  EXPECT_EQ(layers.LayerForPath("src/model/trainer.cc"), "model");
+  EXPECT_EQ(layers.LayerForPath("src/lint/rules.cc"), "lint");
+  EXPECT_EQ(layers.LayerForPath("tests/lint_test.cc"), "");
+  EXPECT_EQ(layers.LayerForPath("src/mystery/x.cc"), "");
+}
+
+TEST(LayerGraph, RejectsMalformedManifests) {
+  LayerGraph layers;
+  std::string error;
+  EXPECT_FALSE(LayerGraph::Parse("a: b\nb: a\n", &layers, &error));
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+  EXPECT_FALSE(LayerGraph::Parse("a: ghost\n", &layers, &error));
+  EXPECT_NE(error.find("undeclared"), std::string::npos);
+  EXPECT_FALSE(LayerGraph::Parse("a:\na:\n", &layers, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(LayerGraph::Parse("a: a\n", &layers, &error));
+  EXPECT_FALSE(LayerGraph::Parse("# only comments\n", &layers, &error));
+}
+
+// ---------------------------------------------------- rules via fixtures --
+
+TEST(FslintRules, CatchesUnseededRngWithFileAndLine) {
+  FileLintResult result = LintFixture("rng_bad.cc");
+  Expected expected = {{5, "no-unseeded-rng"},
+                       {6, "no-unseeded-rng"},
+                       {7, "no-unseeded-rng"},
+                       {8, "no-unseeded-rng"},
+                       {9, "no-unseeded-rng"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+  EXPECT_EQ(result.diagnostics[0].file, "tests/lint_fixtures/rng_bad.cc");
+}
+
+TEST(FslintRules, CatchesWallClockReads) {
+  FileLintResult result = LintFixture("wall_clock_bad.cc");
+  Expected expected = {{6, "no-wall-clock"},
+                       {7, "no-wall-clock"},
+                       {8, "no-wall-clock"},
+                       {9, "no-wall-clock"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+}
+
+TEST(FslintRules, CatchesRawThreads) {
+  FileLintResult result = LintFixture("thread_bad.cc");
+  Expected expected = {{6, "no-raw-thread"}, {7, "no-raw-thread"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+}
+
+TEST(FslintRules, CatchesUnorderedIteration) {
+  FileLintResult result = LintFixture("unordered_bad.cc");
+  Expected expected = {{9, "no-unordered-iteration"},
+                       {12, "no-unordered-iteration"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+}
+
+TEST(FslintRules, CatchesFloatLiteralEquality) {
+  FileLintResult result = LintFixture("float_eq_bad.cc");
+  Expected expected = {{4, "no-float-equality"},
+                       {5, "no-float-equality"},
+                       {6, "no-float-equality"},
+                       {7, "no-float-equality"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+}
+
+TEST(FslintRules, CatchesBannedFunctions) {
+  FileLintResult result = LintFixture("banned_bad.cc");
+  Expected expected = {{7, "banned-function"},
+                       {8, "banned-function"},
+                       {9, "banned-function"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+}
+
+TEST(FslintRules, JustifiedSuppressionsSilenceEachRule) {
+  for (const char* fixture :
+       {"rng_suppressed.cc", "wall_clock_suppressed.cc",
+        "unordered_suppressed.cc", "thread_suppressed.cc",
+        "float_eq_suppressed.cc", "banned_suppressed.cc"}) {
+    FileLintResult result = LintFixture(fixture);
+    EXPECT_TRUE(result.diagnostics.empty())
+        << fixture << ": " << (result.diagnostics.empty()
+                                   ? ""
+                                   : result.diagnostics[0].message);
+    EXPECT_EQ(result.suppressions_used, 1) << fixture;
+  }
+}
+
+TEST(FslintRules, UnjustifiedOrUnknownSuppressionsAreRejected) {
+  FileLintResult result = LintFixture("suppression_unjustified.cc");
+  Expected expected = {{5, "bad-suppression"},
+                       {6, "banned-function"},
+                       {7, "bad-suppression"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+  EXPECT_EQ(result.suppressions_used, 0);
+}
+
+TEST(FslintRules, LexerKeepsStringsAndCommentsFromTriggering) {
+  FileLintResult result = LintFixture("lexer_clean.cc");
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics[0].rule << ": " << result.diagnostics[0].message;
+  EXPECT_EQ(result.suppressions_used, 0);
+}
+
+TEST(FslintRules, WallClockAllowedOnlyInObsParBench) {
+  const std::string content = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(LintSource("src/obs/x.cc", content, nullptr)
+                  .diagnostics.empty());
+  EXPECT_TRUE(LintSource("src/par/x.cc", content, nullptr)
+                  .diagnostics.empty());
+  EXPECT_TRUE(LintSource("bench/x.cc", content, nullptr)
+                  .diagnostics.empty());
+  EXPECT_EQ(LintSource("src/model/x.cc", content, nullptr)
+                .diagnostics.size(),
+            1u);
+  EXPECT_EQ(LintSource("examples/x.cpp", content, nullptr)
+                .diagnostics.size(),
+            1u);
+}
+
+// ----------------------------------------------------------------- layering --
+
+TEST(FslintLayering, BackEdgeFixtureIsCaughtWithFileAndLine) {
+  LayerGraph layers = RealLayers();
+  std::string rel = "tests/lint_fixtures/layering_backedge.cc";
+  FileLintResult result = LintSource("src/attack/layering_backedge.cc",
+                                     ReadRepoFile(rel), &layers);
+  Expected expected = {{6, "layering"}, {7, "layering"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+  EXPECT_NE(result.diagnostics[0].message.find("model"), std::string::npos);
+  EXPECT_NE(result.diagnostics[1].message.find("eval"), std::string::npos);
+}
+
+TEST(FslintLayering, AllowedEdgesAndNonSrcFilesPass) {
+  LayerGraph layers = RealLayers();
+  const std::string content =
+      "#include \"attack/ladder.h\"\n#include \"model/trainer.h\"\n";
+  // eval may include both attack and model.
+  EXPECT_TRUE(LintSource("src/eval/x.cc", content, &layers)
+                  .diagnostics.empty());
+  // Files outside src/ are not layer-checked.
+  EXPECT_TRUE(LintSource("tests/x.cc", content, &layers)
+                  .diagnostics.empty());
+  EXPECT_TRUE(LintSource("bench/x.cc", content, &layers)
+                  .diagnostics.empty());
+}
+
+TEST(FslintLayering, UndeclaredSrcSubsystemIsReported) {
+  LayerGraph layers = RealLayers();
+  FileLintResult result =
+      LintSource("src/mystery/x.cc", "int a = 1;\n", &layers);
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "layering");
+  EXPECT_NE(result.diagnostics[0].message.find("mystery"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------------ engine --
+
+TEST(FslintEngine, FixturesAreExcludedByDefaultButScannableOnDemand) {
+  LintConfig config;
+  config.root = RepoRoot();
+  LintReport excluded = LintPaths(config, {"tests/lint_fixtures"});
+  EXPECT_EQ(excluded.files_scanned, 0);
+
+  config.exclude_substrings.clear();
+  LintReport report = LintPaths(config, {"tests/lint_fixtures"});
+  EXPECT_GE(report.files_scanned, 15);
+  EXPECT_FALSE(report.clean());
+  EXPECT_GT(report.violations_by_rule.at("no-unseeded-rng"), 0);
+  EXPECT_GT(report.suppressions_used, 0);
+
+  std::string text = RenderText(report);
+  EXPECT_NE(text.find("rng_bad.cc:5: error[no-unseeded-rng]"),
+            std::string::npos);
+  std::string json = RenderJson(report);
+  EXPECT_NE(json.find("\"violations\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"no-unseeded-rng\""), std::string::npos);
+}
+
+TEST(FslintEngine, TheRealTreeLintsClean) {
+  LayerGraph layers = RealLayers();
+  LintConfig config;
+  config.root = RepoRoot();
+  config.layers = &layers;
+  LintReport report =
+      LintPaths(config, {"src", "bench", "examples", "tests"});
+  EXPECT_GT(report.files_scanned, 100);
+  std::string text;
+  if (!report.clean()) text = RenderText(report);
+  EXPECT_TRUE(report.clean()) << text;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace fieldswap

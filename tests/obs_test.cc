@@ -98,6 +98,9 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
   MetricsRegistry registry;
   constexpr int kThreads = 8;
   constexpr int kIters = 5000;
+  // fslint: allow(no-raw-thread): this test exists to hammer the registry
+  // from raw concurrent threads; par's deterministic pool would serialize
+  // the contention away.
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -110,6 +113,7 @@ TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
       }
     });
   }
+  // fslint: allow(no-raw-thread): joining the raw test threads above.
   for (std::thread& t : threads) t.join();
 
   EXPECT_EQ(registry.CounterValue("fieldswap.test.concurrent"),

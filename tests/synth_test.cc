@@ -395,7 +395,7 @@ TEST(GeneratorTest, ValueMagnitudesFollowFieldRanges) {
       for (char c : text) {
         if (c != '$' && c != ',') digits.push_back(c);
       }
-      EXPECT_GT(std::atof(digits.c_str()), 500.0) << text;
+      EXPECT_GT(ParseDouble(digits.c_str(), 0.0), 500.0) << text;
     }
   }
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the in-tree static analysis suite:
+#   1. fslint (src/lint) over src/, bench/, examples/, tests/ with the
+#      tools/layers.txt layering manifest — always.
+#   2. clang-tidy over the compilation database — only when clang-tidy is
+#      installed; skipped with a note otherwise so the script stays usable
+#      in minimal containers.
+#
+# Usage: tools/check_lint.sh [build_dir]   (default: build)
+#
+# Exits non-zero on any fslint violation or clang-tidy diagnostic.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+FSLINT_BIN="$BUILD_DIR/tools/fslint"
+if [[ ! -x "$FSLINT_BIN" ]]; then
+  echo "error: $FSLINT_BIN not built; run cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j first" >&2
+  exit 2
+fi
+
+echo "== fslint =="
+"$FSLINT_BIN" --root "$REPO_ROOT" src bench examples tests
+
+echo
+echo "== clang-tidy =="
+COMPILE_DB="$BUILD_DIR/compile_commands.json"
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "clang-tidy not installed; skipped (fslint result above still binding)"
+  exit 0
+fi
+if [[ ! -f "$COMPILE_DB" ]]; then
+  echo "error: $COMPILE_DB missing; reconfigure with cmake (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default)" >&2
+  exit 2
+fi
+
+mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  run-clang-tidy -quiet -p "$BUILD_DIR" "${TIDY_SOURCES[@]}"
+else
+  clang-tidy -quiet -p "$BUILD_DIR" "${TIDY_SOURCES[@]}"
+fi
+echo "clang-tidy clean"

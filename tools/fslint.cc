@@ -1,0 +1,137 @@
+// fslint — in-tree static analyzer for the FieldSwap reproduction.
+//
+// Enforces the repo's determinism, numeric-safety, and layering
+// invariants at lint time (see DESIGN.md "Static analysis" for the rule
+// catalog and suppression etiquette):
+//
+//   $ fslint --root . src bench examples tests
+//   $ fslint --root . --json src
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/environment error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/engine.h"
+#include "lint/layers.h"
+#include "lint/rules.h"
+#include "obs/metrics.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] <paths...>\n"
+      << "\n"
+      << "Lints C++ sources (.cc/.h/.cpp/...) for determinism, safety,\n"
+      << "and layering violations. Paths are files or directories,\n"
+      << "resolved relative to --root.\n"
+      << "\n"
+      << "options:\n"
+      << "  --root DIR       repo root (default: current directory)\n"
+      << "  --layers FILE    layer manifest (default: ROOT/tools/layers.txt)\n"
+      << "  --no-layers      skip the layering rule entirely\n"
+      << "  --json           emit a JSON report instead of text\n"
+      << "  --exclude SUBSTR skip paths containing SUBSTR (repeatable)\n"
+      << "  --no-default-excludes\n"
+      << "                   also lint default-excluded paths"
+      << " (lint_fixtures)\n"
+      << "  --list-rules     print the rule names and exit\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using fieldswap::lint::LayerGraph;
+  using fieldswap::lint::LintConfig;
+  using fieldswap::lint::LintReport;
+
+  LintConfig config;
+  config.root = std::filesystem::current_path().string();
+  std::string layers_file;
+  bool use_layers = true;
+  bool json = false;
+  std::vector<std::string> paths;
+  std::vector<std::string> extra_excludes;
+  bool default_excludes = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fslint: " << flag << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      config.root = next("--root");
+    } else if (arg == "--layers") {
+      layers_file = next("--layers");
+    } else if (arg == "--no-layers") {
+      use_layers = false;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--exclude") {
+      extra_excludes.push_back(next("--exclude"));
+    } else if (arg == "--no-default-excludes") {
+      default_excludes = false;
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : fieldswap::lint::RuleNames()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fslint: unknown option '" << arg << "'\n";
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage(argv[0]);
+
+  if (!default_excludes) config.exclude_substrings.clear();
+  config.exclude_substrings.insert(config.exclude_substrings.end(),
+                                   extra_excludes.begin(),
+                                   extra_excludes.end());
+
+  LayerGraph layers;
+  if (use_layers) {
+    if (layers_file.empty()) {
+      layers_file =
+          (std::filesystem::path(config.root) / "tools" / "layers.txt")
+              .string();
+    }
+    std::ifstream in(layers_file);
+    if (!in) {
+      std::cerr << "fslint: cannot read layer manifest " << layers_file
+                << " (pass --layers FILE or --no-layers)\n";
+      return 2;
+    }
+    std::ostringstream manifest;
+    manifest << in.rdbuf();
+    std::string error;
+    if (!LayerGraph::Parse(manifest.str(), &layers, &error)) {
+      std::cerr << "fslint: invalid layer manifest: " << error << "\n";
+      return 2;
+    }
+    config.layers = &layers;
+  }
+
+  LintReport report = fieldswap::lint::LintPaths(config, paths);
+  fieldswap::lint::PublishLintMetrics(report);
+  std::cout << (json ? RenderJson(report) : RenderText(report));
+  if (report.files_scanned == 0) {
+    std::cerr << "fslint: no lintable files under the given paths\n";
+    return 2;
+  }
+  return report.clean() ? 0 : 1;
+}

@@ -18,6 +18,20 @@ if [[ ! -x "$DUMP_BIN" ]]; then
   exit 2
 fi
 
+# Goldens must never be regenerated from a tree that fails static analysis:
+# a lint violation (unseeded RNG, wall-clock read, unordered iteration, ...)
+# is exactly the kind of bug that bakes nondeterminism into the fixture.
+FSLINT_BIN="$BUILD_DIR/tools/fslint"
+if [[ ! -x "$FSLINT_BIN" ]]; then
+  echo "error: $FSLINT_BIN not built; build the tree before updating goldens" >&2
+  exit 2
+fi
+if ! "$FSLINT_BIN" --root "$REPO_ROOT" src bench examples tests; then
+  echo "FAIL: fslint violations above; fix or justify-suppress them before" >&2
+  echo "      regenerating goldens" >&2
+  exit 1
+fi
+
 mkdir -p data/golden
 
 # The report must be thread-count invariant; regenerate at two thread
