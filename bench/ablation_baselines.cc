@@ -10,10 +10,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/baselines.h"
-#include "core/phrase_suggest.h"
-#include "core/pipeline.h"
-#include "synth/generator.h"
+#include "api/internals.h"
 #include "util/strings.h"
 #include "util/table.h"
 

@@ -12,10 +12,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "core/pipeline.h"
-#include "ocr/line_detector.h"
-#include "ocr/noise.h"
-#include "synth/generator.h"
+#include "api/internals.h"
 #include "util/strings.h"
 #include "util/table.h"
 

@@ -17,10 +17,9 @@
 #include <string>
 #include <vector>
 
-#include "attack/ladder.h"
-#include "attack/perturbation.h"
+#include "api/internals.h"
 #include "bench_util.h"
-#include "par/parallel.h"
+#include "util/argparse.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -124,7 +123,14 @@ void Run(const std::string& domain) {
 }  // namespace fieldswap
 
 int main(int argc, char** argv) {
-  std::string domain = argc > 1 ? argv[1] : "earnings";
+  fieldswap::util::ArgParser args(
+      "attack_sweep",
+      "Runs the form-attack severity ladder over a baseline and a "
+      "FieldSwap-augmented model on one domain.");
+  std::string domain;
+  args.AddPositional("domain", "earnings", "synthetic domain to attack",
+                     &domain);
+  if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
   fieldswap::Run(domain);
   return 0;
 }

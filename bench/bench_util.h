@@ -9,7 +9,7 @@
 #include <iostream>
 #include <string>
 
-#include "eval/experiment.h"
+#include "api/fieldswap_api.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 

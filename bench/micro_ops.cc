@@ -6,17 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/human_expert.h"
-#include "core/key_phrases.h"
-#include "core/swap.h"
-#include "model/annotators.h"
-#include "model/candidate_model.h"
-#include "nn/autodiff.h"
-#include "nn/ops.h"
-#include "nn/sparsemax.h"
-#include "ocr/line_detector.h"
-#include "synth/domains.h"
-#include "synth/generator.h"
+#include "api/internals.h"
 
 namespace fieldswap {
 namespace {

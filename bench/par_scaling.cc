@@ -16,10 +16,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "doc/serialize.h"
-#include "model/trainer.h"
-#include "par/parallel.h"
-#include "synth/generator.h"
+#include "api/fieldswap_api.h"
 #include "util/hash.h"
 #include "util/strings.h"
 #include "util/table.h"

@@ -8,8 +8,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "synth/domains.h"
-#include "synth/generator.h"
+#include "api/fieldswap_api.h"
 #include "util/strings.h"
 #include "util/table.h"
 

@@ -7,8 +7,7 @@
 #include <set>
 
 #include "bench_util.h"
-#include "synth/domains.h"
-#include "synth/generator.h"
+#include "api/fieldswap_api.h"
 #include "util/table.h"
 
 namespace fieldswap {

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "synth/generator.h"
+#include "api/fieldswap_api.h"
 #include "util/strings.h"
 #include "util/table.h"
 

@@ -16,10 +16,7 @@
 #include <sstream>
 #include <vector>
 
-#include "doc/serialize.h"
-#include "par/parallel.h"
-#include "synth/domains.h"
-#include "synth/generator.h"
+#include "api/fieldswap_api.h"
 #include "util/hash.h"
 
 using fieldswap::AllEvalDomains;

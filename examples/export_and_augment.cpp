@@ -9,18 +9,23 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/pipeline.h"
-#include "doc/serialize.h"
-#include "synth/domains.h"
-#include "synth/generator.h"
+#include "api/fieldswap_api.h"
+#include "util/argparse.h"
 #include "util/strings.h"
 
 using namespace fieldswap;
 
 int main(int argc, char** argv) {
-  std::string domain = argc > 1 ? argv[1] : "earnings";
-  int count = argc > 2 ? ParseInt(argv[2], 25) : 25;
-  std::string out_dir = argc > 3 ? argv[3] : ".";
+  util::ArgParser args(
+      "export_and_augment",
+      "Generates a corpus, round-trips it through JSONL, augments it with "
+      "FieldSwap, and writes originals + synthetics back out.");
+  std::string domain, count_text, out_dir;
+  args.AddPositional("domain", "earnings", "synthetic domain", &domain);
+  args.AddPositional("count", "25", "documents to generate", &count_text);
+  args.AddPositional("out_dir", ".", "output directory", &out_dir);
+  if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  int count = ParseInt(count_text.c_str(), 25);
 
   DomainSpec spec = SpecByName(domain);
   auto docs = GenerateCorpus(spec, count, /*seed=*/20240704, domain);

@@ -10,8 +10,7 @@
 
 #include <iostream>
 
-#include "eval/golden.h"
-#include "par/parallel.h"
+#include "api/fieldswap_api.h"
 
 int main() {
   std::cerr << "[golden_dump] threads " << fieldswap::par::Threads()

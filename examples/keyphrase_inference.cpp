@@ -8,10 +8,7 @@
 
 #include <iostream>
 
-#include "core/key_phrases.h"
-#include "eval/experiment.h"
-#include "synth/domains.h"
-#include "synth/generator.h"
+#include "api/fieldswap_api.h"
 #include "util/strings.h"
 
 using namespace fieldswap;

@@ -8,9 +8,7 @@
 
 #include <iostream>
 
-#include "core/pipeline.h"
-#include "synth/domains.h"
-#include "synth/generator.h"
+#include "api/fieldswap_api.h"
 
 using namespace fieldswap;
 

@@ -15,15 +15,9 @@
 
 #include <iostream>
 
-#include "core/pipeline.h"
-#include "core/swap.h"
-#include "eval/experiment.h"
-#include "model/trainer.h"
+#include "api/fieldswap_api.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "ocr/line_detector.h"
-#include "synth/domains.h"
-#include "synth/generator.h"
 
 using fieldswap::BBox;
 using fieldswap::DetectAndAssignLines;

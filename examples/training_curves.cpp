@@ -11,15 +11,24 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "eval/experiment.h"
+#include "api/fieldswap_api.h"
 #include "obs/telemetry.h"
+#include "util/argparse.h"
 #include "util/strings.h"
 
 using namespace fieldswap;
 
 int main(int argc, char** argv) {
-  std::string domain = argc > 1 ? argv[1] : "earnings";
-  int train_size = argc > 2 ? ParseInt(argv[2], 10) : 10;
+  util::ArgParser args(
+      "training_curves",
+      "Trains the backbone with and without FieldSwap augmentation on one "
+      "domain and records per-step telemetry for plotting.");
+  std::string domain, train_size_text;
+  args.AddPositional("domain", "earnings", "synthetic domain", &domain);
+  args.AddPositional("train-size", "10", "original training documents",
+                     &train_size_text);
+  if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  int train_size = ParseInt(train_size_text.c_str(), 10);
 
   std::cout << "Pre-training / loading the candidate model...\n";
   CandidateScoringModel candidate_model = GetOrTrainCachedCandidateModel();

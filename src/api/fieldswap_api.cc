@@ -1,0 +1,68 @@
+#include "api/fieldswap_api.h"
+
+#include <utility>
+
+#include "nn/serialize.h"
+
+namespace fieldswap {
+namespace api {
+
+const char* Version() { return "fieldswap 1.0"; }
+
+SequenceLabelingModel NewModel(const std::string& domain,
+                               const SequenceModelConfig& config) {
+  DomainSpec spec = SpecByName(domain);
+  return SequenceLabelingModel(config, spec.Schema());
+}
+
+bool SaveModel(const std::string& checkpoint_path,
+               const SequenceLabelingModel& model) {
+  return SaveCheckpoint(checkpoint_path, model.Params());
+}
+
+bool LoadModel(const std::string& checkpoint_path,
+               SequenceLabelingModel& model) {
+  return LoadCheckpoint(checkpoint_path, model.Params());
+}
+
+std::vector<EntitySpan> Extract(const SequenceLabelingModel& model,
+                                const Document& doc) {
+  return model.Predict(doc);
+}
+
+std::vector<std::vector<EntitySpan>> ExtractBatch(
+    const SequenceLabelingModel& model, const std::vector<Document>& docs) {
+  return par::ParallelMap(docs.size(), [&](size_t i) {
+    return model.Predict(docs[i]);
+  });
+}
+
+TrainResult Train(SequenceLabelingModel& model,
+                  const std::vector<Document>& originals,
+                  const std::vector<Document>& synthetics,
+                  const TrainOptions& options) {
+  return TrainSequenceModel(model, originals, synthetics, options);
+}
+
+EvalResult Evaluate(const SequenceLabelingModel& model,
+                    const std::vector<Document>& docs) {
+  return EvaluateModel(model, docs);
+}
+
+AugmentationResult Augment(const std::vector<Document>& originals,
+                           const DomainSpec& spec,
+                           const FieldSwapPipelineOptions& options,
+                           const CandidateScoringModel* candidate_model) {
+  return RunFieldSwap(originals, spec, candidate_model, options);
+}
+
+std::unique_ptr<serve::ExtractionServer> Serve(SequenceLabelingModel model,
+                                               serve::ServeOptions options,
+                                               std::string version) {
+  return std::make_unique<serve::ExtractionServer>(
+      serve::MakeSnapshot(std::move(model), std::move(version)),
+      std::move(options));
+}
+
+}  // namespace api
+}  // namespace fieldswap

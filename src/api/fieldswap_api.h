@@ -1,0 +1,100 @@
+#ifndef FIELDSWAP_API_FIELDSWAP_API_H_
+#define FIELDSWAP_API_FIELDSWAP_API_H_
+
+/// The supported public surface of the FieldSwap library.
+///
+/// Code outside src/ — examples, benches, tools, downstream users — should
+/// include this header (or serve/, obs/, util/ headers) and nothing else;
+/// fslint's layering rule enforces that machine-side (tools/layers.txt).
+/// Everything re-exported here is covered by the usual compatibility
+/// expectations; headers not reachable from this file are internal and may
+/// change without notice (see api/internals.h for the escape hatch).
+///
+/// The surface is two things:
+///   1. Curated re-exports of the stable subsystem headers: documents and
+///      serialization, synthetic domains/corpora, the FieldSwap pipeline,
+///      training and evaluation, the serving subsystem, and deterministic
+///      thread control.
+///   2. Thin convenience wrappers in fieldswap::api for the common
+///      lifecycle: NewModel -> Train (or LoadModel) -> Extract / Evaluate /
+///      Serve, plus Augment for standalone FieldSwap augmentation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/key_phrases.h"
+#include "core/pipeline.h"
+#include "core/swap.h"
+#include "doc/serialize.h"
+#include "eval/experiment.h"
+#include "eval/golden.h"
+#include "eval/metrics.h"
+#include "model/candidate_model.h"
+#include "model/options.h"
+#include "model/trainer.h"
+#include "ocr/line_detector.h"
+#include "par/parallel.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+
+namespace fieldswap {
+namespace api {
+
+/// Library version, bumped when the supported surface changes shape.
+const char* Version();
+
+/// Fresh untrained model for a built-in synthetic domain ("invoices",
+/// "paystubs", "utility_bills"). Aborts on an unknown domain (SpecByName
+/// lists the valid names in its message).
+SequenceLabelingModel NewModel(const std::string& domain,
+                               const SequenceModelConfig& config = {});
+
+/// Writes a model's parameters to a checkpoint file; false on I/O failure.
+bool SaveModel(const std::string& checkpoint_path,
+               const SequenceLabelingModel& model);
+
+/// Loads a checkpoint written by SaveModel into `model` (which must have
+/// been built with the same config and domain). False when the file is
+/// unreadable or the parameter shapes do not match.
+bool LoadModel(const std::string& checkpoint_path,
+               SequenceLabelingModel& model);
+
+/// Predicted spans for one document.
+std::vector<EntitySpan> Extract(const SequenceLabelingModel& model,
+                                const Document& doc);
+
+/// Batched extraction on the shared deterministic pool. Results are
+/// bit-identical to calling Extract per document, at any FIELDSWAP_THREADS.
+std::vector<std::vector<EntitySpan>> ExtractBatch(
+    const SequenceLabelingModel& model, const std::vector<Document>& docs);
+
+/// Trains the model on `originals` plus optional FieldSwap `synthetics`.
+TrainResult Train(SequenceLabelingModel& model,
+                  const std::vector<Document>& originals,
+                  const std::vector<Document>& synthetics = {},
+                  const TrainOptions& options = {});
+
+/// Span-level precision/recall/F1 against a labeled corpus.
+EvalResult Evaluate(const SequenceLabelingModel& model,
+                    const std::vector<Document>& docs);
+
+/// Runs the FieldSwap augmentation pipeline over a training corpus.
+AugmentationResult Augment(const std::vector<Document>& originals,
+                           const DomainSpec& spec,
+                           const FieldSwapPipelineOptions& options = {},
+                           const CandidateScoringModel* candidate_model =
+                               nullptr);
+
+/// Wraps a trained model into a hot-swappable snapshot and returns a
+/// batched ExtractionServer ready for traffic.
+std::unique_ptr<serve::ExtractionServer> Serve(
+    SequenceLabelingModel model, serve::ServeOptions options = {},
+    std::string version = "");
+
+}  // namespace api
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_API_FIELDSWAP_API_H_

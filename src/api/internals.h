@@ -1,0 +1,30 @@
+#ifndef FIELDSWAP_API_INTERNALS_H_
+#define FIELDSWAP_API_INTERNALS_H_
+
+/// Explicitly UNSTABLE deep-internal surface.
+///
+/// Micro-benchmarks and diagnostic tools sometimes need to poke individual
+/// subsystems below the supported facade (raw autodiff ops, baseline
+/// extractors, OCR noise models, the robustness attack ladder). This header
+/// is the single sanctioned doorway for that: everything reachable from it
+/// may change or disappear between any two commits, with no compatibility
+/// expectations whatsoever. If a program needs this header to build, it is
+/// coupled to internals — keep that program inside this repository.
+///
+/// Supported consumers use api/fieldswap_api.h instead.
+
+#include "api/fieldswap_api.h"
+#include "attack/ladder.h"
+#include "attack/perturbation.h"
+#include "core/baselines.h"
+#include "core/field_pairs.h"
+#include "core/human_expert.h"
+#include "core/phrase_suggest.h"
+#include "model/annotators.h"
+#include "nn/autodiff.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "nn/sparsemax.h"
+#include "ocr/noise.h"
+
+#endif  // FIELDSWAP_API_INTERNALS_H_

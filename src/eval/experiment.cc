@@ -32,6 +32,10 @@ ExperimentRunner::ExperimentRunner(DomainSpec spec, ExperimentConfig config,
     : spec_(std::move(spec)),
       config_(std::move(config)),
       candidate_model_(candidate_model) {
+  // Catch a drifted/bad training configuration here, before the hours of
+  // subset x trial legs that would all inherit it.
+  std::string train_error = config_.train.Validate();
+  FS_CHECK(train_error.empty()) << train_error;
   // The full training pool and the fixed hold-out test set (Table I).
   pool_ = GenerateCorpus(spec_, spec_.train_pool_size, config_.seed,
                          spec_.name + "-train");

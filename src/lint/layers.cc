@@ -94,10 +94,19 @@ bool LayerGraph::Parse(const std::string& manifest, LayerGraph* out,
 
 std::string LayerGraph::LayerForPath(const std::string& rel_path) const {
   static const std::string kPrefix = "src/";
-  if (rel_path.compare(0, kPrefix.size(), kPrefix) != 0) return "";
-  size_t slash = rel_path.find('/', kPrefix.size());
+  if (rel_path.compare(0, kPrefix.size(), kPrefix) == 0) {
+    size_t slash = rel_path.find('/', kPrefix.size());
+    if (slash == std::string::npos) return "";
+    std::string dir = rel_path.substr(kPrefix.size(), slash - kPrefix.size());
+    return allowed_.count(dir) ? dir : "";
+  }
+  // Top-level directories (bench/, examples/, tools/) participate in the
+  // layer graph when the manifest declares them, so the public-surface
+  // policy — only api/serve/obs/util reachable from outside src/ — is
+  // machine-checked rather than a review convention.
+  size_t slash = rel_path.find('/');
   if (slash == std::string::npos) return "";
-  std::string dir = rel_path.substr(kPrefix.size(), slash - kPrefix.size());
+  std::string dir = rel_path.substr(0, slash);
   return allowed_.count(dir) ? dir : "";
 }
 

@@ -200,9 +200,11 @@ void RunUnorderedIterationRule(const LexedFile& lexed,
 void RunLayeringRule(const LexedFile& lexed, const std::string& rel_path,
                      const LayerGraph& layers,
                      std::vector<Diagnostic>* diagnostics) {
-  if (!PathHasPrefix(rel_path, "src/")) return;
   std::string layer = layers.LayerForPath(rel_path);
   if (layer.empty()) {
+    // Only src/ subsystems are required to be declared; top-level dirs
+    // (tests/, scripts/) opt in by appearing in the manifest.
+    if (!PathHasPrefix(rel_path, "src/")) return;
     size_t slash = rel_path.find('/', 4);
     if (slash != std::string::npos) {
       diagnostics->push_back(Diagnostic{

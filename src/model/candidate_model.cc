@@ -97,6 +97,8 @@ Var CandidateScoringModel::ScoreForTraining(const Document& doc,
 double CandidateScoringModel::Pretrain(const std::vector<Document>& corpus,
                                        const DomainSchema& schema,
                                        const CandidateTrainOptions& options) {
+  std::string options_error = options.Validate();
+  FS_CHECK(options_error.empty()) << options_error;
   std::vector<NamedParam> params = Params();
   AdamOptimizer::Options opt_options;
   opt_options.learning_rate = options.learning_rate;

@@ -7,6 +7,7 @@
 #include "doc/document.h"
 #include "doc/schema.h"
 #include "model/annotators.h"
+#include "model/options.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 #include "util/rng.h"
@@ -37,15 +38,10 @@ struct CandidateEncoding {
   Matrix neighborhood;
 };
 
-/// Options controlling pre-training of the candidate model on an
-/// out-of-domain corpus.
-struct CandidateTrainOptions {
-  int epochs = 3;
-  float learning_rate = 2e-3f;
-  /// Negative candidates sampled per positive example.
-  int negatives_per_positive = 2;
-  uint64_t seed = 11;
-};
+/// Options controlling pre-training of the candidate model. The canonical
+/// definition (and the shared defaults) live in model/options.h; this
+/// alias keeps every existing call site source-compatible.
+using CandidateTrainOptions = CandidatePretrainOptions;
 
 /// The candidate-based extraction model: encodes each neighbor of a
 /// candidate (text + shape + relative position), runs self-attention over

@@ -1,0 +1,62 @@
+#include "model/options.h"
+
+#include <cmath>
+
+namespace fieldswap {
+
+namespace {
+
+std::string Bad(const std::string& field, const std::string& got,
+                const std::string& want) {
+  return "TrainOptions." + field + " = " + got + " is invalid: " + want;
+}
+
+}  // namespace
+
+std::string SequenceTrainOptions::Validate() const {
+  if (total_steps < 1) {
+    return Bad("total_steps", std::to_string(total_steps),
+               "need >= 1 training step (default " +
+                   std::to_string(TrainDefaults::kTotalSteps) + ")");
+  }
+  if (!(learning_rate > 0.0f) || !std::isfinite(learning_rate)) {
+    return Bad("learning_rate", std::to_string(learning_rate),
+               "need a finite rate > 0 (default " +
+                   std::to_string(TrainDefaults::kLearningRate) + ")");
+  }
+  if (validate_every < 1) {
+    return Bad("validate_every", std::to_string(validate_every),
+               "need >= 1; validation drives best-checkpoint selection "
+               "(default " +
+                   std::to_string(TrainDefaults::kValidateEvery) + ")");
+  }
+  if (!(synthetic_fraction >= 0.0) || !(synthetic_fraction <= 1.0)) {
+    return Bad("synthetic_fraction", std::to_string(synthetic_fraction),
+               "need a probability in [0, 1] (default " +
+                   std::to_string(TrainDefaults::kSyntheticFraction) + ")");
+  }
+  return "";
+}
+
+std::string CandidatePretrainOptions::Validate() const {
+  if (epochs < 1) {
+    return "CandidateTrainOptions.epochs = " + std::to_string(epochs) +
+           " is invalid: need >= 1 epoch (default " +
+           std::to_string(TrainDefaults::kCandidateEpochs) + ")";
+  }
+  if (!(learning_rate > 0.0f) || !std::isfinite(learning_rate)) {
+    return "CandidateTrainOptions.learning_rate = " +
+           std::to_string(learning_rate) +
+           " is invalid: need a finite rate > 0 (default " +
+           std::to_string(TrainDefaults::kCandidateLearningRate) + ")";
+  }
+  if (negatives_per_positive < 0) {
+    return "CandidateTrainOptions.negatives_per_positive = " +
+           std::to_string(negatives_per_positive) +
+           " is invalid: need >= 0 sampled negatives (default " +
+           std::to_string(TrainDefaults::kNegativesPerPositive) + ")";
+  }
+  return "";
+}
+
+}  // namespace fieldswap

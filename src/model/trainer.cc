@@ -35,6 +35,8 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
   FS_TRACE_SPAN("train.sequence_model");
   obs::CounterAdd("fieldswap.train.runs");
   FS_CHECK(!originals.empty());
+  std::string options_error = options.Validate();
+  FS_CHECK(options_error.empty()) << options_error;
   Rng rng(options.seed);
 
   // 90/10 split of the originals; synthetics go to the training pool only.

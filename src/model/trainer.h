@@ -4,34 +4,17 @@
 #include <vector>
 
 #include "doc/document.h"
+#include "model/options.h"
 #include "model/sequence_model.h"
 #include "obs/telemetry.h"
 #include "util/rng.h"
 
 namespace fieldswap {
 
-/// Training protocol options, mirroring the paper's setup (Sec. IV-B):
-/// a 90/10 train-validation split of the original documents, synthetic
-/// documents added to the training split only, a fixed step budget so the
-/// baseline and the augmented model get the same amount of optimization
-/// (the paper's equal-training-time control), and best-validation
-/// checkpoint selection.
-struct TrainOptions {
-  int total_steps = 1200;
-  float learning_rate = 3e-3f;
-  /// Validate (and possibly checkpoint) every this many steps.
-  int validate_every = 200;
-  /// Fraction of steps drawn from the synthetic pool when synthetics are
-  /// present (the rest sample original documents). Balances the union so a
-  /// huge synthetic pool cannot drown the handful of real documents under
-  /// the fixed step budget.
-  double synthetic_fraction = 0.4;
-  uint64_t seed = 17;
-  /// Optional recorder for per-step loss and validation micro-F1 (not
-  /// owned). The trainer also always feeds the global metrics registry
-  /// (fieldswap.train.* counters/gauges) and emits trace spans.
-  obs::TrainingTelemetry* telemetry = nullptr;
-};
+/// Training protocol options. The canonical definition (and the shared
+/// defaults) live in model/options.h next to the candidate pre-train
+/// options; this alias keeps every existing call site source-compatible.
+using TrainOptions = SequenceTrainOptions;
 
 /// Outcome of a training run.
 struct TrainResult {

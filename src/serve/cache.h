@@ -1,0 +1,106 @@
+#ifndef FIELDSWAP_SERVE_CACHE_H_
+#define FIELDSWAP_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "model/sequence_model.h"
+
+namespace fieldswap {
+namespace serve {
+
+/// Thread-safe LRU cache keyed by a 64-bit content hash. Values are held
+/// as `shared_ptr<const V>` so a hit can be used after the entry is
+/// evicted by a concurrent insertion.
+///
+/// Keys must already be collision-resistant (the server keys by FNV-1a of
+/// the full document content mixed with the snapshot sequence); the cache
+/// itself does no content comparison.
+///
+/// Determinism note: caching never changes served results — an entry is
+/// only ever a memoized pure function of (snapshot, document content), so
+/// hit-vs-miss is invisible in the response payload. Only the `*_hit`
+/// response flags and the obs counters reveal it.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  /// Capacity 0 disables the cache (every Get misses, Put is a no-op).
+  std::shared_ptr<const V> Get(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entries beyond capacity.
+  void Put(uint64_t key, std::shared_ptr<const V> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    while (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_.size();
+  }
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  int64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
+ private:
+  using Entry = std::pair<uint64_t, std::shared_ptr<const V>>;
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+/// Cache of per-document model encodings: repeat traffic skips re-encoding
+/// (feature hashing, neighbor-list construction) entirely.
+using EncodedDocCache = LruCache<EncodedDoc>;
+
+}  // namespace serve
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SERVE_CACHE_H_

@@ -1,0 +1,367 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "par/parallel.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+namespace serve {
+
+namespace {
+
+const std::vector<double>& BatchSizeBounds() {
+  static const std::vector<double> bounds = {1, 2, 4, 8, 16, 32, 64, 128};
+  return bounds;
+}
+
+void AppendU64(std::string& buffer, uint64_t value) {
+  char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  buffer.append(bytes, sizeof(value));
+}
+
+void AppendDouble(std::string& buffer, double value) {
+  AppendU64(buffer, std::bit_cast<uint64_t>(value));
+}
+
+/// Folds the snapshot sequence into a content hash so cache entries from a
+/// retired snapshot can never match requests served by its replacement.
+uint64_t CacheKey(uint64_t content_hash, uint64_t snapshot_sequence) {
+  return content_hash ^ (snapshot_sequence * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejectedQueueFull:
+      return "rejected_queue_full";
+    case ServeStatus::kRejectedDeadline:
+      return "rejected_deadline";
+    case ServeStatus::kRejectedShutdown:
+      return "rejected_shutdown";
+  }
+  return "unknown";
+}
+
+std::string ServeOptions::Validate() const {
+  if (max_batch < 1) {
+    return "ServeOptions.max_batch is " + std::to_string(max_batch) +
+           "; it must be >= 1 (default 16)";
+  }
+  if (queue_capacity < 1) {
+    return "ServeOptions.queue_capacity is " + std::to_string(queue_capacity) +
+           "; it must be >= 1 (default 64)";
+  }
+  if (encoded_cache_capacity < 0) {
+    return "ServeOptions.encoded_cache_capacity is " +
+           std::to_string(encoded_cache_capacity) +
+           "; it must be >= 0 (0 disables the cache, default 256)";
+  }
+  if (result_cache_capacity < 0) {
+    return "ServeOptions.result_cache_capacity is " +
+           std::to_string(result_cache_capacity) +
+           "; it must be >= 0 (0 disables the cache, default 256)";
+  }
+  if (default_deadline_ms < 0) {
+    return "ServeOptions.default_deadline_ms is " +
+           std::to_string(default_deadline_ms) +
+           "; it must be >= 0 (0 means no deadline)";
+  }
+  return "";
+}
+
+uint64_t DocContentHash(const Document& doc) {
+  std::string buffer;
+  buffer.reserve(64 + static_cast<size_t>(doc.num_tokens()) * 48);
+  buffer += doc.domain();
+  buffer += '\x1f';
+  AppendDouble(buffer, doc.width());
+  AppendDouble(buffer, doc.height());
+  for (const Token& token : doc.tokens()) {
+    buffer += token.text;
+    buffer += '\x1f';
+    AppendDouble(buffer, token.box.x_min);
+    AppendDouble(buffer, token.box.y_min);
+    AppendDouble(buffer, token.box.x_max);
+    AppendDouble(buffer, token.box.y_max);
+    AppendU64(buffer, static_cast<uint64_t>(token.line));
+  }
+  for (const EntitySpan& span : doc.annotations()) {
+    buffer += span.field;
+    buffer += '\x1f';
+    AppendU64(buffer, static_cast<uint64_t>(span.first_token));
+    AppendU64(buffer, static_cast<uint64_t>(span.num_tokens));
+  }
+  return Fnv1a64(buffer);
+}
+
+ExtractionServer::ExtractionServer(
+    std::shared_ptr<const ModelSnapshot> snapshot, ServeOptions options)
+    : options_(std::move(options)),
+      snapshot_(std::move(snapshot)),
+      encoded_cache_(static_cast<size_t>(
+          options_.encoded_cache_capacity > 0 ? options_.encoded_cache_capacity
+                                              : 0)),
+      result_cache_(static_cast<size_t>(
+          options_.result_cache_capacity > 0 ? options_.result_cache_capacity
+                                             : 0)) {
+  FS_CHECK(snapshot_ != nullptr) << "ExtractionServer needs a model snapshot";
+  std::string error = options_.Validate();
+  FS_CHECK(error.empty()) << error;
+  obs::CounterAdd("fieldswap.serve.servers_started");
+}
+
+double ExtractionServer::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return uptime_.ElapsedMs();
+}
+
+ExtractResponse ExtractionServer::Reject(ServeStatus status,
+                                         const Document& doc,
+                                         std::string error) const {
+  ExtractResponse response;
+  response.status = status;
+  response.doc_id = doc.id();
+  response.error = std::move(error);
+  obs::CounterAdd(std::string("fieldswap.serve.") + ServeStatusName(status));
+  return response;
+}
+
+int64_t ExtractionServer::Submit(const Document& doc, double deadline_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t id = next_id_++;
+  if (shutdown_) {
+    ExtractResponse response =
+        Reject(ServeStatus::kRejectedShutdown, doc, "server is shut down");
+    response.snapshot_version = snapshot_->version();
+    done_[id] = std::move(response);
+    return id;
+  }
+  if (queue_.size() >= static_cast<size_t>(options_.queue_capacity)) {
+    ExtractResponse response = Reject(
+        ServeStatus::kRejectedQueueFull, doc,
+        "admission queue full (capacity " +
+            std::to_string(options_.queue_capacity) +
+            "); retry after draining or raise ServeOptions.queue_capacity");
+    response.snapshot_version = snapshot_->version();
+    done_[id] = std::move(response);
+    return id;
+  }
+  double effective_deadline =
+      deadline_ms < 0 ? options_.default_deadline_ms : deadline_ms;
+  PendingRequest request;
+  request.id = id;
+  request.doc = doc;
+  request.submit_ms = NowMs();
+  request.deadline_at_ms =
+      effective_deadline > 0 ? request.submit_ms + effective_deadline : 0;
+  queue_.push_back(std::move(request));
+  obs::CounterAdd("fieldswap.serve.requests");
+  obs::GaugeSet("fieldswap.serve.queue_depth",
+                static_cast<double>(queue_.size()));
+  return id;
+}
+
+void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
+  batch_in_flight_ = true;
+  std::shared_ptr<const ModelSnapshot> snapshot = snapshot_;
+  std::vector<PendingRequest> batch;
+  while (!queue_.empty() &&
+         batch.size() < static_cast<size_t>(options_.max_batch)) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  obs::GaugeSet("fieldswap.serve.queue_depth",
+                static_cast<double>(queue_.size()));
+  lock.unlock();
+
+  std::vector<ExtractResponse> responses(batch.size());
+  {
+    FS_TRACE_SPAN("serve.batch");
+    obs::CounterAdd("fieldswap.serve.batches");
+    obs::HistogramObserve("fieldswap.serve.batch_size",
+                          static_cast<double>(batch.size()),
+                          BatchSizeBounds());
+    double now = NowMs();
+
+    // Admission-order triage: expired deadlines reject, result-cache hits
+    // complete immediately, the rest go to the model. All cache traffic is
+    // serial so hit/miss accounting and LRU order are deterministic for a
+    // fixed request order.
+    std::vector<size_t> live;
+    std::vector<uint64_t> keys(batch.size(), 0);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const PendingRequest& request = batch[i];
+      if (request.deadline_at_ms > 0 && now > request.deadline_at_ms) {
+        responses[i] = Reject(
+            ServeStatus::kRejectedDeadline, request.doc,
+            "deadline expired before batching; extend the deadline or "
+            "reduce load");
+        responses[i].snapshot_version = snapshot->version();
+        continue;
+      }
+      keys[i] = CacheKey(DocContentHash(request.doc), snapshot->sequence());
+      std::shared_ptr<const std::vector<EntitySpan>> cached =
+          result_cache_.Get(keys[i]);
+      if (cached != nullptr) {
+        obs::CounterAdd("fieldswap.serve.result_cache_hits");
+        responses[i].status = ServeStatus::kOk;
+        responses[i].spans = *cached;
+        responses[i].snapshot_version = snapshot->version();
+        responses[i].doc_id = request.doc.id();
+        responses[i].cache_hit = true;
+        responses[i].encoded_cache_hit = true;
+        continue;
+      }
+      obs::CounterAdd("fieldswap.serve.result_cache_misses");
+      live.push_back(i);
+    }
+
+    // Encoded-doc cache: serial lookups, parallel encode of the misses,
+    // serial inserts in admission order.
+    std::vector<std::shared_ptr<const EncodedDoc>> encoded(live.size());
+    std::vector<size_t> to_encode;
+    for (size_t j = 0; j < live.size(); ++j) {
+      encoded[j] = encoded_cache_.Get(keys[live[j]]);
+      if (encoded[j] == nullptr) {
+        obs::CounterAdd("fieldswap.serve.encoded_cache_misses");
+        to_encode.push_back(j);
+      } else {
+        obs::CounterAdd("fieldswap.serve.encoded_cache_hits");
+        responses[live[j]].encoded_cache_hit = true;
+      }
+    }
+    if (!to_encode.empty()) {
+      FS_TRACE_SPAN("serve.encode");
+      std::vector<std::shared_ptr<const EncodedDoc>> fresh =
+          par::ParallelMap(to_encode.size(), [&](size_t k) {
+            const Document& doc = batch[live[to_encode[k]]].doc;
+            return std::make_shared<const EncodedDoc>(
+                snapshot->model().EncodeDoc(doc));
+          });
+      for (size_t k = 0; k < to_encode.size(); ++k) {
+        encoded[to_encode[k]] = fresh[k];
+        encoded_cache_.Put(keys[live[to_encode[k]]], fresh[k]);
+      }
+    }
+
+    if (!live.empty()) {
+      FS_TRACE_SPAN("serve.predict");
+      std::vector<std::vector<EntitySpan>> predictions =
+          par::ParallelMap(live.size(), [&](size_t j) {
+            return snapshot->model().PredictEncoded(*encoded[j]);
+          });
+      for (size_t j = 0; j < live.size(); ++j) {
+        size_t i = live[j];
+        auto shared = std::make_shared<const std::vector<EntitySpan>>(
+            std::move(predictions[j]));
+        result_cache_.Put(keys[i], shared);
+        responses[i].status = ServeStatus::kOk;
+        responses[i].spans = *shared;
+        responses[i].snapshot_version = snapshot->version();
+        responses[i].doc_id = batch[i].doc.id();
+      }
+    }
+
+    double end = NowMs();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      responses[i].latency_ms = end - batch[i].submit_ms;
+      obs::HistogramObserve("fieldswap.serve.latency_ms",
+                            responses[i].latency_ms);
+    }
+  }
+
+  lock.lock();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    done_[batch[i].id] = std::move(responses[i]);
+  }
+  batch_in_flight_ = false;
+  cv_.notify_all();
+}
+
+ExtractResponse ExtractionServer::Wait(int64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = done_.find(id);
+    if (it != done_.end()) {
+      ExtractResponse response = std::move(it->second);
+      done_.erase(it);
+      return response;
+    }
+    if (!batch_in_flight_ && !queue_.empty()) {
+      // Leader: drain one batch, then re-check (our request may have been
+      // in it, or still be queued behind max_batch others).
+      RunBatchLocked(lock);
+      continue;
+    }
+    cv_.wait(lock);
+  }
+}
+
+ExtractResponse ExtractionServer::Extract(const Document& doc,
+                                          double deadline_ms) {
+  return Wait(Submit(doc, deadline_ms));
+}
+
+std::vector<ExtractResponse> ExtractionServer::ExtractBatch(
+    const std::vector<Document>& docs) {
+  std::vector<ExtractResponse> responses(docs.size());
+  size_t window = static_cast<size_t>(options_.queue_capacity);
+  for (size_t start = 0; start < docs.size(); start += window) {
+    size_t end = std::min(docs.size(), start + window);
+    std::vector<int64_t> ids;
+    ids.reserve(end - start);
+    for (size_t i = start; i < end; ++i) ids.push_back(Submit(docs[i]));
+    for (size_t i = start; i < end; ++i) responses[i] = Wait(ids[i - start]);
+  }
+  return responses;
+}
+
+void ExtractionServer::SwapSnapshot(
+    std::shared_ptr<const ModelSnapshot> snapshot) {
+  FS_CHECK(snapshot != nullptr) << "SwapSnapshot needs a model snapshot";
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = std::move(snapshot);
+  obs::CounterAdd("fieldswap.serve.snapshot_swaps");
+}
+
+std::shared_ptr<const ModelSnapshot> ExtractionServer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+void ExtractionServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  shutdown_ = true;
+  while (!queue_.empty()) {
+    PendingRequest request = std::move(queue_.front());
+    queue_.pop_front();
+    ExtractResponse response =
+        Reject(ServeStatus::kRejectedShutdown, request.doc,
+               "server shut down while the request was queued");
+    response.snapshot_version = snapshot_->version();
+    done_[request.id] = std::move(response);
+  }
+  obs::GaugeSet("fieldswap.serve.queue_depth", 0);
+  cv_.notify_all();
+}
+
+int ExtractionServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace serve
+}  // namespace fieldswap

@@ -1,0 +1,190 @@
+#ifndef FIELDSWAP_SERVE_SERVER_H_
+#define FIELDSWAP_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "doc/document.h"
+#include "obs/timing.h"
+#include "serve/cache.h"
+#include "serve/snapshot.h"
+
+namespace fieldswap {
+namespace serve {
+
+/// Why a request did or did not produce spans.
+enum class ServeStatus {
+  kOk = 0,
+  /// The admission queue was at capacity when the request arrived. The
+  /// server never blocks a submitter; shed load is reported immediately.
+  kRejectedQueueFull,
+  /// The request's deadline expired before a batch picked it up.
+  kRejectedDeadline,
+  /// The server was shut down while the request was queued (or before it
+  /// was submitted).
+  kRejectedShutdown,
+};
+
+/// Human-readable name of a status ("ok", "rejected_queue_full", ...).
+const char* ServeStatusName(ServeStatus status);
+
+/// Outcome of one extraction request.
+struct ExtractResponse {
+  ServeStatus status = ServeStatus::kOk;
+  /// Predicted spans; meaningful only when status == kOk. Bit-identical to
+  /// SequenceLabelingModel::Predict on the same snapshot and document.
+  std::vector<EntitySpan> spans;
+  /// Version label of the snapshot that served (or rejected) the request.
+  std::string snapshot_version;
+  std::string doc_id;
+  /// True when the full prediction was served from the result cache.
+  bool cache_hit = false;
+  /// True when the document encoding was reused from the encoded-doc cache
+  /// (implied true when cache_hit is true).
+  bool encoded_cache_hit = false;
+  /// Submit-to-completion time. Observability only — never consulted by
+  /// the extraction path, so it does not affect determinism.
+  double latency_ms = 0;
+  /// Actionable description for rejected requests, empty on kOk.
+  std::string error;
+};
+
+/// Configuration of an ExtractionServer. All knobs have serving-friendly
+/// defaults; Validate() catches nonsensical combinations with an actionable
+/// message before the server accepts traffic.
+struct ServeOptions {
+  /// Most documents coalesced into one encode/predict batch.
+  int max_batch = 16;
+  /// Admission queue capacity. A submit finding the queue full is rejected
+  /// with kRejectedQueueFull rather than blocking.
+  int queue_capacity = 64;
+  /// LRU capacity (entries) of the encoded-document cache; 0 disables.
+  int encoded_cache_capacity = 256;
+  /// LRU capacity (entries) of the memoized-prediction cache; 0 disables.
+  int result_cache_capacity = 256;
+  /// Default per-request deadline in milliseconds; 0 = no deadline.
+  double default_deadline_ms = 0;
+  /// Injectable monotonic clock (milliseconds). Defaults to server uptime.
+  /// Tests substitute a fake clock to exercise deadline rejection
+  /// deterministically.
+  std::function<double()> clock_ms;
+
+  /// Empty string when valid, else an actionable error message.
+  std::string Validate() const;
+};
+
+/// Content hash of everything extraction depends on: domain, page geometry,
+/// token texts/boxes/line ids, and annotations. The document id is
+/// deliberately excluded (it never reaches the model), so re-submissions of
+/// the same page under fresh ids still hit the caches.
+uint64_t DocContentHash(const Document& doc);
+
+/// Batched, deterministic extraction service.
+///
+/// Requests enter a bounded admission queue (Submit) and are coalesced into
+/// batches of at most `max_batch` documents in admission order. There is no
+/// dedicated server thread — creating raw threads outside src/par is banned
+/// — so batching is leader/follower: the first waiter that finds work and
+/// no batch in flight becomes the leader, drains a batch, and executes it
+/// on the shared par pool; other waiters block on a condvar until their
+/// response is published.
+///
+/// Each response is a pure function of (snapshot, document content), so
+/// results are bit-identical to calling `snapshot->model().Predict(doc)`
+/// directly, for any FIELDSWAP_THREADS value, any batch size, and any
+/// interleaving of concurrent submitters (enforced by tests/serve_test.cc).
+/// Caches are memoization only and cannot change payloads.
+///
+/// The model snapshot is hot-swappable: SwapSnapshot atomically replaces
+/// the pointer; in-flight batches finish on the snapshot they started with,
+/// later batches use the replacement. Cache keys include the snapshot
+/// sequence, so a swap can never serve stale entries.
+class ExtractionServer {
+ public:
+  ExtractionServer(std::shared_ptr<const ModelSnapshot> snapshot,
+                   ServeOptions options = {});
+
+  ExtractionServer(const ExtractionServer&) = delete;
+  ExtractionServer& operator=(const ExtractionServer&) = delete;
+
+  /// Enqueues a document. Never blocks: a full queue (or a shut-down
+  /// server) completes the request immediately with a rejection.
+  /// `deadline_ms` overrides options.default_deadline_ms for this request;
+  /// 0 = no deadline, negative = use the default. Returns a ticket for
+  /// Wait().
+  int64_t Submit(const Document& doc, double deadline_ms = -1);
+
+  /// Blocks until the request's response is available and returns it
+  /// (each ticket can be claimed once). Callers waiting here collectively
+  /// drive the batcher; see the class comment.
+  ExtractResponse Wait(int64_t id);
+
+  /// Submit + Wait for a single document.
+  ExtractResponse Extract(const Document& doc, double deadline_ms = -1);
+
+  /// Runs a whole corpus through the queue/batch machinery, submitting in
+  /// windows of the queue capacity so no request is rejected for queue
+  /// space. Responses are returned in input order.
+  std::vector<ExtractResponse> ExtractBatch(const std::vector<Document>& docs);
+
+  /// Atomically replaces the served snapshot (zero downtime: concurrent
+  /// requests are never rejected or blocked by a swap).
+  void SwapSnapshot(std::shared_ptr<const ModelSnapshot> snapshot);
+
+  /// The snapshot new batches will use.
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Rejects all queued requests with kRejectedShutdown, wakes all waiters,
+  /// and makes further Submits fail fast. Idempotent.
+  void Shutdown();
+
+  /// Requests admitted but not yet picked up by a batch.
+  int queue_depth() const;
+
+  const EncodedDocCache& encoded_cache() const { return encoded_cache_; }
+  const LruCache<std::vector<EntitySpan>>& result_cache() const {
+    return result_cache_;
+  }
+
+ private:
+  struct PendingRequest {
+    int64_t id = 0;
+    Document doc;
+    double submit_ms = 0;
+    double deadline_at_ms = 0;  // absolute; 0 = no deadline
+  };
+
+  double NowMs() const;
+  ExtractResponse Reject(ServeStatus status, const Document& doc,
+                         std::string error) const;
+  /// Leader path: drains one batch and publishes its responses. Expects
+  /// `lock` held on entry; temporarily releases it around model work.
+  void RunBatchLocked(std::unique_lock<std::mutex>& lock);
+
+  ServeOptions options_;
+  obs::Stopwatch uptime_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::deque<PendingRequest> queue_;
+  std::unordered_map<int64_t, ExtractResponse> done_;
+  int64_t next_id_ = 1;
+  bool batch_in_flight_ = false;
+  bool shutdown_ = false;
+
+  EncodedDocCache encoded_cache_;
+  LruCache<std::vector<EntitySpan>> result_cache_;
+};
+
+}  // namespace serve
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SERVE_SERVER_H_

@@ -1,0 +1,27 @@
+#include "serve/snapshot.h"
+
+#include <atomic>
+
+namespace fieldswap {
+namespace serve {
+
+namespace {
+
+uint64_t NextSequence() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
+
+ModelSnapshot::ModelSnapshot(SequenceLabelingModel model, std::string version)
+    : model_(std::move(model)),
+      version_(std::move(version)),
+      sequence_(NextSequence()) {
+  if (version_.empty()) {
+    version_ = "snapshot-" + std::to_string(sequence_);
+  }
+}
+
+}  // namespace serve
+}  // namespace fieldswap

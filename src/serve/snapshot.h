@@ -1,0 +1,54 @@
+#ifndef FIELDSWAP_SERVE_SNAPSHOT_H_
+#define FIELDSWAP_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "model/sequence_model.h"
+
+namespace fieldswap {
+namespace serve {
+
+/// An immutable, shareable trained model. The ExtractionServer holds one
+/// `shared_ptr<const ModelSnapshot>` and swaps the pointer atomically for
+/// zero-downtime refresh: in-flight batches keep the snapshot they started
+/// with alive until they finish, new batches pick up the replacement.
+///
+/// `sequence()` is a process-unique id assigned at construction. Cache
+/// entries (encoded documents, memoized predictions) are keyed by it, so a
+/// swap can never serve stale state: entries of a retired snapshot simply
+/// stop matching and age out of the LRU.
+class ModelSnapshot {
+ public:
+  /// `version` is a human-readable label surfaced in responses ("v1",
+  /// "ckpt-2026-08-05", ...); defaults to "snapshot-<sequence>".
+  explicit ModelSnapshot(SequenceLabelingModel model,
+                         std::string version = "");
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  const SequenceLabelingModel& model() const { return model_; }
+  const std::string& version() const { return version_; }
+  uint64_t sequence() const { return sequence_; }
+
+ private:
+  SequenceLabelingModel model_;
+  std::string version_;
+  uint64_t sequence_ = 0;
+};
+
+/// Convenience wrapper producing the shared-ownership form the server
+/// consumes.
+inline std::shared_ptr<const ModelSnapshot> MakeSnapshot(
+    SequenceLabelingModel model, std::string version = "") {
+  return std::make_shared<const ModelSnapshot>(std::move(model),
+                                               std::move(version));
+}
+
+}  // namespace serve
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SERVE_SNAPSHOT_H_

@@ -1,0 +1,200 @@
+#include "util/argparse.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace util {
+
+namespace {
+
+std::string FormatDefault(const std::string& text) {
+  return text.empty() ? std::string("\"\"") : text;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::AddInt(const std::string& name, int default_value,
+                       const std::string& help, int* out) {
+  *out = default_value;
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kInt;
+  flag.help = help;
+  flag.default_text = std::to_string(default_value);
+  flag.int_out = out;
+  flags_.push_back(std::move(flag));
+}
+
+void ArgParser::AddDouble(const std::string& name, double default_value,
+                          const std::string& help, double* out) {
+  *out = default_value;
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kDouble;
+  flag.help = help;
+  flag.default_text = FormatDouble(default_value, 3);
+  flag.double_out = out;
+  flags_.push_back(std::move(flag));
+}
+
+void ArgParser::AddString(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help, std::string* out) {
+  *out = default_value;
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kString;
+  flag.help = help;
+  flag.default_text = default_value;
+  flag.string_out = out;
+  flags_.push_back(std::move(flag));
+}
+
+void ArgParser::AddBool(const std::string& name, const std::string& help,
+                        bool* out) {
+  *out = false;
+  Flag flag;
+  flag.name = name;
+  flag.kind = Kind::kBool;
+  flag.help = help;
+  flag.default_text = "false";
+  flag.bool_out = out;
+  flags_.push_back(std::move(flag));
+}
+
+void ArgParser::AddPositional(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help, std::string* out) {
+  *out = default_value;
+  Positional pos;
+  pos.name = name;
+  pos.help = help;
+  pos.default_text = default_value;
+  pos.out = out;
+  positionals_.push_back(std::move(pos));
+}
+
+ArgParser::Flag* ArgParser::FindFlag(const std::string& name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool ArgParser::SetFlag(Flag& flag, const std::string& value,
+                        std::string* error) {
+  switch (flag.kind) {
+    case Kind::kInt:
+      if (!TryParseInt(value.c_str(), flag.int_out)) {
+        *error = "--" + flag.name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      return true;
+    case Kind::kDouble:
+      if (!TryParseDouble(value.c_str(), flag.double_out)) {
+        *error = "--" + flag.name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      return true;
+    case Kind::kString:
+      *flag.string_out = value;
+      return true;
+    case Kind::kBool:
+      if (EqualsIgnoreCase(value, "true") || value == "1") {
+        *flag.bool_out = true;
+      } else if (EqualsIgnoreCase(value, "false") || value == "0") {
+        *flag.bool_out = false;
+      } else {
+        *error = "--" + flag.name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool ArgParser::Parse(int argc, char** argv) {
+  size_t next_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      std::cout << Usage();
+      return false;
+    }
+    std::string error;
+    if (StartsWith(arg, "--")) {
+      std::string body = arg.substr(2);
+      std::string name = body;
+      std::string value;
+      bool have_value = false;
+      size_t eq = body.find('=');
+      if (eq != std::string::npos) {
+        name = body.substr(0, eq);
+        value = body.substr(eq + 1);
+        have_value = true;
+      }
+      Flag* flag = FindFlag(name);
+      if (flag == nullptr) {
+        std::cerr << program_ << ": unknown flag '--" << name
+                  << "' (see --help)\n";
+        return false;
+      }
+      if (!have_value) {
+        if (flag->kind == Kind::kBool) {
+          *flag->bool_out = true;
+          continue;
+        }
+        if (i + 1 >= argc) {
+          std::cerr << program_ << ": --" << name << " needs a value\n";
+          return false;
+        }
+        value = argv[++i];
+      }
+      if (!SetFlag(*flag, value, &error)) {
+        std::cerr << program_ << ": " << error << "\n";
+        return false;
+      }
+    } else {
+      if (next_positional >= positionals_.size()) {
+        std::cerr << program_ << ": unexpected argument '" << arg
+                  << "' (see --help)\n";
+        return false;
+      }
+      *positionals_[next_positional++].out = arg;
+    }
+  }
+  return true;
+}
+
+std::string ArgParser::Usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_;
+  for (const Positional& pos : positionals_) out << " [" << pos.name << "]";
+  if (!flags_.empty()) out << " [flags]";
+  out << "\n";
+  if (!description_.empty()) out << "\n" << description_ << "\n";
+  if (!positionals_.empty()) {
+    out << "\npositional arguments:\n";
+    for (const Positional& pos : positionals_) {
+      out << "  " << pos.name << "  " << pos.help << " (default: "
+          << FormatDefault(pos.default_text) << ")\n";
+    }
+  }
+  out << "\nflags:\n";
+  for (const Flag& flag : flags_) {
+    out << "  --" << flag.name << "  " << flag.help << " (default: "
+        << FormatDefault(flag.default_text) << ")\n";
+  }
+  out << "  --help  print this message and exit\n";
+  return out.str();
+}
+
+}  // namespace util
+}  // namespace fieldswap

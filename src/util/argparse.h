@@ -1,0 +1,84 @@
+#ifndef FIELDSWAP_UTIL_ARGPARSE_H_
+#define FIELDSWAP_UTIL_ARGPARSE_H_
+
+#include <string>
+#include <vector>
+
+namespace fieldswap {
+namespace util {
+
+/// Minimal typed command-line parser shared by the bench/ binaries, the
+/// examples, and tools/fieldswap_serve. Replaces the hand-rolled
+/// `argc > 1 ? argv[1] : ...` loops that had been copied between binaries.
+///
+///   util::ArgParser args("fieldswap_serve", "Serves a corpus ...");
+///   std::string domain;
+///   args.AddString("domain", "earnings", "evaluation domain", &domain);
+///   if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
+///
+/// Flags are `--name value` or `--name=value`; `--help` prints usage and
+/// makes Parse return false with help_requested() set. Values are parsed
+/// with util ParseInt/ParseDouble, so `--steps banana` is a hard error
+/// with an actionable message instead of a silent 0.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers a typed flag. `*out` receives the default immediately and
+  /// the parsed value during Parse. Pointers must outlive Parse.
+  void AddInt(const std::string& name, int default_value,
+              const std::string& help, int* out);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help, double* out);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help, std::string* out);
+  /// Presence flag: `--name` sets true; `--name=false` resets.
+  void AddBool(const std::string& name, const std::string& help, bool* out);
+
+  /// Registers a positional argument, filled in declaration order. Missing
+  /// optional positionals keep their default.
+  void AddPositional(const std::string& name, const std::string& default_value,
+                     const std::string& help, std::string* out);
+
+  /// Parses the command line. Returns false on --help (usage printed to
+  /// stdout) or on error (message + usage printed to stderr).
+  bool Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// The generated usage text.
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind = Kind::kString;
+    std::string help;
+    std::string default_text;
+    int* int_out = nullptr;
+    double* double_out = nullptr;
+    std::string* string_out = nullptr;
+    bool* bool_out = nullptr;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+    std::string default_text;
+    std::string* out = nullptr;
+  };
+
+  Flag* FindFlag(const std::string& name);
+  bool SetFlag(Flag& flag, const std::string& value, std::string* error);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<Positional> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace util
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_UTIL_ARGPARSE_H_

@@ -131,6 +131,28 @@ double ParseDouble(const char* text, double fallback) {
   return value;
 }
 
+bool TryParseInt(const char* text, int* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value > INT_MAX ||
+      value < INT_MIN) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool TryParseDouble(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
 std::string FormatDouble(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, value);

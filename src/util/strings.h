@@ -49,6 +49,12 @@ int ParseInt(const char* text, int fallback);
 /// which silently returns 0.0 on garbage.
 double ParseDouble(const char* text, double fallback);
 
+/// Like ParseInt/ParseDouble but report success explicitly, so callers
+/// (util::ArgParser) can distinguish "absent" from "garbage" without a
+/// sentinel fallback. `*out` is untouched on failure.
+bool TryParseInt(const char* text, int* out);
+bool TryParseDouble(const char* text, double* out);
+
 /// Formats a double with `digits` places after the decimal point.
 std::string FormatDouble(double value, int digits);
 

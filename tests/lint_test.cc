@@ -112,17 +112,19 @@ TEST(LintLexer, MergesAdjacentStandaloneLineComments) {
 
 TEST(LayerGraph, RealManifestParsesAndEncodesDesignRules) {
   LayerGraph layers = RealLayers();
-  for (const char* name : {"util", "obs", "par", "doc", "ocr", "nn", "lint",
-                           "synth", "attack", "model", "core", "eval"}) {
+  for (const char* name :
+       {"util", "obs", "par", "doc", "ocr", "nn", "lint", "synth", "attack",
+        "model", "core", "eval", "serve", "api", "bench", "examples",
+        "tools"}) {
     EXPECT_TRUE(layers.IsLayer(name)) << name;
   }
   // attack never sees model/core/eval (PR 3's design rule).
   EXPECT_FALSE(layers.Allowed("attack", "model"));
   EXPECT_FALSE(layers.Allowed("attack", "core"));
   EXPECT_FALSE(layers.Allowed("attack", "eval"));
-  // eval sits on top; nothing may include it.
+  // eval sits near the top; only the api facade may include it.
   for (const std::string& layer : layers.layers()) {
-    if (layer != "eval") {
+    if (layer != "eval" && layer != "api") {
       EXPECT_FALSE(layers.Allowed(layer, "eval")) << layer;
     }
   }
@@ -130,14 +132,34 @@ TEST(LayerGraph, RealManifestParsesAndEncodesDesignRules) {
   EXPECT_TRUE(layers.Allowed("model", "nn"));
   // Self-includes are implicit.
   EXPECT_TRUE(layers.Allowed("doc", "doc"));
+  // Outside src/, only the facade (plus serve/obs/util conveniences) is
+  // reachable — internals must come through api/fieldswap_api.h or
+  // api/internals.h.
+  for (const char* outside : {"bench", "examples", "tools"}) {
+    EXPECT_TRUE(layers.Allowed(outside, "api")) << outside;
+    EXPECT_TRUE(layers.Allowed(outside, "serve")) << outside;
+    EXPECT_TRUE(layers.Allowed(outside, "util")) << outside;
+    EXPECT_FALSE(layers.Allowed(outside, "model")) << outside;
+    EXPECT_FALSE(layers.Allowed(outside, "core")) << outside;
+    EXPECT_FALSE(layers.Allowed(outside, "eval")) << outside;
+    EXPECT_FALSE(layers.Allowed(outside, "attack")) << outside;
+  }
 }
 
 TEST(LayerGraph, LayerForPath) {
   LayerGraph layers = RealLayers();
   EXPECT_EQ(layers.LayerForPath("src/model/trainer.cc"), "model");
   EXPECT_EQ(layers.LayerForPath("src/lint/rules.cc"), "lint");
-  EXPECT_EQ(layers.LayerForPath("tests/lint_test.cc"), "");
+  EXPECT_EQ(layers.LayerForPath("src/serve/server.cc"), "serve");
+  EXPECT_EQ(layers.LayerForPath("src/api/fieldswap_api.h"), "api");
   EXPECT_EQ(layers.LayerForPath("src/mystery/x.cc"), "");
+  // Declared top-level directories are layers too; undeclared ones
+  // (tests/) stay outside the graph.
+  EXPECT_EQ(layers.LayerForPath("bench/par_scaling.cc"), "bench");
+  EXPECT_EQ(layers.LayerForPath("examples/quickstart.cpp"), "examples");
+  EXPECT_EQ(layers.LayerForPath("tools/fslint.cc"), "tools");
+  EXPECT_EQ(layers.LayerForPath("tests/lint_test.cc"), "");
+  EXPECT_EQ(layers.LayerForPath("scripts/check.sh"), "");
 }
 
 TEST(LayerGraph, RejectsMalformedManifests) {
@@ -264,17 +286,43 @@ TEST(FslintLayering, BackEdgeFixtureIsCaughtWithFileAndLine) {
   EXPECT_NE(result.diagnostics[1].message.find("eval"), std::string::npos);
 }
 
-TEST(FslintLayering, AllowedEdgesAndNonSrcFilesPass) {
+TEST(FslintLayering, AllowedEdgesAndUndeclaredDirsPass) {
   LayerGraph layers = RealLayers();
   const std::string content =
       "#include \"attack/ladder.h\"\n#include \"model/trainer.h\"\n";
   // eval may include both attack and model.
   EXPECT_TRUE(LintSource("src/eval/x.cc", content, &layers)
                   .diagnostics.empty());
-  // Files outside src/ are not layer-checked.
+  // tests/ is not declared in the manifest, so it is not layer-checked.
   EXPECT_TRUE(LintSource("tests/x.cc", content, &layers)
                   .diagnostics.empty());
-  EXPECT_TRUE(LintSource("bench/x.cc", content, &layers)
+}
+
+TEST(FslintLayering, BenchAndExamplesMustGoThroughTheFacade) {
+  LayerGraph layers = RealLayers();
+  // Direct internal includes from declared top-level dirs are back-edges.
+  const std::string internal =
+      "#include \"attack/ladder.h\"\n#include \"model/trainer.h\"\n";
+  Expected expected = {{1, "layering"}, {2, "layering"}};
+  EXPECT_EQ(LinesAndRules(LintSource("bench/x.cc", internal, &layers)),
+            expected);
+  EXPECT_EQ(LinesAndRules(LintSource("examples/x.cpp", internal, &layers)),
+            expected);
+  EXPECT_EQ(LinesAndRules(LintSource("tools/x.cc", internal, &layers)),
+            expected);
+  // The sanctioned surface passes: api facade, serve, obs, util.
+  const std::string sanctioned =
+      "#include \"api/fieldswap_api.h\"\n"
+      "#include \"serve/server.h\"\n"
+      "#include \"obs/metrics.h\"\n"
+      "#include \"util/table.h\"\n";
+  EXPECT_TRUE(LintSource("bench/x.cc", sanctioned, &layers)
+                  .diagnostics.empty());
+  EXPECT_TRUE(LintSource("examples/x.cpp", sanctioned, &layers)
+                  .diagnostics.empty());
+  // Local includes without a slash (bench_util.h) are never layer edges.
+  EXPECT_TRUE(LintSource("bench/x.cc", "#include \"bench_util.h\"\n",
+                         &layers)
                   .diagnostics.empty());
 }
 
@@ -317,7 +365,7 @@ TEST(FslintEngine, TheRealTreeLintsClean) {
   config.root = RepoRoot();
   config.layers = &layers;
   LintReport report =
-      LintPaths(config, {"src", "bench", "examples", "tests"});
+      LintPaths(config, {"src", "bench", "examples", "tests", "tools"});
   EXPECT_GT(report.files_scanned, 100);
   std::string text;
   if (!report.clean()) text = RenderText(report);

@@ -2,6 +2,7 @@
 
 #include "model/annotators.h"
 #include "model/candidate_model.h"
+#include "model/options.h"
 #include "model/features.h"
 #include "model/sequence_model.h"
 #include "model/trainer.h"
@@ -383,6 +384,48 @@ TEST(TrainerTest, SyntheticFractionZeroIgnoresSynthetics) {
   for (size_t i = 0; i < pa.size(); ++i) {
     EXPECT_EQ(pa[i].param->value, pb[i].param->value) << pa[i].name;
   }
+}
+
+TEST(TrainOptionsTest, DefaultsValidateCleanly) {
+  EXPECT_EQ(SequenceTrainOptions{}.Validate(), "");
+  EXPECT_EQ(CandidatePretrainOptions{}.Validate(), "");
+}
+
+TEST(TrainOptionsTest, ValidateNamesFieldValueAndLegalRange) {
+  SequenceTrainOptions options;
+  options.total_steps = 0;
+  std::string error = options.Validate();
+  EXPECT_NE(error.find("TrainOptions.total_steps"), std::string::npos);
+  EXPECT_NE(error.find("= 0"), std::string::npos);
+
+  options = {};
+  options.learning_rate = -1.0f;
+  EXPECT_NE(options.Validate().find("learning_rate"), std::string::npos);
+
+  options = {};
+  options.validate_every = 0;
+  EXPECT_NE(options.Validate().find("validate_every"), std::string::npos);
+
+  options = {};
+  options.synthetic_fraction = 1.5;
+  EXPECT_NE(options.Validate().find("synthetic_fraction"),
+            std::string::npos);
+}
+
+TEST(TrainOptionsTest, CandidateValidateCoversEachField) {
+  CandidatePretrainOptions options;
+  options.epochs = 0;
+  EXPECT_NE(options.Validate().find("CandidateTrainOptions.epochs"),
+            std::string::npos);
+
+  options = {};
+  options.learning_rate = 0.0f;
+  EXPECT_NE(options.Validate().find("learning_rate"), std::string::npos);
+
+  options = {};
+  options.negatives_per_positive = -1;
+  EXPECT_NE(options.Validate().find("negatives_per_positive"),
+            std::string::npos);
 }
 
 }  // namespace

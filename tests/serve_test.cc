@@ -1,0 +1,342 @@
+// Tests for the batched extraction serving subsystem (src/serve): the
+// bit-identity contract against direct Predict, admission-queue and
+// deadline rejection paths, zero-downtime snapshot hot-swap under
+// concurrent traffic, and the memoization caches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "doc/document.h"
+#include "model/sequence_model.h"
+#include "par/parallel.h"
+#include "serve/cache.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "synth/domains.h"
+#include "synth/generator.h"
+
+namespace fieldswap {
+namespace serve {
+namespace {
+
+std::vector<Document> TestCorpus(int count, uint64_t seed = 91) {
+  return GenerateCorpus(InvoicesSpec(), count, seed, "serve-test");
+}
+
+/// An untrained (random-init, seeded) model: Predict is still a pure
+/// deterministic function of the weights, which is all these tests need.
+SequenceLabelingModel TestModel(uint64_t seed = 5) {
+  SequenceModelConfig config;
+  config.seed = seed;
+  return SequenceLabelingModel(config, InvoicesSpec().Schema());
+}
+
+// ---- LruCache -------------------------------------------------------------
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedAndTracksStats) {
+  LruCache<int> cache(2);
+  cache.Put(1, std::make_shared<const int>(10));
+  cache.Put(2, std::make_shared<const int>(20));
+  ASSERT_NE(cache.Get(1), nullptr);  // refreshes 1; 2 is now LRU
+  cache.Put(3, std::make_shared<const int>(30));
+  EXPECT_EQ(cache.Get(2), nullptr);
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 10);
+  ASSERT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_GE(cache.hits(), 3);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  LruCache<int> cache(2);
+  cache.Put(1, std::make_shared<const int>(10));
+  cache.Put(2, std::make_shared<const int>(20));
+  cache.Put(1, std::make_shared<const int>(11));  // refresh, not insert
+  cache.Put(3, std::make_shared<const int>(30));  // evicts 2, not 1
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, CapacityZeroDisablesCaching) {
+  LruCache<int> cache(0);
+  cache.Put(1, std::make_shared<const int>(10));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- DocContentHash -------------------------------------------------------
+
+TEST(DocContentHashTest, IgnoresIdButSeesContent) {
+  std::vector<Document> docs = TestCorpus(2);
+  Document renamed = docs[0];
+  renamed.set_id("a-completely-different-id");
+  EXPECT_EQ(DocContentHash(docs[0]), DocContentHash(renamed))
+      << "the id never reaches the model, so it must not split the cache";
+  EXPECT_NE(DocContentHash(docs[0]), DocContentHash(docs[1]));
+
+  Document retext = docs[0];
+  retext.mutable_tokens()[0].text += "x";
+  EXPECT_NE(DocContentHash(docs[0]), DocContentHash(retext));
+
+  Document relabeled = docs[0];
+  ASSERT_FALSE(relabeled.mutable_annotations().empty());
+  relabeled.mutable_annotations()[0].field += "x";
+  EXPECT_NE(DocContentHash(docs[0]), DocContentHash(relabeled))
+      << "annotations feed EncodedDoc.labels, so they are content";
+}
+
+// ---- Options / status -----------------------------------------------------
+
+TEST(ServeOptionsTest, ValidateNamesTheBadField) {
+  ServeOptions options;
+  EXPECT_EQ(options.Validate(), "");
+  options.max_batch = 0;
+  EXPECT_NE(options.Validate().find("max_batch"), std::string::npos);
+  options = {};
+  options.queue_capacity = -1;
+  EXPECT_NE(options.Validate().find("queue_capacity"), std::string::npos);
+  options = {};
+  options.default_deadline_ms = -2;
+  EXPECT_NE(options.Validate().find("default_deadline_ms"),
+            std::string::npos);
+}
+
+TEST(ServeStatusTest, Names) {
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kOk), "ok");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kRejectedQueueFull),
+               "rejected_queue_full");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kRejectedDeadline),
+               "rejected_deadline");
+  EXPECT_STREQ(ServeStatusName(ServeStatus::kRejectedShutdown),
+               "rejected_shutdown");
+}
+
+// ---- Bit-identity contract ------------------------------------------------
+
+TEST(ExtractionServerTest, MatchesDirectPredictAtAnyBatchAndThreadCount) {
+  const int prior_threads = par::Threads();
+  SequenceLabelingModel model = TestModel();
+  std::vector<Document> corpus = TestCorpus(8);
+  std::vector<std::vector<EntitySpan>> expected;
+  for (const Document& doc : corpus) expected.push_back(model.Predict(doc));
+
+  for (int batch : {1, 3, 16}) {
+    for (int threads : {1, 4}) {
+      par::SetThreads(threads);
+      ServeOptions options;
+      options.max_batch = batch;
+      ExtractionServer server(MakeSnapshot(model), options);
+      // Two passes: the second is served from the caches and must be just
+      // as identical (memoization, not approximation).
+      for (int pass = 0; pass < 2; ++pass) {
+        std::vector<ExtractResponse> responses = server.ExtractBatch(corpus);
+        ASSERT_EQ(responses.size(), corpus.size());
+        for (size_t i = 0; i < responses.size(); ++i) {
+          EXPECT_EQ(responses[i].status, ServeStatus::kOk);
+          EXPECT_EQ(responses[i].spans, expected[i])
+              << "batch=" << batch << " threads=" << threads
+              << " pass=" << pass << " doc=" << i;
+          EXPECT_EQ(responses[i].doc_id, corpus[i].id());
+        }
+      }
+      server.Shutdown();
+    }
+  }
+  par::SetThreads(prior_threads);
+}
+
+// ---- Rejection paths ------------------------------------------------------
+
+TEST(ExtractionServerTest, QueueFullRejectsInsteadOfBlocking) {
+  std::vector<Document> corpus = TestCorpus(3);
+  ServeOptions options;
+  options.queue_capacity = 2;
+  ExtractionServer server(MakeSnapshot(TestModel()), options);
+
+  int64_t id0 = server.Submit(corpus[0]);
+  int64_t id1 = server.Submit(corpus[1]);
+  EXPECT_EQ(server.queue_depth(), 2);
+  int64_t id2 = server.Submit(corpus[2]);  // over capacity: shed, not block
+
+  ExtractResponse rejected = server.Wait(id2);
+  EXPECT_EQ(rejected.status, ServeStatus::kRejectedQueueFull);
+  EXPECT_NE(rejected.error.find("capacity 2"), std::string::npos);
+  EXPECT_TRUE(rejected.spans.empty());
+
+  EXPECT_EQ(server.Wait(id0).status, ServeStatus::kOk);
+  EXPECT_EQ(server.Wait(id1).status, ServeStatus::kOk);
+  EXPECT_EQ(server.queue_depth(), 0);
+}
+
+TEST(ExtractionServerTest, ExpiredDeadlineRejectsDeterministically) {
+  std::vector<Document> corpus = TestCorpus(2);
+  double fake_now_ms = 0;
+  ServeOptions options;
+  options.clock_ms = [&fake_now_ms] { return fake_now_ms; };
+  ExtractionServer server(MakeSnapshot(TestModel()), options);
+
+  int64_t strict = server.Submit(corpus[0], /*deadline_ms=*/5);
+  int64_t lenient = server.Submit(corpus[1], /*deadline_ms=*/0);  // none
+  fake_now_ms = 100;  // both requests now far past the strict deadline
+
+  ExtractResponse late = server.Wait(strict);
+  EXPECT_EQ(late.status, ServeStatus::kRejectedDeadline);
+  EXPECT_NE(late.error.find("deadline"), std::string::npos);
+  EXPECT_EQ(server.Wait(lenient).status, ServeStatus::kOk);
+}
+
+TEST(ExtractionServerTest, DefaultDeadlineAppliesWhenSubmitDoesNotOverride) {
+  std::vector<Document> corpus = TestCorpus(1);
+  double fake_now_ms = 0;
+  ServeOptions options;
+  options.clock_ms = [&fake_now_ms] { return fake_now_ms; };
+  options.default_deadline_ms = 10;
+  ExtractionServer server(MakeSnapshot(TestModel()), options);
+
+  int64_t id = server.Submit(corpus[0]);  // inherits the 10 ms default
+  fake_now_ms = 50;
+  EXPECT_EQ(server.Wait(id).status, ServeStatus::kRejectedDeadline);
+}
+
+TEST(ExtractionServerTest, ShutdownDrainsQueueAndFailsFast) {
+  std::vector<Document> corpus = TestCorpus(2);
+  ExtractionServer server(MakeSnapshot(TestModel()));
+  int64_t queued = server.Submit(corpus[0]);
+  server.Shutdown();
+  EXPECT_EQ(server.Wait(queued).status, ServeStatus::kRejectedShutdown);
+  EXPECT_EQ(server.queue_depth(), 0);
+  EXPECT_EQ(server.Extract(corpus[1]).status, ServeStatus::kRejectedShutdown);
+  server.Shutdown();  // idempotent
+}
+
+// ---- Caches ---------------------------------------------------------------
+
+TEST(ExtractionServerTest, ResultCacheHitsOnRepeatAndRespectsContentHash) {
+  std::vector<Document> corpus = TestCorpus(1);
+  SequenceLabelingModel model = TestModel();
+  ExtractionServer server(MakeSnapshot(model));
+
+  ExtractResponse first = server.Extract(corpus[0]);
+  EXPECT_EQ(first.status, ServeStatus::kOk);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(first.encoded_cache_hit);
+
+  ExtractResponse second = server.Extract(corpus[0]);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_TRUE(second.encoded_cache_hit);
+  EXPECT_EQ(second.spans, first.spans);
+
+  // Same content under a fresh id still hits (DocContentHash ignores ids).
+  Document renamed = corpus[0];
+  renamed.set_id("resubmitted");
+  EXPECT_TRUE(server.Extract(renamed).cache_hit);
+
+  // Changed content misses.
+  Document retext = corpus[0];
+  retext.mutable_tokens()[0].text += "x";
+  EXPECT_FALSE(server.Extract(retext).cache_hit);
+  EXPECT_EQ(server.result_cache().hits(), 2);
+}
+
+TEST(ExtractionServerTest, EncodedCacheWorksWhenResultCacheDisabled) {
+  std::vector<Document> corpus = TestCorpus(1);
+  SequenceLabelingModel model = TestModel();
+  ServeOptions options;
+  options.result_cache_capacity = 0;
+  ExtractionServer server(MakeSnapshot(model), options);
+
+  ExtractResponse first = server.Extract(corpus[0]);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(first.encoded_cache_hit);
+  ExtractResponse second = server.Extract(corpus[0]);
+  EXPECT_FALSE(second.cache_hit);  // result memoization is off
+  EXPECT_TRUE(second.encoded_cache_hit);
+  EXPECT_EQ(second.spans, model.Predict(corpus[0]));
+}
+
+TEST(ExtractionServerTest, SnapshotSwapNeverServesStaleCacheEntries) {
+  std::vector<Document> corpus = TestCorpus(1);
+  SequenceLabelingModel model_a = TestModel(5);
+  SequenceLabelingModel model_b = TestModel(1234);
+  ExtractionServer server(MakeSnapshot(model_a, "a"));
+
+  ExtractResponse before = server.Extract(corpus[0]);
+  EXPECT_EQ(before.snapshot_version, "a");
+  EXPECT_TRUE(server.Extract(corpus[0]).cache_hit);
+
+  server.SwapSnapshot(MakeSnapshot(model_b, "b"));
+  ExtractResponse after = server.Extract(corpus[0]);
+  EXPECT_EQ(after.snapshot_version, "b");
+  EXPECT_FALSE(after.cache_hit)
+      << "cache keys include the snapshot sequence; a swap must miss";
+  EXPECT_EQ(after.spans, model_b.Predict(corpus[0]));
+}
+
+// ---- Hot swap under concurrency -------------------------------------------
+
+TEST(ExtractionServerTest, HotSwapUnderConcurrentRequestsStaysConsistent) {
+  // Serial par pool: the leader path then runs encode/predict inline in
+  // whichever submitter thread leads, which keeps this test focused on the
+  // server's own locking (and TSan-friendly).
+  const int prior_threads = par::Threads();
+  par::SetThreads(1);
+
+  std::vector<Document> corpus = TestCorpus(6);
+  SequenceLabelingModel model_a = TestModel(5);
+  SequenceLabelingModel model_b = TestModel(1234);
+  std::vector<std::vector<EntitySpan>> expected_a, expected_b;
+  for (const Document& doc : corpus) {
+    expected_a.push_back(model_a.Predict(doc));
+    expected_b.push_back(model_b.Predict(doc));
+  }
+
+  ServeOptions options;
+  options.max_batch = 4;
+  ExtractionServer server(MakeSnapshot(model_a, "a"), options);
+
+  // Every response must be internally consistent: the payload of the
+  // snapshot whose version it reports, never a mix and never stale cache.
+  std::atomic<int> mismatches{0};
+  std::atomic<int> served{0};
+  auto hammer = [&](int worker) {
+    for (int j = 0; j < 20; ++j) {
+      size_t which = static_cast<size_t>(worker * 7 + j) % corpus.size();
+      ExtractResponse response = server.Extract(corpus[which]);
+      if (response.status != ServeStatus::kOk) {
+        ++mismatches;
+        continue;
+      }
+      const std::vector<EntitySpan>& want =
+          response.snapshot_version == "a" ? expected_a[which]
+                                           : expected_b[which];
+      if (response.spans != want) ++mismatches;
+      ++served;
+    }
+  };
+
+  // fslint: allow(no-raw-thread): this test hammers the server from
+  // genuinely concurrent submitters to prove swap safety; par::ParallelFor
+  // would serialize through the very pool under test.
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) workers.emplace_back(hammer, w);
+  server.SwapSnapshot(MakeSnapshot(model_b, "b"));
+  // fslint: allow(no-raw-thread): joining the raw test threads above.
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(served.load(), 80);
+  EXPECT_EQ(server.snapshot()->version(), "b");
+  par::SetThreads(prior_threads);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace fieldswap

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/argparse.h"
 #include "util/hash.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -336,6 +337,74 @@ TEST(TablePrinterTest, CsvOutput) {
   std::ostringstream os;
   table.PrintCsv(os);
   EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ArgParserTest, ParsesTypedFlagsInBothSyntaxes) {
+  util::ArgParser args("prog", "test program");
+  int steps = 0;
+  double rate = 0;
+  std::string domain;
+  bool verbose = false;
+  args.AddInt("steps", 10, "step count", &steps);
+  args.AddDouble("rate", 0.5, "learning rate", &rate);
+  args.AddString("domain", "invoices", "domain name", &domain);
+  args.AddBool("verbose", "chatty output", &verbose);
+  EXPECT_EQ(steps, 10);  // defaults land at registration time
+  EXPECT_EQ(domain, "invoices");
+
+  const char* argv[] = {"prog", "--steps", "25", "--rate=0.125",
+                        "--domain", "paystubs", "--verbose"};
+  ASSERT_TRUE(args.Parse(7, const_cast<char**>(argv)));
+  EXPECT_EQ(steps, 25);
+  EXPECT_EQ(rate, 0.125);
+  EXPECT_EQ(domain, "paystubs");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(ArgParserTest, KeepsDefaultsWhenFlagsAbsent) {
+  util::ArgParser args("prog", "test program");
+  int steps = 0;
+  args.AddInt("steps", 42, "step count", &steps);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(args.Parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(steps, 42);
+}
+
+TEST(ArgParserTest, RejectsUnknownFlagsAndBadValues) {
+  util::ArgParser args("prog", "test program");
+  int steps = 0;
+  args.AddInt("steps", 10, "step count", &steps);
+  const char* unknown[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(args.Parse(3, const_cast<char**>(unknown)));
+  EXPECT_FALSE(args.help_requested());
+
+  util::ArgParser args2("prog", "test program");
+  args2.AddInt("steps", 10, "step count", &steps);
+  const char* banana[] = {"prog", "--steps", "banana"};
+  EXPECT_FALSE(args2.Parse(3, const_cast<char**>(banana)));
+}
+
+TEST(ArgParserTest, HelpPrintsUsageAndStopsParsing) {
+  util::ArgParser args("prog", "test program");
+  int steps = 0;
+  args.AddInt("steps", 10, "step count", &steps);
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(args.Parse(2, const_cast<char**>(argv)));
+  EXPECT_TRUE(args.help_requested());
+  std::string usage = args.Usage();
+  EXPECT_NE(usage.find("--steps"), std::string::npos);
+  EXPECT_NE(usage.find("step count"), std::string::npos);
+}
+
+TEST(ArgParserTest, FillsPositionalsInDeclarationOrder) {
+  util::ArgParser args("prog", "test program");
+  std::string first, second;
+  args.AddPositional("first", "alpha", "first positional", &first);
+  args.AddPositional("second", "beta", "second positional", &second);
+  const char* argv[] = {"prog", "one"};
+  ASSERT_TRUE(args.Parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(first, "one");
+  EXPECT_EQ(second, "beta");  // missing optional keeps its default
 }
 
 TEST(TablePrinterTest, HandlesRaggedRows) {

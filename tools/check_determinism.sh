@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Verifies the src/par determinism contract: the full test suite must pass
-# and a seeded generated corpus must checksum identically whether the
-# parallel layer runs serially (FIELDSWAP_THREADS=1) or on a pool
-# (FIELDSWAP_THREADS=4).
+# Verifies the src/par determinism contract: the full test suite must pass,
+# a seeded generated corpus must checksum identically whether the parallel
+# layer runs serially (FIELDSWAP_THREADS=1) or on a pool
+# (FIELDSWAP_THREADS=4), and the batched extraction server must emit
+# byte-identical JSONL responses at 1 thread / batch 1 vs 8 threads /
+# batch 16.
 #
 # Usage: tools/check_determinism.sh [build_dir]   (default: build)
 #
-# Exits non-zero if either ctest pass fails or the corpus checksums drift.
+# Exits non-zero if any ctest pass fails or any output pair drifts.
 
 set -euo pipefail
 
@@ -41,5 +43,32 @@ if diff "$tmpdir/checksum_1.txt" "$tmpdir/checksum_4.txt"; then
   echo "OK: corpus bit-identical across thread counts"
 else
   echo "FAIL: generated corpus differs between FIELDSWAP_THREADS=1 and 4" >&2
+  exit 1
+fi
+
+SERVE_BIN="$BUILD_DIR/tools/fieldswap_serve"
+if [[ ! -x "$SERVE_BIN" ]]; then
+  echo "error: $SERVE_BIN not built" >&2
+  exit 2
+fi
+
+# Serve leg: the same corpus through the batched ExtractionServer must
+# produce byte-identical JSONL whether it runs serially one document at a
+# time or pooled in large batches (stderr carries the timings; stdout is
+# the determinism contract).
+echo "=== serve responses with FIELDSWAP_THREADS=1, batch 1 ==="
+FIELDSWAP_THREADS=1 "$SERVE_BIN" --domain invoices --generate 12 --batch 1 \
+  --train-docs 12 --train-steps 40 --repeat 2 \
+  > "$tmpdir/serve_serial.jsonl"
+echo "=== serve responses with FIELDSWAP_THREADS=8, batch 16 ==="
+FIELDSWAP_THREADS=8 "$SERVE_BIN" --domain invoices --generate 12 --batch 16 \
+  --train-docs 12 --train-steps 40 --repeat 2 \
+  > "$tmpdir/serve_pooled.jsonl"
+
+echo "=== diffing serve JSONL (1 thread / batch 1 vs 8 threads / batch 16) ==="
+if diff "$tmpdir/serve_serial.jsonl" "$tmpdir/serve_pooled.jsonl"; then
+  echo "OK: served responses bit-identical across threads and batch sizes"
+else
+  echo "FAIL: fieldswap_serve output differs across threads/batch size" >&2
   exit 1
 fi

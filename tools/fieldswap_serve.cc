@@ -1,0 +1,199 @@
+// fieldswap_serve — serve a document corpus through the batched
+// ExtractionServer.
+//
+// Documents come from a JSONL file (--input corpus.jsonl, or '-' for
+// stdin) or are generated synthetically (--generate N). The model is
+// loaded from a checkpoint (--model ckpt.bin, paired with --domain) or
+// quick-trained in-process. One JSON object per document goes to stdout;
+// all timings and serving statistics go to stderr, so stdout is
+// byte-identical for a fixed corpus and seed at any FIELDSWAP_THREADS or
+// batch size (scripts/check_determinism.sh relies on this).
+//
+//   $ fieldswap_serve --domain paystubs --generate 12 --batch 4
+//   $ fieldswap_serve --input corpus.jsonl --model ckpt.bin --repeat 3
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/fieldswap_api.h"
+#include "obs/metrics.h"
+#include "obs/timing.h"
+#include "util/argparse.h"
+
+namespace {
+
+using fieldswap::Document;
+using fieldswap::serve::ExtractResponse;
+
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string ResponseToJson(const Document& doc,
+                           const ExtractResponse& response) {
+  std::ostringstream os;
+  os << "{\"doc\": \"" << EscapeJson(response.doc_id) << "\", \"status\": \""
+     << fieldswap::serve::ServeStatusName(response.status) << "\"";
+  if (!response.error.empty()) {
+    os << ", \"error\": \"" << EscapeJson(response.error) << "\"";
+  }
+  os << ", \"spans\": [";
+  for (size_t i = 0; i < response.spans.size(); ++i) {
+    const fieldswap::EntitySpan& span = response.spans[i];
+    if (i > 0) os << ", ";
+    os << "{\"field\": \"" << EscapeJson(span.field) << "\", \"text\": \""
+       << EscapeJson(doc.TextOf(span)) << "\", \"first_token\": "
+       << span.first_token << ", \"num_tokens\": " << span.num_tokens << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace api = fieldswap::api;
+  namespace obs = fieldswap::obs;
+  namespace serve = fieldswap::serve;
+  namespace util = fieldswap::util;
+
+  util::ArgParser args(
+      "fieldswap_serve",
+      "Serve a JSONL corpus through the batched extraction server "
+      "(responses to stdout, timings to stderr).");
+  std::string domain, input, model_path;
+  int generate = 0, batch = 0, queue = 0, train_docs = 0, train_steps = 0,
+      seed = 0, repeat = 0;
+  double deadline_ms = 0;
+  args.AddString("domain", "invoices",
+                 "synthetic domain (invoices, paystubs, utility_bills)",
+                 &domain);
+  args.AddString("input", "",
+                 "JSONL corpus to serve ('-' reads stdin; empty generates "
+                 "--generate synthetic documents)",
+                 &input);
+  args.AddString("model", "",
+                 "checkpoint to load (must match --domain); empty "
+                 "quick-trains a model in-process",
+                 &model_path);
+  args.AddInt("generate", 8, "documents to generate when --input is empty",
+              &generate);
+  args.AddInt("batch", 16, "max documents coalesced per batch", &batch);
+  args.AddInt("queue", 64, "admission queue capacity", &queue);
+  args.AddDouble("deadline-ms", 0, "per-request deadline (0 = none)",
+                 &deadline_ms);
+  args.AddInt("train-docs", 24,
+              "training corpus size for the in-process model", &train_docs);
+  args.AddInt("train-steps", 120,
+              "training steps for the in-process model", &train_steps);
+  args.AddInt("seed", 17, "corpus and training seed", &seed);
+  args.AddInt("repeat", 1,
+              "serve the corpus this many times (repeats exercise the "
+              "encoded-doc and result caches)",
+              &repeat);
+  if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
+
+  fieldswap::DomainSpec spec = fieldswap::SpecByName(domain);
+  uint64_t seed64 = static_cast<uint64_t>(seed);
+
+  // The corpus to serve.
+  std::vector<Document> docs;
+  if (input.empty()) {
+    docs = fieldswap::GenerateCorpus(spec, generate, seed64 ^ 0x5e7feULL,
+                                     domain + "-serve");
+  } else if (input == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      std::optional<Document> doc = fieldswap::DocumentFromJson(line);
+      if (!doc.has_value()) {
+        std::cerr << "fieldswap_serve: unparsable JSONL document on line "
+                  << (docs.size() + 1) << "\n";
+        return 2;
+      }
+      docs.push_back(std::move(*doc));
+    }
+  } else {
+    std::optional<std::vector<Document>> loaded =
+        fieldswap::LoadCorpusJsonl(input);
+    if (!loaded.has_value()) {
+      std::cerr << "fieldswap_serve: cannot load corpus " << input << "\n";
+      return 2;
+    }
+    docs = std::move(*loaded);
+  }
+  if (docs.empty()) {
+    std::cerr << "fieldswap_serve: no documents to serve\n";
+    return 2;
+  }
+
+  // The model: checkpoint, or a quick in-process train.
+  obs::Stopwatch setup_timer;
+  fieldswap::SequenceLabelingModel model = api::NewModel(domain);
+  if (!model_path.empty()) {
+    if (!api::LoadModel(model_path, model)) {
+      std::cerr << "fieldswap_serve: cannot load checkpoint " << model_path
+                << " (wrong --domain or config?)\n";
+      return 2;
+    }
+  } else {
+    std::vector<Document> train_corpus = fieldswap::GenerateCorpus(
+        spec, train_docs, seed64, domain + "-train");
+    fieldswap::TrainOptions train;
+    train.total_steps = train_steps;
+    train.validate_every = std::min(train.validate_every, train_steps);
+    train.seed = seed64 ^ 0x5eedULL;
+    api::Train(model, train_corpus, {}, train);
+  }
+  std::cerr << "fieldswap_serve: model ready in " << setup_timer.ElapsedMs()
+            << " ms (" << (model_path.empty() ? "in-process training"
+                                              : model_path)
+            << ")\n";
+
+  serve::ServeOptions options;
+  options.max_batch = batch;
+  options.queue_capacity = queue;
+  options.default_deadline_ms = deadline_ms;
+  std::unique_ptr<serve::ExtractionServer> server =
+      api::Serve(std::move(model), options);
+
+  obs::Stopwatch serve_timer;
+  int served = 0;
+  for (int round = 0; round < repeat; ++round) {
+    std::vector<ExtractResponse> responses = server->ExtractBatch(docs);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      std::cout << ResponseToJson(docs[i], responses[i]) << "\n";
+      ++served;
+    }
+  }
+  double elapsed_ms = serve_timer.ElapsedMs();
+
+  fieldswap::obs::MetricsRegistry& metrics = fieldswap::obs::GlobalMetrics();
+  std::cerr << "fieldswap_serve: " << served << " responses in " << elapsed_ms
+            << " ms (" << (elapsed_ms > 0 ? served * 1000.0 / elapsed_ms : 0)
+            << " docs/s), batches="
+            << metrics.CounterValue("fieldswap.serve.batches")
+            << ", result_cache_hits="
+            << metrics.CounterValue("fieldswap.serve.result_cache_hits")
+            << ", encoded_cache_hits="
+            << metrics.CounterValue("fieldswap.serve.encoded_cache_hits")
+            << "\n";
+  return 0;
+}
