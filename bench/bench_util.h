@@ -1,8 +1,6 @@
 #ifndef FIELDSWAP_BENCH_BENCH_UTIL_H_
 #define FIELDSWAP_BENCH_BENCH_UTIL_H_
 
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -11,6 +9,7 @@
 
 #include "api/fieldswap_api.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace fieldswap {
@@ -43,26 +42,44 @@ inline std::string SlugFromArtifact(const std::string& artifact) {
   return slug.empty() ? std::string("bench") : slug;
 }
 
-/// Writes `<slug>.metrics.json`: wall time, peak RSS, and a snapshot of the
-/// global metrics registry — the baseline trajectory future perf PRs diff
-/// against.
-inline void WriteMetricsSidecar() {
-  if (SidecarSlug().empty()) return;
-  std::string path = SidecarSlug() + ".metrics.json";
-  double wall_s = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - BenchStart())
-                      .count();
-  long peak_rss_kb = 0;
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) == 0) peak_rss_kb = usage.ru_maxrss;
+/// Version of the `.metrics.json` sidecar layout every bench binary emits.
+/// v1 was the unversioned {bench, wall_time_s, peak_rss_kb, metrics} shape;
+/// v2 adds this field, the aggregated span profile, and the
+/// `fieldswap.process.*` gauges. tools/bench_trajectory consumes this
+/// schema — bump the number when the layout changes and teach
+/// obs::SummarizeSidecar to read the old one.
+inline constexpr int kSidecarSchemaVersion = 2;
+
+/// Writes the standardized bench sidecar: schema version, wall time, peak
+/// RSS, the full global metrics registry (with `fieldswap.process.*`
+/// gauges sampled at write time), and the deterministic span profile from
+/// the global trace. This is the one writer every bench binary shares —
+/// the per-binary hand-rolled emission it replaced is what made sidecars
+/// impossible to diff.
+inline void WriteBenchSidecar(const std::string& path, const std::string& slug,
+                              double wall_s) {
+  obs::PublishProcessGauges();
+  obs::ProcessStats stats = obs::SampleProcessStats();
   std::ofstream out(path);
   if (!out) return;
-  out << "{\"bench\": \"" << SidecarSlug() << "\", \"wall_time_s\": " << wall_s
-      << ", \"peak_rss_kb\": " << peak_rss_kb
-      << ", \"metrics\": " << obs::GlobalMetrics().ExportJson() << "}\n";
+  out << "{\"schema_version\": " << kSidecarSchemaVersion << ", \"bench\": \""
+      << slug << "\", \"wall_time_s\": " << wall_s
+      << ", \"peak_rss_kb\": " << stats.peak_rss_kb
+      << ", \"metrics\": " << obs::GlobalMetrics().ExportJson()
+      << ", \"profile\": " << obs::BuildGlobalProfile().ToJson() << "}\n";
   if (out) {
     std::cerr << "[bench] wrote metrics sidecar " << path << "\n";
   }
+}
+
+/// At-exit hook armed by PrintBanner: drops `<slug>.metrics.json` next to
+/// the printed artifact.
+inline void WriteMetricsSidecar() {
+  if (SidecarSlug().empty()) return;
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - BenchStart())
+                      .count();
+  WriteBenchSidecar(SidecarSlug() + ".metrics.json", SidecarSlug(), wall_s);
 }
 
 }  // namespace bench_internal

@@ -7,9 +7,44 @@
 #include <benchmark/benchmark.h>
 
 #include "api/internals.h"
+#include "bench_util.h"
+#include "obs/metrics.h"
 
 namespace fieldswap {
 namespace {
+
+/// "BM_Sparsemax/24" -> "BM_Sparsemax_24": kernel names become metric-name
+/// safe tokens under fieldswap.bench.micro.*.
+std::string KernelSlug(const std::string& name) {
+  std::string slug;
+  for (char c : name) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9')) {
+      slug.push_back(c);
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+/// Console output as usual, plus one gauge pair per kernel so the timings
+/// land in the micro_ops sidecar and the BENCH_<n>.json trajectory.
+class SidecarReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      std::string slug = KernelSlug(run.benchmark_name());
+      obs::GaugeSet("fieldswap.bench.micro." + slug + ".real_ns",
+                    run.GetAdjustedRealTime());
+      obs::GaugeSet("fieldswap.bench.micro." + slug + ".cpu_ns",
+                    run.GetAdjustedCPUTime());
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
 
 const Document& EarningsDoc() {
   static const Document* doc = new Document(
@@ -162,3 +197,19 @@ BENCHMARK(BM_FullAugmentationHumanExpert);
 
 }  // namespace
 }  // namespace fieldswap
+
+// Custom main (instead of benchmark_main) so the run is wrapped in the
+// standard bench banner/sidecar machinery: kernel timings are published as
+// fieldswap.bench.micro.<kernel>.{real,cpu}_ns gauges and the at-exit hook
+// writes micro_ops_kernel_timings.metrics.json for tools/bench_trajectory.
+int main(int argc, char** argv) {
+  fieldswap::PrintBanner("Micro ops kernel timings",
+                         "augmentation ops are cheap relative to training; "
+                         "encode/predict kernels dominate serving");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fieldswap::SidecarReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -76,6 +76,10 @@ void Run() {
       [&] { corpus_parallel = GenerateCorpus(spec, docs_count, 42, "par"); });
   report("generate_corpus", gen_serial, gen_parallel,
          CorpusChecksum(corpus_serial) == CorpusChecksum(corpus_parallel));
+  // Corpus-generation rate for the BENCH_<n>.json trajectory (docs/sec on
+  // the pooled configuration).
+  obs::GaugeSet("fieldswap.par.bench.generate_corpus.docs_per_s",
+                gen_parallel > 0 ? docs_count / gen_parallel : 0);
 
   // 2. Document pre-encoding (the TrainSequenceModel encode-pools path).
   SequenceModelConfig model_config;

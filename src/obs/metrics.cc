@@ -40,6 +40,28 @@ std::string FormatNumber(double value) {
 
 }  // namespace
 
+double HistogramQuantile(const HistogramData& hist, double q) {
+  if (hist.count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  double rank = q * static_cast<double>(hist.count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+    cumulative += hist.bucket_counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= hist.bounds.size()) return hist.max;  // overflow bucket
+    double upper = hist.bounds[i];
+    double lower = i == 0 ? std::min(hist.min, upper) : hist.bounds[i - 1];
+    double in_bucket = static_cast<double>(hist.bucket_counts[i]);
+    double frac =
+        in_bucket > 0
+            ? (rank - static_cast<double>(cumulative) + in_bucket) / in_bucket
+            : 1.0;
+    double value = lower + (upper - lower) * frac;
+    return std::min(hist.max, std::max(hist.min, value));
+  }
+  return hist.max;
+}
+
 const std::vector<double>& DefaultLatencyBounds() {
   static const std::vector<double>* bounds = [] {
     auto* b = new std::vector<double>;
@@ -133,7 +155,9 @@ std::string ExportText(const MetricsSnapshot& snapshot) {
     if (hist.count > 0) {
       os << " mean=" << FormatNumber(hist.sum / static_cast<double>(hist.count))
          << " min=" << FormatNumber(hist.min)
-         << " max=" << FormatNumber(hist.max);
+         << " max=" << FormatNumber(hist.max)
+         << " p50=" << FormatNumber(HistogramQuantile(hist, 0.50))
+         << " p99=" << FormatNumber(HistogramQuantile(hist, 0.99));
     }
     os << "\n";
   }
@@ -165,7 +189,12 @@ std::string ExportJson(const MetricsSnapshot& snapshot) {
        << ", \"sum\": " << FormatNumber(hist.sum);
     if (hist.count > 0) {
       os << ", \"min\": " << FormatNumber(hist.min)
-         << ", \"max\": " << FormatNumber(hist.max);
+         << ", \"max\": " << FormatNumber(hist.max)
+         << ", \"mean\": "
+         << FormatNumber(hist.sum / static_cast<double>(hist.count))
+         << ", \"p50\": " << FormatNumber(HistogramQuantile(hist, 0.50))
+         << ", \"p90\": " << FormatNumber(HistogramQuantile(hist, 0.90))
+         << ", \"p99\": " << FormatNumber(HistogramQuantile(hist, 0.99));
     }
     os << ", \"bounds\": [";
     for (size_t i = 0; i < hist.bounds.size(); ++i) {

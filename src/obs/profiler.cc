@@ -1,0 +1,189 @@
+#include "obs/profiler.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "util/json.h"
+
+namespace fieldswap {
+namespace obs {
+namespace {
+
+/// Per-span scratch during the sweep: duration minus direct children.
+struct OpenSpan {
+  size_t index = 0;
+  double end_us = 0;
+};
+
+}  // namespace
+
+const ProfileEntry* ProfileReport::Find(const std::string& name) const {
+  for (const ProfileEntry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+ProfileReport BuildProfile(const std::vector<TraceEvent>& events,
+                           int64_t dropped) {
+  ProfileReport report;
+  report.total_spans = static_cast<int64_t>(events.size());
+  report.dropped_spans = dropped;
+
+  // Group event indices by thread; containment only holds within a thread.
+  std::map<int, std::vector<size_t>> by_tid;
+  for (size_t i = 0; i < events.size(); ++i) {
+    by_tid[events[i].tid].push_back(i);
+  }
+
+  std::vector<double> self_us(events.size(), 0);
+  for (auto& [tid, indices] : by_tid) {
+    // Parents sort before children: earlier start first; at equal starts
+    // the longer span first, then the shallower one (zero-duration spans
+    // can tie on both ts and dur).
+    std::sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      const TraceEvent& ea = events[a];
+      const TraceEvent& eb = events[b];
+      if (ea.ts_us != eb.ts_us) return ea.ts_us < eb.ts_us;
+      if (ea.dur_us != eb.dur_us) return ea.dur_us > eb.dur_us;
+      return ea.depth < eb.depth;
+    });
+    std::vector<OpenSpan> stack;
+    for (size_t i : indices) {
+      const TraceEvent& e = events[i];
+      while (!stack.empty() && stack.back().end_us <= e.ts_us) {
+        stack.pop_back();
+      }
+      self_us[i] = e.dur_us;
+      if (!stack.empty()) {
+        // Direct parent loses this span's duration from its self-time.
+        self_us[stack.back().index] -= e.dur_us;
+      }
+      stack.push_back(OpenSpan{i, e.ts_us + e.dur_us});
+    }
+  }
+
+  std::map<std::string, ProfileEntry> by_name;
+  for (size_t i = 0; i < events.size(); ++i) {
+    ProfileEntry& entry = by_name[events[i].name];
+    entry.name = events[i].name;
+    ++entry.count;
+    entry.total_us += events[i].dur_us;
+    entry.self_us += self_us[i];
+  }
+  report.entries.reserve(by_name.size());
+  for (auto& [name, entry] : by_name) {
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+ProfileReport BuildProfile(const TraceRecorder& recorder) {
+  return BuildProfile(recorder.events(), recorder.dropped());
+}
+
+ProfileReport BuildGlobalProfile() { return BuildProfile(GlobalTrace()); }
+
+std::string ProfileReport::ToText() const {
+  std::ostringstream os;
+  os << "span                                     count   total ms    self ms     avg us\n";
+  os << "-----------------------------------------------------------------------------\n";
+  for (const ProfileEntry& entry : entries) {
+    char line[160];
+    double avg_us =
+        entry.count > 0 ? entry.total_us / static_cast<double>(entry.count) : 0;
+    std::snprintf(line, sizeof(line), "%-40s %6lld %10.3f %10.3f %10.1f\n",
+                  entry.name.c_str(), static_cast<long long>(entry.count),
+                  entry.total_us / 1000.0, entry.self_us / 1000.0, avg_us);
+    os << line;
+  }
+  os << "spans: " << total_spans << " recorded";
+  if (dropped_spans > 0) os << ", " << dropped_spans << " dropped";
+  os << "\n";
+  return os.str();
+}
+
+std::string ProfileReport::ToJson() const {
+  util::JsonValue spans = util::JsonValue::MakeObject();
+  for (const ProfileEntry& entry : entries) {
+    util::JsonValue row = util::JsonValue::MakeObject();
+    row.Set("count", util::JsonValue::MakeNumber(
+                         static_cast<double>(entry.count)));
+    row.Set("total_us", util::JsonValue::MakeNumber(entry.total_us));
+    row.Set("self_us", util::JsonValue::MakeNumber(entry.self_us));
+    spans.Set(entry.name, std::move(row));
+  }
+  util::JsonValue root = util::JsonValue::MakeObject();
+  root.Set("schema_version", util::JsonValue::MakeNumber(1));
+  root.Set("total_spans",
+           util::JsonValue::MakeNumber(static_cast<double>(total_spans)));
+  root.Set("dropped_spans",
+           util::JsonValue::MakeNumber(static_cast<double>(dropped_spans)));
+  root.Set("spans", std::move(spans));
+  return root.Dump();
+}
+
+ProcessStats SampleProcessStats() {
+  ProcessStats stats;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.peak_rss_kb = static_cast<int64_t>(usage.ru_maxrss);
+    stats.user_cpu_s = static_cast<double>(usage.ru_utime.tv_sec) +
+                       static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    stats.system_cpu_s = static_cast<double>(usage.ru_stime.tv_sec) +
+                         static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  }
+  // Current RSS: second field of /proc/self/statm, in pages.
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    long size_pages = 0, resident_pages = 0;
+    if (std::fscanf(statm, "%ld %ld", &size_pages, &resident_pages) == 2) {
+      long page_kb = 4;  // sysconf(_SC_PAGESIZE) / 1024 on every linux ABI
+                         // this repo targets; hard-coding avoids a syscall
+                         // in a sampler that may run hot.
+      stats.current_rss_kb = static_cast<int64_t>(resident_pages * page_kb);
+    }
+    std::fclose(statm);
+  }
+#if defined(__GLIBC__)
+  struct mallinfo2 heap = mallinfo2();
+  stats.heap_in_use_kb = static_cast<int64_t>(heap.uordblks / 1024);
+#endif
+  return stats;
+}
+
+void PublishProcessGauges(MetricsRegistry& registry) {
+  // Allocation watermark: the largest heap_in_use_kb any sample has seen.
+  // Monotonic per process, shared across registries on purpose.
+  static std::atomic<int64_t> heap_watermark_kb{0};
+
+  ProcessStats stats = SampleProcessStats();
+  int64_t seen = heap_watermark_kb.load(std::memory_order_relaxed);
+  while (stats.heap_in_use_kb > seen &&
+         !heap_watermark_kb.compare_exchange_weak(seen, stats.heap_in_use_kb,
+                                                  std::memory_order_relaxed)) {
+  }
+  registry.GaugeSet("fieldswap.process.peak_rss_kb",
+                    static_cast<double>(stats.peak_rss_kb));
+  registry.GaugeSet("fieldswap.process.current_rss_kb",
+                    static_cast<double>(stats.current_rss_kb));
+  registry.GaugeSet("fieldswap.process.heap_in_use_kb",
+                    static_cast<double>(stats.heap_in_use_kb));
+  registry.GaugeSet(
+      "fieldswap.process.heap_watermark_kb",
+      static_cast<double>(heap_watermark_kb.load(std::memory_order_relaxed)));
+  registry.GaugeSet("fieldswap.process.user_cpu_s", stats.user_cpu_s);
+  registry.GaugeSet("fieldswap.process.system_cpu_s", stats.system_cpu_s);
+}
+
+}  // namespace obs
+}  // namespace fieldswap

@@ -1,0 +1,88 @@
+#ifndef FIELDSWAP_OBS_PROFILER_H_
+#define FIELDSWAP_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fieldswap {
+namespace obs {
+
+/// Aggregated statistics for every span sharing one name.
+struct ProfileEntry {
+  std::string name;
+  /// Completed spans with this name, summed across all threads.
+  int64_t count = 0;
+  /// Sum of span durations. Includes time spent in child spans, so the
+  /// column over-counts when spans of the same name nest (recursion).
+  double total_us = 0;
+  /// Sum of durations minus time attributed to *direct* child spans: the
+  /// time this span spent in its own code. Self-times sum to the overall
+  /// traced wall time per thread, which makes this the column to sort by
+  /// when hunting hot spots.
+  double self_us = 0;
+};
+
+/// Deterministic aggregate view of a trace: one entry per span name,
+/// sorted by name so two reports of the same workload diff cleanly
+/// line-for-line (values change, lines never reorder).
+struct ProfileReport {
+  std::vector<ProfileEntry> entries;  // sorted by name
+  int64_t total_spans = 0;
+  int64_t dropped_spans = 0;
+
+  /// Entry lookup; nullptr when the span name never occurred.
+  const ProfileEntry* Find(const std::string& name) const;
+
+  /// Aligned table: name / count / total ms / self ms / avg us. Rows in
+  /// name order.
+  std::string ToText() const;
+
+  /// {"schema_version": 1, "total_spans": N, "dropped_spans": D,
+  ///  "spans": {name: {"count", "total_us", "self_us"}}} with keys sorted.
+  std::string ToJson() const;
+};
+
+/// Builds the aggregate profile from completed spans. Self-time uses an
+/// interval sweep per thread id: a span's direct children are the maximal
+/// spans fully contained in it on the same thread, and their durations are
+/// subtracted from its self-time. The input may be in any order (the
+/// recorder emits children before parents).
+ProfileReport BuildProfile(const std::vector<TraceEvent>& events,
+                           int64_t dropped = 0);
+
+/// Convenience: profile everything a recorder has collected so far
+/// (defaults to the global recorder behind FS_TRACE_SPAN).
+ProfileReport BuildProfile(const TraceRecorder& recorder);
+ProfileReport BuildGlobalProfile();
+
+/// Point-in-time process resource usage. Fields are 0 when the platform
+/// source is unavailable.
+struct ProcessStats {
+  /// Peak resident set size (getrusage ru_maxrss), kilobytes.
+  int64_t peak_rss_kb = 0;
+  /// Current resident set size (/proc/self/statm), kilobytes.
+  int64_t current_rss_kb = 0;
+  /// Bytes currently handed out by malloc (glibc mallinfo2), kilobytes.
+  int64_t heap_in_use_kb = 0;
+  /// CPU time consumed so far.
+  double user_cpu_s = 0;
+  double system_cpu_s = 0;
+};
+
+ProcessStats SampleProcessStats();
+
+/// Samples ProcessStats and publishes it as `fieldswap.process.*` gauges:
+/// peak_rss_kb, current_rss_kb, heap_in_use_kb, heap_watermark_kb (max
+/// heap_in_use_kb seen across calls in this process), user_cpu_s,
+/// system_cpu_s. Call at exit (the bench sidecar writer does) or
+/// periodically from long-running servers.
+void PublishProcessGauges(MetricsRegistry& registry = GlobalMetrics());
+
+}  // namespace obs
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_OBS_PROFILER_H_

@@ -1,0 +1,342 @@
+#include "obs/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace fieldswap {
+namespace obs {
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> SplitDotted(const std::string& key) {
+  std::vector<std::string> tokens;
+  size_t start = 0;
+  while (start <= key.size()) {
+    size_t dot = key.find('.', start);
+    if (dot == std::string::npos) {
+      tokens.push_back(key.substr(start));
+      break;
+    }
+    tokens.push_back(key.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return tokens;
+}
+
+void FlattenInto(const util::JsonValue& value, const std::string& prefix,
+                 std::map<std::string, double>& out) {
+  switch (value.kind()) {
+    case util::JsonValue::Kind::kNumber:
+      out[prefix] = value.number_value();
+      return;
+    case util::JsonValue::Kind::kObject:
+      for (const auto& [key, item] : value.object_items()) {
+        FlattenInto(item, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      return;
+    case util::JsonValue::Kind::kArray: {
+      const std::vector<util::JsonValue>& items = value.array_items();
+      for (size_t i = 0; i < items.size(); ++i) {
+        FlattenInto(items[i], prefix + "." + std::to_string(i), out);
+      }
+      return;
+    }
+    default:
+      return;  // strings/bools/null never become metrics
+  }
+}
+
+double NumberOr(const util::JsonValue& object, const std::string& key,
+                double fallback) {
+  const util::JsonValue* field = object.Find(key);
+  return field != nullptr && field->is_number() ? field->number_value()
+                                                : fallback;
+}
+
+// Smallest absolute worsening worth gating on, by the path's unit token.
+// Sub-millisecond deltas on shared hardware are scheduler noise, not
+// regressions, whatever the ratio says. Rates (speedup/per_s) get no unit
+// floor — their scale varies too much across metrics.
+double UnitFloor(const std::string& dotted_key) {
+  double floor = 0;
+  for (const std::string& token : SplitDotted(dotted_key)) {
+    if (EndsWith(token, "per_s") || EndsWith(token, "per_sec") ||
+        EndsWith(token, "speedup")) {
+      floor = 0;
+    } else if (EndsWith(token, "_ns")) {
+      floor = 500;  // 0.5 us
+    } else if (EndsWith(token, "_us")) {
+      floor = 1000;  // 1 ms
+    } else if (EndsWith(token, "_ms")) {
+      floor = 1.0;
+    } else if (EndsWith(token, "_s") || EndsWith(token, "_sec")) {
+      floor = 0.02;
+    } else if (EndsWith(token, "_kb")) {
+      floor = 1024;  // 1 MB
+    }
+  }
+  return floor;
+}
+
+// Histogram min/max are single extreme observations — the noisiest numbers
+// in the file. They stay recorded but are reported as notes, not gated.
+bool IsExtremeObservation(const std::string& dotted_key) {
+  std::vector<std::string> tokens = SplitDotted(dotted_key);
+  if (tokens.empty()) return false;
+  const std::string& last = tokens.back();
+  return last == "min" || last == "max";
+}
+
+}  // namespace
+
+MetricClass ClassifyMetric(const std::string& dotted_key) {
+  std::vector<std::string> tokens = SplitDotted(dotted_key);
+  if (tokens.empty()) return MetricClass::kExact;
+  // Terminal-token override: structural fields of a histogram/profile are
+  // deterministic even when the metric they describe is a timing.
+  const std::string& last = tokens.back();
+  if (last == "count" || last == "counts" || last == "schema_version" ||
+      last == "index" || last == "threads" || last == "total_spans" ||
+      last == "dropped_spans") {
+    return MetricClass::kExact;
+  }
+  // Array elements of a histogram's bounds/buckets flatten to bare-integer
+  // terminal tokens; both arrays are deterministic.
+  if (tokens.size() >= 2 && !last.empty() &&
+      last.find_first_not_of("0123456789") == std::string::npos) {
+    const std::string& parent = tokens[tokens.size() - 2];
+    if (parent == "bounds" || parent == "buckets") return MetricClass::kExact;
+  }
+  MetricClass result = MetricClass::kExact;
+  for (const std::string& token : tokens) {
+    // Rates first: `docs_per_s` ends in both `per_s` and `_s`, and the
+    // rate reading is the right one.
+    if (EndsWith(token, "speedup") || EndsWith(token, "per_s") ||
+        EndsWith(token, "per_sec")) {
+      result = MetricClass::kHigherIsBetter;
+    } else if (EndsWith(token, "_s") || EndsWith(token, "_ms") ||
+               EndsWith(token, "_us") || EndsWith(token, "_ns") ||
+               EndsWith(token, "_kb") || EndsWith(token, "_sec")) {
+      result = MetricClass::kLowerIsBetter;
+    }
+  }
+  return result;
+}
+
+bool IsVolatileMetric(const std::string& dotted_key) {
+  return ClassifyMetric(dotted_key) != MetricClass::kExact;
+}
+
+std::map<std::string, double> FlattenNumeric(const util::JsonValue& root) {
+  std::map<std::string, double> out;
+  FlattenInto(root, "", out);
+  return out;
+}
+
+std::optional<HistogramData> HistogramFromJson(const util::JsonValue& value) {
+  if (!value.is_object()) return std::nullopt;
+  const util::JsonValue* bounds = value.Find("bounds");
+  const util::JsonValue* buckets = value.Find("buckets");
+  const util::JsonValue* count = value.Find("count");
+  if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+      !buckets->is_array() || count == nullptr || !count->is_number()) {
+    return std::nullopt;
+  }
+  if (buckets->array_items().size() != bounds->array_items().size() + 1) {
+    return std::nullopt;
+  }
+  HistogramData hist;
+  for (const util::JsonValue& b : bounds->array_items()) {
+    if (!b.is_number()) return std::nullopt;
+    hist.bounds.push_back(b.number_value());
+  }
+  for (const util::JsonValue& b : buckets->array_items()) {
+    if (!b.is_number()) return std::nullopt;
+    hist.bucket_counts.push_back(static_cast<int64_t>(b.number_value()));
+  }
+  hist.count = static_cast<int64_t>(count->number_value());
+  hist.sum = NumberOr(value, "sum", 0);
+  hist.min = NumberOr(value, "min", 0);
+  hist.max = NumberOr(value, "max", 0);
+  return hist;
+}
+
+CompareReport CompareTrajectories(const util::JsonValue& baseline,
+                                  const util::JsonValue& candidate,
+                                  const CompareOptions& options) {
+  CompareReport report;
+  std::map<std::string, double> base = FlattenNumeric(baseline);
+  std::map<std::string, double> cand = FlattenNumeric(candidate);
+
+  for (const auto& [key, cand_value] : cand) {
+    (void)cand_value;
+    if (base.find(key) == base.end()) {
+      report.notes.push_back("new metric (not in baseline): " + key);
+    }
+  }
+
+  for (const auto& [key, base_value] : base) {
+    // The point index differs between any two trajectory files by design.
+    if (key == "index") continue;
+    auto it = cand.find(key);
+    if (it == cand.end()) {
+      if (options.fail_on_missing) {
+        MetricDelta delta;
+        delta.key = key;
+        delta.baseline = base_value;
+        delta.reason = "metric missing from candidate";
+        report.regressions.push_back(std::move(delta));
+      } else {
+        report.notes.push_back("metric missing from candidate: " + key);
+      }
+      continue;
+    }
+    ++report.compared_metrics;
+    double cand_value = it->second;
+    MetricClass cls = ClassifyMetric(key);
+    if (cls == MetricClass::kExact) {
+      if (base_value != cand_value && options.fail_on_exact_drift) {
+        MetricDelta delta;
+        delta.key = key;
+        delta.baseline = base_value;
+        delta.candidate = cand_value;
+        delta.reason = "deterministic metric drifted";
+        report.regressions.push_back(std::move(delta));
+      }
+      continue;
+    }
+    double denom = std::max(std::fabs(base_value), 1e-12);
+    double rel = (cand_value - base_value) / denom;
+    double worse_abs = cls == MetricClass::kLowerIsBetter
+                           ? cand_value - base_value
+                           : base_value - cand_value;
+    double worse_rel = cls == MetricClass::kLowerIsBetter ? rel : -rel;
+    double floor = std::max(options.absolute_floor, UnitFloor(key));
+    if (worse_rel > options.tolerance && worse_abs > floor) {
+      if (IsExtremeObservation(key)) {
+        std::ostringstream note;
+        note << "extreme observation worsened (not gated): " << key << " "
+             << base_value << " -> " << cand_value;
+        report.notes.push_back(note.str());
+        continue;
+      }
+      MetricDelta delta;
+      delta.key = key;
+      delta.baseline = base_value;
+      delta.candidate = cand_value;
+      delta.rel_change = rel;
+      // Clamp before rounding: a near-zero baseline makes the ratio
+      // astronomically large, and the message should stay readable.
+      long long pct = std::llround(std::min(worse_rel, 1e4) * 100.0);
+      std::ostringstream reason;
+      reason << (cls == MetricClass::kLowerIsBetter ? "grew" : "dropped")
+             << " " << pct << "% (tolerance "
+             << std::llround(options.tolerance * 100.0) << "%)";
+      delta.reason = reason.str();
+      report.regressions.push_back(std::move(delta));
+    }
+  }
+  std::sort(report.regressions.begin(), report.regressions.end(),
+            [](const MetricDelta& a, const MetricDelta& b) {
+              return a.key < b.key;
+            });
+  report.ok = report.regressions.empty();
+  return report;
+}
+
+std::string CompareReport::ToText() const {
+  std::ostringstream os;
+  for (const MetricDelta& delta : regressions) {
+    os << "REGRESSION " << delta.key << ": " << delta.baseline << " -> "
+       << delta.candidate << " (" << delta.reason << ")\n";
+  }
+  for (const std::string& note : notes) {
+    os << "note: " << note << "\n";
+  }
+  os << (ok ? "OK" : "FAIL") << ": " << compared_metrics
+     << " metrics compared, " << regressions.size() << " regression(s)\n";
+  return os.str();
+}
+
+std::optional<util::JsonValue> SummarizeSidecar(
+    const util::JsonValue& sidecar) {
+  if (!sidecar.is_object()) return std::nullopt;
+  const util::JsonValue* metrics = sidecar.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return std::nullopt;
+
+  util::JsonValue out = util::JsonValue::MakeObject();
+  out.Set("wall_time_s",
+          util::JsonValue::MakeNumber(NumberOr(sidecar, "wall_time_s", 0)));
+  out.Set("peak_rss_kb",
+          util::JsonValue::MakeNumber(NumberOr(sidecar, "peak_rss_kb", 0)));
+
+  for (const char* section : {"counters", "gauges"}) {
+    util::JsonValue copied = util::JsonValue::MakeObject();
+    if (const util::JsonValue* src = metrics->Find(section);
+        src != nullptr && src->is_object()) {
+      for (const auto& [name, item] : src->object_items()) {
+        if (item.is_number()) copied.Set(name, item);
+      }
+    }
+    out.Set(section, std::move(copied));
+  }
+
+  util::JsonValue histograms = util::JsonValue::MakeObject();
+  if (const util::JsonValue* src = metrics->Find("histograms");
+      src != nullptr && src->is_object()) {
+    for (const auto& [name, item] : src->object_items()) {
+      std::optional<HistogramData> hist = HistogramFromJson(item);
+      if (!hist.has_value()) continue;
+      util::JsonValue row = util::JsonValue::MakeObject();
+      row.Set("count", util::JsonValue::MakeNumber(
+                           static_cast<double>(hist->count)));
+      double mean =
+          hist->count > 0 ? hist->sum / static_cast<double>(hist->count) : 0;
+      row.Set("mean", util::JsonValue::MakeNumber(mean));
+      row.Set("p50",
+              util::JsonValue::MakeNumber(HistogramQuantile(*hist, 0.50)));
+      row.Set("p90",
+              util::JsonValue::MakeNumber(HistogramQuantile(*hist, 0.90)));
+      row.Set("p99",
+              util::JsonValue::MakeNumber(HistogramQuantile(*hist, 0.99)));
+      row.Set("max", util::JsonValue::MakeNumber(hist->max));
+      histograms.Set(name, std::move(row));
+    }
+  }
+  out.Set("histograms", std::move(histograms));
+
+  if (const util::JsonValue* profile = sidecar.Find("profile");
+      profile != nullptr && profile->is_object()) {
+    util::JsonValue spans = util::JsonValue::MakeObject();
+    if (const util::JsonValue* src = profile->Find("spans");
+        src != nullptr && src->is_object()) {
+      for (const auto& [name, item] : src->object_items()) {
+        if (!item.is_object()) continue;
+        util::JsonValue row = util::JsonValue::MakeObject();
+        row.Set("count",
+                util::JsonValue::MakeNumber(NumberOr(item, "count", 0)));
+        row.Set("total_us",
+                util::JsonValue::MakeNumber(NumberOr(item, "total_us", 0)));
+        row.Set("self_us",
+                util::JsonValue::MakeNumber(NumberOr(item, "self_us", 0)));
+        spans.Set(name, std::move(row));
+      }
+    }
+    util::JsonValue summarized = util::JsonValue::MakeObject();
+    summarized.Set("total_spans", util::JsonValue::MakeNumber(
+                                      NumberOr(*profile, "total_spans", 0)));
+    summarized.Set("dropped_spans", util::JsonValue::MakeNumber(NumberOr(
+                                        *profile, "dropped_spans", 0)));
+    summarized.Set("spans", std::move(spans));
+    out.Set("profile", std::move(summarized));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace fieldswap

@@ -1,0 +1,110 @@
+#ifndef FIELDSWAP_OBS_TRAJECTORY_H_
+#define FIELDSWAP_OBS_TRAJECTORY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace fieldswap {
+namespace obs {
+
+/// Schema version stamped into every BENCH_<n>.json written by
+/// tools/bench_trajectory. Bump on any structural change and teach the
+/// comparator to read the old shape.
+constexpr int kTrajectorySchemaVersion = 1;
+
+/// How the comparator treats one dotted metric path.
+enum class MetricClass {
+  /// Deterministic value (counters, F1, doc counts): must match exactly.
+  kExact,
+  /// Volatile timing/space metric where smaller is better (wall seconds,
+  /// latency ms, kernel ns, RSS kb): gated with relative tolerance.
+  kLowerIsBetter,
+  /// Volatile rate where bigger is better (speedup, docs_per_s).
+  kHigherIsBetter,
+};
+
+/// Classifies a '.'-joined metric path by its tokens. Tokens ending in
+/// `_s`/`_ms`/`_us`/`_ns`/`_kb`/`_sec` mark the path volatile
+/// lower-is-better; tokens ending in `speedup`, `per_s`, or `per_sec`
+/// mark it volatile higher-is-better (the later token wins, so
+/// `latency_ms.count` stays exact via the `count`/`sum`/`buckets`
+/// terminal-token override). Everything else is exact — the determinism
+/// contract makes that the safe default.
+MetricClass ClassifyMetric(const std::string& dotted_key);
+
+/// True when the path is volatile (timing/space/rate): exactly the fields
+/// whitelisted to differ between two runs of the same build.
+bool IsVolatileMetric(const std::string& dotted_key);
+
+/// Flattens every numeric leaf of a JSON tree into `a.b.c -> value`
+/// (array elements become `path.<index>`). Strings and bools are skipped.
+std::map<std::string, double> FlattenNumeric(const util::JsonValue& root);
+
+/// Reconstructs histogram state from the metrics-export JSON shape
+/// ({"count", "sum", "min", "max", "bounds": [...], "buckets": [...]}).
+/// Returns nullopt when bounds/buckets are missing or inconsistent —
+/// exported bucket data is what lets the comparator gate p99.
+std::optional<HistogramData> HistogramFromJson(const util::JsonValue& value);
+
+struct CompareOptions {
+  /// Allowed relative worsening of volatile metrics before a regression is
+  /// declared (0.35 = 35%).
+  double tolerance = 0.35;
+  /// Absolute worsening below this is never a regression, whatever the
+  /// ratio says (guards noise on tiny or zero baselines, e.g. a CPU-time
+  /// gauge moving 0 -> 0.01 s). The comparator additionally applies a
+  /// built-in per-unit floor (0.5 us for `_ns`, 1 ms for `_us`, 1.0 for
+  /// `_ms`, 0.02 for `_s`, 1 MB for `_kb`) — whichever is larger wins —
+  /// so sub-millisecond scheduler noise never fails the gate. Histogram
+  /// `min`/`max` leaves (single extreme observations) are reported as
+  /// notes, never gated.
+  double absolute_floor = 0.05;
+  /// Exact-class metrics that drift fail the comparison.
+  bool fail_on_exact_drift = true;
+  /// Metrics present in the baseline but absent from the candidate fail
+  /// the comparison (a silently vanished benchmark is not a pass).
+  bool fail_on_missing = true;
+};
+
+struct MetricDelta {
+  std::string key;
+  double baseline = 0;
+  double candidate = 0;
+  /// Signed relative change vs baseline; positive means the value grew.
+  double rel_change = 0;
+  std::string reason;
+};
+
+struct CompareReport {
+  bool ok = true;
+  std::vector<MetricDelta> regressions;  // sorted by key
+  std::vector<std::string> notes;        // non-fatal observations
+  int compared_metrics = 0;
+
+  std::string ToText() const;
+};
+
+/// Compares two trajectory (or any metrics-bearing) JSON documents.
+/// Numeric leaves are matched by dotted path; `git_sha` and other strings
+/// never participate. See CompareOptions for the failure policy.
+CompareReport CompareTrajectories(const util::JsonValue& baseline,
+                                  const util::JsonValue& candidate,
+                                  const CompareOptions& options = {});
+
+/// Collapses one bench sidecar (bench_util.h schema, version >= 2) into
+/// the per-bench object embedded in BENCH_<n>.json: counters and gauges
+/// copy through, histograms reduce to {count, mean, p50, p90, p99, max}
+/// re-derived from their exported bounds+buckets, the profile keeps per-
+/// span {count, total_us, self_us}. Returns nullopt if `sidecar` lacks the
+/// expected shape.
+std::optional<util::JsonValue> SummarizeSidecar(const util::JsonValue& sidecar);
+
+}  // namespace obs
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_OBS_TRAJECTORY_H_

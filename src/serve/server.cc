@@ -139,6 +139,7 @@ ExtractResponse ExtractionServer::Reject(ServeStatus status,
 }
 
 int64_t ExtractionServer::Submit(const Document& doc, double deadline_ms) {
+  obs::Stopwatch admission_timer;
   std::lock_guard<std::mutex> lock(mu_);
   int64_t id = next_id_++;
   if (shutdown_) {
@@ -170,6 +171,8 @@ int64_t ExtractionServer::Submit(const Document& doc, double deadline_ms) {
   obs::CounterAdd("fieldswap.serve.requests");
   obs::GaugeSet("fieldswap.serve.queue_depth",
                 static_cast<double>(queue_.size()));
+  obs::HistogramObserve("fieldswap.serve.stage.admission_ms",
+                        admission_timer.ElapsedMs());
   return id;
 }
 
@@ -194,6 +197,13 @@ void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
                           static_cast<double>(batch.size()),
                           BatchSizeBounds());
     double now = NowMs();
+    // Per-stage breakdown so the profiler/comparator can attribute serve
+    // latency: time spent queued (per request), then encode and predict
+    // stage durations (per batch) below.
+    for (const PendingRequest& request : batch) {
+      obs::HistogramObserve("fieldswap.serve.stage.queue_wait_ms",
+                            now - request.submit_ms);
+    }
 
     // Admission-order triage: expired deadlines reject, result-cache hits
     // complete immediately, the rest go to the model. All cache traffic is
@@ -244,6 +254,7 @@ void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
     }
     if (!to_encode.empty()) {
       FS_TRACE_SPAN("serve.encode");
+      obs::Stopwatch encode_timer;
       std::vector<std::shared_ptr<const EncodedDoc>> fresh =
           par::ParallelMap(to_encode.size(), [&](size_t k) {
             const Document& doc = batch[live[to_encode[k]]].doc;
@@ -254,10 +265,13 @@ void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
         encoded[to_encode[k]] = fresh[k];
         encoded_cache_.Put(keys[live[to_encode[k]]], fresh[k]);
       }
+      obs::HistogramObserve("fieldswap.serve.stage.encode_ms",
+                            encode_timer.ElapsedMs());
     }
 
     if (!live.empty()) {
       FS_TRACE_SPAN("serve.predict");
+      obs::Stopwatch predict_timer;
       std::vector<std::vector<EntitySpan>> predictions =
           par::ParallelMap(live.size(), [&](size_t j) {
             return snapshot->model().PredictEncoded(*encoded[j]);
@@ -272,6 +286,8 @@ void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
         responses[i].snapshot_version = snapshot->version();
         responses[i].doc_id = batch[i].doc.id();
       }
+      obs::HistogramObserve("fieldswap.serve.stage.predict_ms",
+                            predict_timer.ElapsedMs());
     }
 
     double end = NowMs();

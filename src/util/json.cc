@@ -1,0 +1,392 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace fieldswap {
+namespace util {
+namespace {
+
+/// Cursor over the input text; all Parse* helpers advance `pos` past what
+/// they consume and return false (leaving the output untouched) on error.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+  void SkipWhitespace() {
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+  bool Consume(char expected) {
+    if (AtEnd() || text[pos] != expected) return false;
+    ++pos;
+    return true;
+  }
+  bool ConsumeWord(const char* word) {
+    size_t len = 0;
+    while (word[len] != '\0') ++len;
+    if (text.compare(pos, len, word) != 0) return false;
+    pos += len;
+    return true;
+  }
+};
+
+bool ParseValue(Cursor& cur, JsonValue* out, int depth);
+
+bool ParseHex4(Cursor& cur, unsigned* out) {
+  unsigned value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (cur.AtEnd()) return false;
+    char c = cur.text[cur.pos++];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+void AppendUtf8(std::string& out, unsigned code_point) {
+  if (code_point < 0x80) {
+    out.push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+bool ParseString(Cursor& cur, std::string* out) {
+  if (!cur.Consume('"')) return false;
+  std::string value;
+  while (true) {
+    if (cur.AtEnd()) return false;
+    char c = cur.text[cur.pos++];
+    if (c == '"') break;
+    if (c == '\\') {
+      if (cur.AtEnd()) return false;
+      char esc = cur.text[cur.pos++];
+      switch (esc) {
+        case '"': value.push_back('"'); break;
+        case '\\': value.push_back('\\'); break;
+        case '/': value.push_back('/'); break;
+        case 'b': value.push_back('\b'); break;
+        case 'f': value.push_back('\f'); break;
+        case 'n': value.push_back('\n'); break;
+        case 'r': value.push_back('\r'); break;
+        case 't': value.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          if (!ParseHex4(cur, &code)) return false;
+          AppendUtf8(value, code);
+          break;
+        }
+        default:
+          return false;
+      }
+    } else {
+      value.push_back(c);
+    }
+  }
+  *out = std::move(value);
+  return true;
+}
+
+bool ParseNumber(Cursor& cur, double* out) {
+  size_t start = cur.pos;
+  if (!cur.AtEnd() && cur.Peek() == '-') ++cur.pos;
+  while (!cur.AtEnd()) {
+    char c = cur.Peek();
+    if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+        c == '+' || c == '-') {
+      ++cur.pos;
+    } else {
+      break;
+    }
+  }
+  if (cur.pos == start) return false;
+  std::string token = cur.text.substr(start, cur.pos - start);
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end != begin + token.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+constexpr int kMaxDepth = 64;
+
+bool ParseArray(Cursor& cur, JsonValue* out, int depth) {
+  if (!cur.Consume('[')) return false;
+  JsonValue array = JsonValue::MakeArray();
+  cur.SkipWhitespace();
+  if (cur.Consume(']')) {
+    *out = std::move(array);
+    return true;
+  }
+  while (true) {
+    JsonValue item;
+    if (!ParseValue(cur, &item, depth + 1)) return false;
+    array.Append(std::move(item));
+    cur.SkipWhitespace();
+    if (cur.Consume(']')) break;
+    if (!cur.Consume(',')) return false;
+  }
+  *out = std::move(array);
+  return true;
+}
+
+bool ParseObject(Cursor& cur, JsonValue* out, int depth) {
+  if (!cur.Consume('{')) return false;
+  JsonValue object = JsonValue::MakeObject();
+  cur.SkipWhitespace();
+  if (cur.Consume('}')) {
+    *out = std::move(object);
+    return true;
+  }
+  while (true) {
+    cur.SkipWhitespace();
+    std::string key;
+    if (!ParseString(cur, &key)) return false;
+    cur.SkipWhitespace();
+    if (!cur.Consume(':')) return false;
+    JsonValue item;
+    if (!ParseValue(cur, &item, depth + 1)) return false;
+    object.Set(key, std::move(item));
+    cur.SkipWhitespace();
+    if (cur.Consume('}')) break;
+    if (!cur.Consume(',')) return false;
+  }
+  *out = std::move(object);
+  return true;
+}
+
+bool ParseValue(Cursor& cur, JsonValue* out, int depth) {
+  if (depth > kMaxDepth) return false;
+  cur.SkipWhitespace();
+  if (cur.AtEnd()) return false;
+  char c = cur.Peek();
+  if (c == '{') return ParseObject(cur, out, depth);
+  if (c == '[') return ParseArray(cur, out, depth);
+  if (c == '"') {
+    std::string value;
+    if (!ParseString(cur, &value)) return false;
+    *out = JsonValue::MakeString(std::move(value));
+    return true;
+  }
+  if (c == 't') {
+    if (!cur.ConsumeWord("true")) return false;
+    *out = JsonValue::MakeBool(true);
+    return true;
+  }
+  if (c == 'f') {
+    if (!cur.ConsumeWord("false")) return false;
+    *out = JsonValue::MakeBool(false);
+    return true;
+  }
+  if (c == 'n') {
+    if (!cur.ConsumeWord("null")) return false;
+    *out = JsonValue::MakeNull();
+    return true;
+  }
+  double number = 0;
+  if (!ParseNumber(cur, &number)) return false;
+  *out = JsonValue::MakeNumber(number);
+  return true;
+}
+
+void DumpTo(const JsonValue& value, std::string& out, int indent, int level);
+
+void AppendIndent(std::string& out, int indent, int level) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<size_t>(indent) * static_cast<size_t>(level), ' ');
+}
+
+void DumpTo(const JsonValue& value, std::string& out, int indent, int level) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.bool_value() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      out += FormatJsonNumber(value.number_value());
+      return;
+    case JsonValue::Kind::kString:
+      out.push_back('"');
+      out += JsonEscapeString(value.string_value());
+      out.push_back('"');
+      return;
+    case JsonValue::Kind::kArray: {
+      const std::vector<JsonValue>& items = value.array_items();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendIndent(out, indent, level + 1);
+        if (indent < 0 && i > 0) out.push_back(' ');
+        DumpTo(items[i], out, indent, level + 1);
+      }
+      AppendIndent(out, indent, level);
+      out.push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      const std::map<std::string, JsonValue>& items = value.object_items();
+      if (items.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : items) {
+        if (!first) out.push_back(',');
+        AppendIndent(out, indent, level + 1);
+        if (indent < 0 && !first) out.push_back(' ');
+        first = false;
+        out.push_back('"');
+        out += JsonEscapeString(key);
+        out += "\": ";
+        DumpTo(item, out, indent, level + 1);
+      }
+      AppendIndent(out, indent, level);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+std::optional<JsonValue> JsonValue::Parse(const std::string& text) {
+  Cursor cur{text};
+  JsonValue value;
+  if (!ParseValue(cur, &value, 0)) return std::nullopt;
+  cur.SkipWhitespace();
+  if (!cur.AtEnd()) return std::nullopt;
+  return value;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue value) {
+  kind_ = Kind::kObject;
+  object_[key] = std::move(value);
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  kind_ = Kind::kArray;
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, out, indent, 0);
+  return out;
+}
+
+std::string FormatJsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  double rounded = std::nearbyint(value);
+  if (rounded == value && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+  return std::string(buf, ptr);
+}
+
+std::string JsonEscapeString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace fieldswap

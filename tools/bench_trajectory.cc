@@ -1,0 +1,293 @@
+// bench_trajectory — record and gate the performance trajectory.
+//
+// Record mode runs the bench suite (micro_ops, par_scaling,
+// serve_throughput, attack_sweep), collects each binary's standardized
+// `.metrics.json` sidecar (schema v2: metrics registry + span profile +
+// process gauges), and emits one schema-versioned BENCH_<n>.json at the
+// repo root: throughput, latency histogram summaries (p50/p90/p99 derived
+// from exported bucket bounds+counts), kernel timings, corpus-gen rates,
+// peak RSS, git SHA, and thread count. Object keys are sorted and numbers
+// format shortest-round-trip, so two BENCH files from the same build are
+// bit-identical except for the whitelisted timing fields
+// (obs::IsVolatileMetric).
+//
+// Compare mode diffs two trajectory files and exits nonzero on regression:
+// volatile metrics (wall seconds, latency ms, kernel ns, RSS kb, speedups)
+// may move within --tolerance; everything else is covered by the
+// determinism contract and must match exactly. Wired next to
+// check_determinism.sh as a pre-merge gate via tools/check_perf.sh.
+//
+//   $ build/tools/bench_trajectory --out BENCH_1.json
+//   $ build/tools/bench_trajectory --compare BENCH_1.json BENCH_2.json
+//
+// Extra FIELDSWAP_* env knobs are inherited by the bench children, so a
+// quick trajectory (e.g. FIELDSWAP_ATTACK_TRAIN_DOCS=12) just needs the
+// variables set when recording BOTH points being compared.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trajectory.h"
+#include "util/argparse.h"
+#include "util/json.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using fieldswap::obs::CompareOptions;
+using fieldswap::obs::CompareReport;
+using fieldswap::util::JsonValue;
+
+struct BenchSpec {
+  const char* name;     // suite name and workdir component
+  const char* binary;   // path under the build dir
+  const char* sidecar;  // file the binary drops in its cwd
+  // False when the binary's iteration count is timing-driven (Google
+  // benchmark calibrates how often each kernel runs), which makes every
+  // count-dependent section of the sidecar — counters, histograms, span
+  // profile — nondeterministic across runs. Only wall time, peak RSS,
+  // and gauges (last-write-wins) survive into the trajectory file then.
+  bool deterministic_counts;
+};
+
+// The bench suite in trajectory order. Sidecar names are the PrintBanner
+// artifact slugs — a renamed banner must be mirrored here.
+const BenchSpec kSuite[] = {
+    {"micro_ops", "bench/micro_ops",
+     "micro_ops_kernel_timings.metrics.json", false},
+    {"par_scaling", "bench/par_scaling",
+     "parallel_scaling_src_par_hot_paths.metrics.json", true},
+    {"serve_throughput", "bench/serve_throughput",
+     "serving_throughput_batched_extractionserver.metrics.json", true},
+    {"attack_sweep", "bench/attack_sweep",
+     "attack_sweep_f1_degradation_under_form_attacks.metrics.json", true},
+};
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::optional<JsonValue> LoadJsonFile(const std::string& path) {
+  std::optional<std::string> text = ReadFile(path);
+  if (!text.has_value()) {
+    std::cerr << "bench_trajectory: cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::optional<JsonValue> parsed = JsonValue::Parse(*text);
+  if (!parsed.has_value()) {
+    std::cerr << "bench_trajectory: " << path << " is not valid JSON\n";
+  }
+  return parsed;
+}
+
+std::string GitSha() {
+  std::FILE* pipe = popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {0};
+  std::string sha;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    for (char* p = buf; *p != '\0'; ++p) {
+      if (*p == '\n' || *p == '\r') break;
+      sha.push_back(*p);
+    }
+  }
+  pclose(pipe);
+  return sha.size() == 40 ? sha : std::string("unknown");
+}
+
+bool RunBench(const BenchSpec& spec, const fs::path& build_dir,
+              const fs::path& repo_data_dir, int threads, JsonValue* out) {
+  fs::path workdir = build_dir / "bench_trajectory" / spec.name;
+  std::error_code ec;
+  fs::create_directories(workdir, ec);
+  if (ec) {
+    std::cerr << "bench_trajectory: cannot create " << workdir << "\n";
+    return false;
+  }
+  // Benches resolve cached models at data/ relative to their cwd; point
+  // the workdir at the repo's data directory so runs share the cache.
+  fs::path data_link = workdir / "data";
+  if (!fs::exists(data_link, ec)) {
+    fs::create_directory_symlink(repo_data_dir, data_link, ec);
+  }
+  fs::path sidecar = workdir / spec.sidecar;
+  fs::remove(sidecar, ec);
+
+  fs::path binary = build_dir / spec.binary;
+  if (!fs::exists(binary)) {
+    std::cerr << "bench_trajectory: " << binary
+              << " not built (cmake --build first)\n";
+    return false;
+  }
+  std::ostringstream cmd;
+  cmd << "cd '" << workdir.string() << "' && FIELDSWAP_THREADS=" << threads
+      << " '" << fs::absolute(binary).string() << "' > bench.log 2>&1";
+  std::cerr << "[bench_trajectory] running " << spec.name << "...\n";
+  int status = std::system(cmd.str().c_str());
+  bool exited_clean = status != -1 && WIFEXITED(status) &&
+                      WEXITSTATUS(status) == 0;
+  if (!exited_clean) {
+    std::cerr << "bench_trajectory: " << spec.name << " failed; see "
+              << (workdir / "bench.log") << "\n";
+    return false;
+  }
+  std::optional<JsonValue> parsed = LoadJsonFile(sidecar.string());
+  if (!parsed.has_value()) return false;
+  std::optional<JsonValue> summary = fieldswap::obs::SummarizeSidecar(*parsed);
+  if (!summary.has_value()) {
+    std::cerr << "bench_trajectory: " << sidecar
+              << " does not match the sidecar schema\n";
+    return false;
+  }
+  if (!spec.deterministic_counts) {
+    JsonValue trimmed = JsonValue::MakeObject();
+    for (const char* key : {"wall_time_s", "peak_rss_kb", "gauges"}) {
+      if (const JsonValue* field = summary->Find(key); field != nullptr) {
+        trimmed.Set(key, *field);
+      }
+    }
+    *summary = std::move(trimmed);
+  }
+  *out = std::move(*summary);
+  return true;
+}
+
+int Record(const std::string& build, const std::string& out_path, int index,
+           int threads, const std::string& only) {
+  fs::path build_dir(build);
+  fs::path repo_data_dir = fs::absolute("data");
+
+  JsonValue benches = JsonValue::MakeObject();
+  for (const BenchSpec& spec : kSuite) {
+    if (!only.empty() && only.find(spec.name) == std::string::npos) {
+      std::cerr << "[bench_trajectory] skipping " << spec.name
+                << " (not in --only)\n";
+      continue;
+    }
+    JsonValue summary;
+    if (!RunBench(spec, build_dir, repo_data_dir, threads, &summary)) {
+      return 2;
+    }
+    benches.Set(spec.name, std::move(summary));
+  }
+  if (benches.object_items().empty()) {
+    std::cerr << "bench_trajectory: --only matched no benches\n";
+    return 2;
+  }
+
+  // Derive the trajectory index from the BENCH_<n>.json filename when the
+  // flag was left at 0.
+  if (index == 0) {
+    std::string stem = fs::path(out_path).stem().string();
+    size_t underscore = stem.rfind('_');
+    if (underscore != std::string::npos) {
+      const std::string digits = stem.substr(underscore + 1);
+      if (!digits.empty() &&
+          digits.find_first_not_of("0123456789") == std::string::npos) {
+        index = static_cast<int>(std::strtol(digits.c_str(), nullptr, 10));
+      }
+    }
+  }
+
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("schema_version",
+           JsonValue::MakeNumber(fieldswap::obs::kTrajectorySchemaVersion));
+  root.Set("kind", JsonValue::MakeString("fieldswap-bench-trajectory"));
+  root.Set("index", JsonValue::MakeNumber(index));
+  root.Set("git_sha", JsonValue::MakeString(GitSha()));
+  root.Set("threads", JsonValue::MakeNumber(threads));
+  root.Set("benches", std::move(benches));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "bench_trajectory: cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << root.Dump(2) << "\n";
+  std::cerr << "[bench_trajectory] wrote " << out_path << "\n";
+  return 0;
+}
+
+int Compare(const std::string& baseline_path, const std::string& candidate_path,
+            double tolerance, double absolute_floor) {
+  std::optional<JsonValue> baseline = LoadJsonFile(baseline_path);
+  std::optional<JsonValue> candidate = LoadJsonFile(candidate_path);
+  if (!baseline.has_value() || !candidate.has_value()) return 2;
+
+  CompareOptions options;
+  options.tolerance = tolerance;
+  options.absolute_floor = absolute_floor;
+  CompareReport report =
+      fieldswap::obs::CompareTrajectories(*baseline, *candidate, options);
+  std::cout << "comparing " << baseline_path << " (baseline) vs "
+            << candidate_path << " (candidate), tolerance "
+            << static_cast<int>(tolerance * 100.0) << "%\n";
+  std::cout << report.ToText();
+  return report.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace util = fieldswap::util;
+  util::ArgParser args(
+      "bench_trajectory",
+      "Record a BENCH_<n>.json performance-trajectory point from the bench "
+      "suite, or compare two trajectory files and fail on regression.");
+  std::string build, out_path, only, baseline, candidate;
+  bool compare = false;
+  int index = 0, threads = 0;
+  double tolerance = 0, absolute_floor = 0;
+  args.AddString("build-dir", "build", "CMake build directory", &build);
+  args.AddString("out", "BENCH_1.json",
+                 "trajectory file to write (record mode)", &out_path);
+  args.AddInt("index", 0,
+              "trajectory point index (0 = derive from the --out filename)",
+              &index);
+  args.AddInt("threads", 4,
+              "FIELDSWAP_THREADS for the bench children (recorded in the "
+              "file; compare like against like)",
+              &threads);
+  args.AddString("only", "",
+                 "comma-separated subset of benches to run "
+                 "(micro_ops,par_scaling,serve_throughput,attack_sweep)",
+                 &only);
+  args.AddBool("compare",
+               "compare two trajectory files instead of recording", &compare);
+  args.AddDouble("tolerance", 0.35,
+                 "allowed relative worsening of volatile (timing) metrics",
+                 &tolerance);
+  args.AddDouble("absolute-floor", 0.05,
+                 "ignore volatile regressions smaller than this absolute "
+                 "delta (in the metric's own unit; guards zero baselines)",
+                 &absolute_floor);
+  args.AddPositional("baseline", "", "baseline BENCH file (compare mode)",
+                     &baseline);
+  args.AddPositional("candidate", "", "candidate BENCH file (compare mode)",
+                     &candidate);
+  if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
+
+  if (compare) {
+    if (baseline.empty() || candidate.empty()) {
+      std::cerr << "bench_trajectory: --compare needs two positional "
+                   "trajectory files\n"
+                << args.Usage();
+      return 2;
+    }
+    return Compare(baseline, candidate, tolerance, absolute_floor);
+  }
+  return Record(build, out_path, index, threads, only);
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Pre-merge performance gate (third leg of the trio next to
+# check_determinism.sh and check_sanitizers.sh): records a fresh
+# performance-trajectory point with tools/bench_trajectory and compares it
+# against the checked-in baseline (BENCH_<n>.json with the highest n at the
+# repo root). Exits nonzero when
+#   - a deterministic metric drifted (counters, F1, span/batch counts), or
+#   - a volatile metric (wall time, latency p99, kernel ns, peak RSS)
+#     regressed beyond the tolerance.
+#
+# Usage: tools/check_perf.sh [build_dir] [tolerance]
+#   build_dir  default: build
+#   tolerance  default: 0.75 — generous because shared CI boxes are noisy;
+#              tighten locally when chasing a specific regression.
+#
+# Record the NEXT checked-in trajectory point after an intentional perf
+# change with:
+#   build/tools/bench_trajectory --out BENCH_<n+1>.json
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TOLERANCE="${2:-0.75}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+TRAJECTORY_BIN="$BUILD_DIR/tools/bench_trajectory"
+if [[ ! -x "$TRAJECTORY_BIN" ]]; then
+  echo "error: $TRAJECTORY_BIN not built; run cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j first" >&2
+  exit 2
+fi
+
+# Baseline = highest-numbered checked-in BENCH_<n>.json.
+BASELINE="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
+if [[ -z "$BASELINE" ]]; then
+  echo "error: no BENCH_*.json baseline at the repo root" >&2
+  exit 2
+fi
+
+# Interference noise is one-sided (a loaded box only slows things down),
+# so a candidate that fails gets one fresh recording before the gate
+# fails. Deterministic-metric drift is unaffected: it reproduces in every
+# attempt by definition.
+for attempt in 1 2; do
+  CANDIDATE="$BUILD_DIR/bench_trajectory/candidate_$attempt.json"
+  echo "=== recording candidate trajectory, attempt $attempt (baseline: $BASELINE) ==="
+  "$TRAJECTORY_BIN" --build-dir "$BUILD_DIR" --out "$CANDIDATE" \
+    --index 0 --threads 4
+  echo "=== comparing against $BASELINE (tolerance $TOLERANCE) ==="
+  if "$TRAJECTORY_BIN" --compare "$BASELINE" "$CANDIDATE" \
+      --tolerance "$TOLERANCE"; then
+    echo "OK: no performance regression beyond tolerance"
+    exit 0
+  fi
+done
+
+echo "FAIL: performance trajectory regressed vs $BASELINE (2 attempts)" >&2
+echo "(if the change is intentional, record a new point: $TRAJECTORY_BIN --out BENCH_<n+1>.json)" >&2
+exit 1

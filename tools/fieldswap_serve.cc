@@ -23,6 +23,7 @@
 
 #include "api/fieldswap_api.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/timing.h"
 #include "util/argparse.h"
 
@@ -82,6 +83,7 @@ int main(int argc, char** argv) {
   int generate = 0, batch = 0, queue = 0, train_docs = 0, train_steps = 0,
       seed = 0, repeat = 0;
   double deadline_ms = 0;
+  bool stats = false;
   args.AddString("domain", "invoices",
                  "synthetic domain (invoices, paystubs, utility_bills)",
                  &domain);
@@ -108,6 +110,11 @@ int main(int argc, char** argv) {
               "serve the corpus this many times (repeats exercise the "
               "encoded-doc and result caches)",
               &repeat);
+  args.AddBool("stats",
+               "dump the metrics registry + span profile as one JSON object "
+               "on stderr at exit (stdout stays the deterministic JSONL "
+               "response stream)",
+               &stats);
   if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
 
   fieldswap::DomainSpec spec = fieldswap::SpecByName(domain);
@@ -195,5 +202,14 @@ int main(int argc, char** argv) {
             << ", encoded_cache_hits="
             << metrics.CounterValue("fieldswap.serve.encoded_cache_hits")
             << "\n";
+  if (stats) {
+    // Serve runs become observable without FS_METRICS_FILE/FS_TRACE_FILE
+    // plumbing: one self-describing JSON object on stderr.
+    obs::PublishProcessGauges();
+    std::cerr << "{\"schema_version\": 1, \"metrics\": "
+              << metrics.ExportJson()
+              << ", \"profile\": " << obs::BuildGlobalProfile().ToJson()
+              << "}\n";
+  }
   return 0;
 }
