@@ -59,8 +59,12 @@ AugmentationResult Augment(const std::vector<Document>& originals,
 std::unique_ptr<serve::ExtractionServer> Serve(SequenceLabelingModel model,
                                                serve::ServeOptions options,
                                                std::string version) {
+  // int8 serving needs the quantized plan; building it unconditionally
+  // would tax every float-serving caller, so it follows the flag.
+  const bool with_int8_plan = options.int8_inference;
   return std::make_unique<serve::ExtractionServer>(
-      serve::MakeSnapshot(std::move(model), std::move(version)),
+      serve::MakeSnapshot(std::move(model), std::move(version),
+                          with_int8_plan),
       std::move(options));
 }
 

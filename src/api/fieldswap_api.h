@@ -33,6 +33,7 @@
 #include "model/candidate_model.h"
 #include "model/options.h"
 #include "model/trainer.h"
+#include "nn/kernels.h"
 #include "ocr/line_detector.h"
 #include "par/parallel.h"
 #include "serve/server.h"

@@ -23,6 +23,7 @@
 #include "model/annotators.h"
 #include "nn/autodiff.h"
 #include "nn/ops.h"
+#include "nn/quant.h"
 #include "nn/serialize.h"
 #include "nn/sparsemax.h"
 #include "ocr/noise.h"

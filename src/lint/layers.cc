@@ -92,22 +92,48 @@ bool LayerGraph::Parse(const std::string& manifest, LayerGraph* out,
   return true;
 }
 
+namespace {
+
+/// Longest declared prefix (at '/' boundaries) of `dir`, or "" when no
+/// prefix names a layer. `dir` is a directory path with no trailing slash.
+std::string LongestDeclaredPrefix(
+    const std::string& dir,
+    const std::map<std::string, std::set<std::string>>& allowed) {
+  std::string candidate = dir;
+  while (!candidate.empty()) {
+    if (allowed.count(candidate)) return candidate;
+    size_t slash = candidate.rfind('/');
+    if (slash == std::string::npos) break;
+    candidate.resize(slash);
+  }
+  return "";
+}
+
+}  // namespace
+
 std::string LayerGraph::LayerForPath(const std::string& rel_path) const {
   static const std::string kPrefix = "src/";
+  std::string dir;
   if (rel_path.compare(0, kPrefix.size(), kPrefix) == 0) {
-    size_t slash = rel_path.find('/', kPrefix.size());
-    if (slash == std::string::npos) return "";
-    std::string dir = rel_path.substr(kPrefix.size(), slash - kPrefix.size());
-    return allowed_.count(dir) ? dir : "";
+    size_t last_slash = rel_path.rfind('/');
+    if (last_slash <= kPrefix.size()) return "";
+    dir = rel_path.substr(kPrefix.size(), last_slash - kPrefix.size());
+  } else {
+    // Top-level directories (bench/, examples/, tools/) participate in the
+    // layer graph when the manifest declares them, so the public-surface
+    // policy — only api/serve/obs/util reachable from outside src/ — is
+    // machine-checked rather than a review convention.
+    size_t last_slash = rel_path.rfind('/');
+    if (last_slash == std::string::npos) return "";
+    dir = rel_path.substr(0, last_slash);
   }
-  // Top-level directories (bench/, examples/, tools/) participate in the
-  // layer graph when the manifest declares them, so the public-surface
-  // policy — only api/serve/obs/util reachable from outside src/ — is
-  // machine-checked rather than a review convention.
-  size_t slash = rel_path.find('/');
-  if (slash == std::string::npos) return "";
-  std::string dir = rel_path.substr(0, slash);
-  return allowed_.count(dir) ? dir : "";
+  return LongestDeclaredPrefix(dir, allowed_);
+}
+
+std::string LayerGraph::LayerForInclude(const std::string& include_path) const {
+  size_t last_slash = include_path.rfind('/');
+  if (last_slash == std::string::npos) return "";
+  return LongestDeclaredPrefix(include_path.substr(0, last_slash), allowed_);
 }
 
 bool LayerGraph::IsLayer(const std::string& name) const {

@@ -15,10 +15,15 @@ namespace lint {
 ///   <layer>: <allowed dep> <allowed dep> ...
 ///
 /// A layer may always include itself; every other `#include "<dir>/..."`
-/// whose first path segment names a declared layer must appear in the
-/// layer's allowed list, or fslint reports a `layering` back-edge. The
-/// allowed lists are direct (not transitive) on purpose: every edge a
-/// subsystem actually uses must be spelled out in the manifest.
+/// whose path prefix names a declared layer must appear in the layer's
+/// allowed list, or fslint reports a `layering` back-edge. The allowed
+/// lists are direct (not transitive) on purpose: every edge a subsystem
+/// actually uses must be spelled out in the manifest.
+///
+/// Layers may nest ("nn/kernels" inside "nn"): ownership is decided by the
+/// longest declared prefix, so src/nn/kernels/*.cc belong to "nn/kernels"
+/// while src/nn/kernels.h (a file, not the subdirectory) stays in "nn".
+/// Undeclared nested directories inherit the parent layer.
 class LayerGraph {
  public:
   /// Parses manifest text. Returns false (with a human-readable `error`)
@@ -28,7 +33,13 @@ class LayerGraph {
 
   /// Layer owning `rel_path` ("src/<layer>/..."), or "" for paths outside
   /// src/ and for src/ subdirectories not declared in the manifest.
+  /// Longest declared prefix wins, so nested layers own their subtree.
   std::string LayerForPath(const std::string& rel_path) const;
+
+  /// Layer targeted by an `#include "<path>"`, decided by the longest
+  /// declared prefix of the include's directory part ("nn/kernels/x.h" ->
+  /// "nn/kernels" when declared, else "nn"); "" when no prefix is a layer.
+  std::string LayerForInclude(const std::string& include_path) const;
 
   bool IsLayer(const std::string& name) const;
 

@@ -222,10 +222,11 @@ void RunLayeringRule(const LexedFile& lexed, const std::string& rel_path,
        end;
        it != end; ++it) {
     std::string path = (*it)[1].str();
-    size_t slash = path.find('/');
-    if (slash == std::string::npos) continue;
-    std::string target = path.substr(0, slash);
-    if (!layers.IsLayer(target)) continue;
+    // Longest declared prefix decides the target, so nested layers
+    // ("nn/kernels") guard their internals while "nn/kernels.h" — a file
+    // of the parent layer, not the subdirectory — still resolves to "nn".
+    std::string target = layers.LayerForInclude(path);
+    if (target.empty()) continue;
     if (layers.Allowed(layer, target)) continue;
     size_t offset = static_cast<size_t>(it->position());
     diagnostics->push_back(Diagnostic{

@@ -110,13 +110,29 @@ std::vector<EntitySpan> SequenceLabelingModel::Predict(
 
 std::vector<EntitySpan> SequenceLabelingModel::PredictEncoded(
     const EncodedDoc& encoded) const {
-  Var logits = Logits(encoded);
-  Matrix probs = RowSoftmax(logits->value);
-  const int t = encoded.num_tokens;
+  // Graph-free forward: bit-identical to Logits()->value within a kernel
+  // backend, without the tape allocation (the serve hot path).
+  return DecodeLogits(InferLogits(encoded));
+}
+
+std::vector<EntitySpan> SequenceLabelingModel::PredictEncodedGraph(
+    const EncodedDoc& encoded) const {
+  return DecodeLogits(Logits(encoded)->value);
+}
+
+std::vector<EntitySpan> SequenceLabelingModel::PredictEncodedInt8(
+    const Int8Plan& plan, const EncodedDoc& encoded) const {
+  return DecodeLogits(InferLogitsInt8(plan, encoded));
+}
+
+std::vector<EntitySpan> SequenceLabelingModel::DecodeLogits(
+    const Matrix& logits) const {
+  Matrix probs = RowSoftmax(logits);
+  const int t = logits.rows();
 
   std::vector<int> tags;
   if (config_.use_viterbi_decoding) {
-    tags = ViterbiDecodeBio(logits->value);
+    tags = ViterbiDecodeBio(logits);
   } else {
     // Greedy per-token argmax (the paper's simple readout).
     tags.assign(static_cast<size_t>(t), 0);

@@ -8,6 +8,7 @@
 #include "doc/schema.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
+#include "nn/quant.h"
 #include "util/rng.h"
 
 namespace fieldswap {
@@ -54,6 +55,29 @@ int BioInsideClass(int field_index);
 int BioFieldOf(int class_id);
 bool BioIsBegin(int class_id);
 
+/// Inference-only int8 weights of one Linear: the weight pre-transposed and
+/// per-tensor symmetrically quantized, the bias kept in float.
+struct Int8LinearPlan {
+  QuantizedTensor weight_t;  // [out, in]
+  Matrix bias;               // [1, out]
+};
+
+/// Int8 weights of one transformer block (every GEMM in the block).
+struct Int8BlockPlan {
+  Int8LinearPlan wq, wk, wv, wo, ff1, ff2;
+};
+
+/// Quantized inference plan of a SequenceLabelingModel (ISSUE 7): every
+/// Linear's GEMM runs int8 x int8 -> int32 with per-tensor scales, while
+/// embeddings, LayerNorms, attention softmax, and residual adds stay float.
+/// Built once (at snapshot time); the float model is untouched, so training
+/// and the float serving path are unaffected.
+struct Int8Plan {
+  Int8LinearPlan pos_proj;
+  std::vector<Int8BlockPlan> blocks;
+  Int8LinearPlan head;
+};
+
 /// Sequence labeling model over document tokens: per-token embeddings
 /// (text + shape + projected position), a stack of neighbor-attention
 /// transformer blocks, and a per-token BIO classification head.
@@ -68,6 +92,19 @@ class SequenceLabelingModel {
   /// Forward pass to per-token class logits ([T, C] graph node).
   Var Logits(const EncodedDoc& encoded) const;
 
+  /// Graph-free forward to per-token class logits: the same kernels in the
+  /// same order as Logits(), minus the autodiff tape (no node allocation,
+  /// no value copies), so the result is bit-identical to Logits()->value
+  /// within a kernel backend. This is the serve hot path.
+  Matrix InferLogits(const EncodedDoc& encoded) const;
+
+  /// Builds the int8 inference plan from the current float weights.
+  Int8Plan MakeInt8Plan() const;
+
+  /// Graph-free int8 forward using a MakeInt8Plan() result.
+  Matrix InferLogitsInt8(const Int8Plan& plan,
+                         const EncodedDoc& encoded) const;
+
   /// Cross-entropy training loss for one encoded document.
   Var Loss(const EncodedDoc& encoded) const;
 
@@ -76,12 +113,26 @@ class SequenceLabelingModel {
   /// time (Sec. II-C: constraints are applied at inference, not training).
   std::vector<EntitySpan> Predict(const Document& doc) const;
   std::vector<EntitySpan> PredictEncoded(const EncodedDoc& encoded) const;
+  /// PredictEncoded with the int8 forward instead of the float one. Same
+  /// decode; only the logits differ (by the quantization error bounded in
+  /// tests/kernels_test.cc).
+  std::vector<EntitySpan> PredictEncodedInt8(const Int8Plan& plan,
+                                             const EncodedDoc& encoded) const;
+  /// The pre-kernel serving path, retained as the benchmark baseline and as
+  /// a parity oracle: the autodiff graph forward (Logits) followed by the
+  /// same decode as PredictEncoded. Logits()->value is bit-identical to
+  /// InferLogits() within a kernel backend, so this must return exactly
+  /// what PredictEncoded returns — it is just slower by the tape overhead.
+  std::vector<EntitySpan> PredictEncodedGraph(const EncodedDoc& encoded) const;
 
   const DomainSchema& schema() const { return schema_; }
   const SequenceModelConfig& config() const { return config_; }
   std::vector<NamedParam> Params() const;
 
  private:
+  /// Shared decode tail of every Predict* flavor: softmax, greedy/Viterbi
+  /// tags, span assembly, one-span-per-field constraint.
+  std::vector<EntitySpan> DecodeLogits(const Matrix& logits) const;
   SequenceModelConfig config_;
   DomainSchema schema_;
   int num_classes_ = 1;

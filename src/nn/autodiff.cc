@@ -223,16 +223,16 @@ Var Sigmoid(const Var& a) {
 }
 
 Var MatMul(const Var& a, const Var& b) {
-  Matrix out;
+  Matrix out(a->value.rows(), b->value.cols());
   MatMulInto(a->value, b->value, out);
   return MakeOp(std::move(out), {a, b}, [a, b](Node& self) {
     if (NeedsGrad(a)) {
       a->EnsureGrad();
-      MatMulTransBInto(self.grad, b->value, a->grad);  // dA += dOut * B^T
+      MatMulTransBAccumInto(self.grad, b->value, a->grad);  // dA += dOut * B^T
     }
     if (NeedsGrad(b)) {
       b->EnsureGrad();
-      MatMulTransAInto(a->value, self.grad, b->grad);  // dB += A^T * dOut
+      MatMulTransAAccumInto(a->value, self.grad, b->grad);  // dB += A^T * dOut
     }
   });
 }

@@ -25,6 +25,11 @@ class Linear {
 
   Var Apply(const Var& x) const;
 
+  /// Raw parameter values, for graph-free inference and quantized-plan
+  /// construction (read-only; the tape never sees these reads).
+  const Matrix& weight_value() const { return weight_->value; }
+  const Matrix& bias_value() const { return bias_->value; }
+
   void CollectParams(std::vector<NamedParam>& out) const;
 
  private:
@@ -42,6 +47,7 @@ class Embedding {
   Var Lookup(std::vector<int> ids) const;
   int vocab() const { return table_->value.rows(); }
   int dim() const { return table_->value.cols(); }
+  const Matrix& table_value() const { return table_->value; }
 
   void CollectParams(std::vector<NamedParam>& out) const;
 
@@ -57,6 +63,9 @@ class LayerNormLayer {
   LayerNormLayer(int dim, std::string name);
 
   Var Apply(const Var& x) const { return LayerNorm(x, gain_, bias_); }
+
+  const Matrix& gain_value() const { return gain_->value; }
+  const Matrix& bias_value() const { return bias_->value; }
 
   void CollectParams(std::vector<NamedParam>& out) const;
 
@@ -76,6 +85,17 @@ class TransformerBlock {
 
   /// neighbors[i] lists the rows token i may attend to (include i itself).
   Var Apply(const Var& x, const std::vector<std::vector<int>>& neighbors) const;
+
+  /// Sub-layer access for graph-free inference (model/inference.cc walks
+  /// the same structure Apply() builds on the tape).
+  const LayerNormLayer& ln_attn() const { return ln_attn_; }
+  const Linear& wq() const { return wq_; }
+  const Linear& wk() const { return wk_; }
+  const Linear& wv() const { return wv_; }
+  const Linear& wo() const { return wo_; }
+  const LayerNormLayer& ln_ffn() const { return ln_ffn_; }
+  const Linear& ff1() const { return ff1_; }
+  const Linear& ff2() const { return ff2_; }
 
   void CollectParams(std::vector<NamedParam>& out) const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "nn/kernels/backend.h"
 #include "util/logging.h"
 
 namespace fieldswap {
@@ -82,67 +83,46 @@ std::string Matrix::DebugString() const {
   return os.str();
 }
 
-void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
+namespace {
+
+void CheckMatMulShapes(const Matrix& a, const Matrix& b, const Matrix& out) {
   FS_CHECK_EQ(a.cols(), b.rows());
-  out = Matrix(a.rows(), b.cols());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      // fslint: allow(no-float-equality): exact-zero sparsity skip —
-      // skipping only bit-exact zeros cannot change the product.
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  FS_CHECK_EQ(out.rows(), a.rows());
+  FS_CHECK_EQ(out.cols(), b.cols());
 }
 
-void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix& out) {
+}  // namespace
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  CheckMatMulShapes(a, b, out);
+  nn::ActiveKernels().gemm(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                           b.cols(), /*accumulate=*/false);
+}
+
+void MatMulAccumInto(const Matrix& a, const Matrix& b, Matrix& out) {
+  CheckMatMulShapes(a, b, out);
+  nn::ActiveKernels().gemm(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                           b.cols(), /*accumulate=*/true);
+}
+
+void MatMulTransAAccumInto(const Matrix& a, const Matrix& b, Matrix& out) {
   FS_CHECK_EQ(a.rows(), b.rows());
   FS_CHECK_EQ(out.rows(), a.cols());
   FS_CHECK_EQ(out.cols(), b.cols());
-  const int k = a.rows();
-  const int m = a.cols();
-  const int n = b.cols();
-  for (int p = 0; p < k; ++p) {
-    const float* arow = a.Row(p);
-    const float* brow = b.Row(p);
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      // fslint: allow(no-float-equality): exact-zero sparsity skip —
-      // skipping only bit-exact zeros cannot change the product.
-      if (av == 0.0f) continue;
-      float* orow = out.Row(i);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  nn::ActiveKernels().gemm_trans_a(a.data(), b.data(), out.data(), a.rows(),
+                                   a.cols(), b.cols());
 }
 
-void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix& out) {
+void MatMulTransBAccumInto(const Matrix& a, const Matrix& b, Matrix& out) {
   FS_CHECK_EQ(a.cols(), b.cols());
   FS_CHECK_EQ(out.rows(), a.rows());
   FS_CHECK_EQ(out.cols(), b.rows());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* orow = out.Row(i);
-    for (int j = 0; j < n; ++j) {
-      orow[j] += DotSpan(arow, b.Row(j), k);
-    }
-  }
+  nn::ActiveKernels().gemm_trans_b(a.data(), b.data(), out.data(), a.rows(),
+                                   a.cols(), b.rows());
 }
 
 float DotSpan(const float* a, const float* b, int n) {
-  float sum = 0.0f;
-  for (int i = 0; i < n; ++i) sum += a[i] * b[i];
-  return sum;
+  return nn::ActiveKernels().dot(a, b, n);
 }
 
 }  // namespace fieldswap

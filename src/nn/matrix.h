@@ -76,16 +76,25 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// out = a * b, shapes [m,k] x [k,n] -> [m,n]. `out` is overwritten.
+/// GEMM entry points. One shared contract (ISSUE 7): `out` is always a
+/// caller-prepared matrix of the exact result shape (FS_CHECKed — never
+/// resized here), and whether the product overwrites or accumulates is
+/// explicit in the function name, never implied by buffer state. All four
+/// dispatch to the active kernel backend (see nn/kernels.h).
+
+/// out = a * b, shapes [m,k] x [k,n] -> [m,n]. Overwrites.
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out);
 
-/// out += a^T * b, shapes [k,m]^T x [k,n] -> [m,n]. Accumulates.
-void MatMulTransAInto(const Matrix& a, const Matrix& b, Matrix& out);
+/// out += a * b, shapes [m,k] x [k,n] -> [m,n].
+void MatMulAccumInto(const Matrix& a, const Matrix& b, Matrix& out);
 
-/// out += a * b^T, shapes [m,k] x [n,k]^T -> [m,n]. Accumulates.
-void MatMulTransBInto(const Matrix& a, const Matrix& b, Matrix& out);
+/// out += a^T * b, shapes [k,m]^T x [k,n] -> [m,n].
+void MatMulTransAAccumInto(const Matrix& a, const Matrix& b, Matrix& out);
 
-/// Dot product of two equal-length float spans.
+/// out += a * b^T, shapes [m,k] x [n,k]^T -> [m,n].
+void MatMulTransBAccumInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Dot product of two equal-length float spans (backend-dispatched).
 float DotSpan(const float* a, const float* b, int n);
 
 }  // namespace fieldswap

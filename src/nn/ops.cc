@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels/backend.h"
 #include "util/logging.h"
 
 namespace fieldswap {
@@ -42,29 +43,9 @@ Var LayerNorm(const Var& x, const Var& gain, const Var& bias, float epsilon) {
   auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
   auto normed = std::make_shared<Matrix>(rows, d);
 
-  for (int r = 0; r < rows; ++r) {
-    const float* row = x->value.Row(r);
-    double mean = 0;
-    for (int c = 0; c < d; ++c) mean += row[c];
-    mean /= d;
-    double var = 0;
-    for (int c = 0; c < d; ++c) {
-      double diff = row[c] - mean;
-      var += diff * diff;
-    }
-    var /= d;
-    float is = 1.0f / std::sqrt(static_cast<float>(var) + epsilon);
-    (*inv_std)[static_cast<size_t>(r)] = is;
-    float* nrow = normed->Row(r);
-    float* orow = out.Row(r);
-    const float* g = gain->value.Row(0);
-    const float* b = bias->value.Row(0);
-    for (int c = 0; c < d; ++c) {
-      float n = (row[c] - static_cast<float>(mean)) * is;
-      nrow[c] = n;
-      orow[c] = n * g[c] + b[c];
-    }
-  }
+  nn::ActiveKernels().layer_norm(x->value.data(), gain->value.Row(0),
+                                 bias->value.Row(0), rows, d, epsilon,
+                                 out.data(), normed->data(), inv_std->data());
 
   return MakeFusedOp(
       std::move(out), {x, gain, bias},
@@ -123,28 +104,15 @@ Var NeighborAttention(const Var& q, const Var& k, const Var& v,
   auto nbrs = std::make_shared<std::vector<std::vector<int>>>(
       std::move(neighbors));
 
+  const nn::Kernels& kernels = nn::ActiveKernels();
   for (int i = 0; i < t; ++i) {
     const auto& ns = (*nbrs)[static_cast<size_t>(i)];
     FS_CHECK(!ns.empty()) << "empty neighbor list for row " << i;
     std::vector<float>& a = (*weights)[static_cast<size_t>(i)];
     a.resize(ns.size());
-    const float* qrow = q->value.Row(i);
-    float max_s = -1e30f;
-    for (size_t j = 0; j < ns.size(); ++j) {
-      a[j] = DotSpan(qrow, k->value.Row(ns[j]), d) * inv_sqrt_d;
-      max_s = std::max(max_s, a[j]);
-    }
-    float sum = 0;
-    for (float& s : a) {
-      s = std::exp(s - max_s);
-      sum += s;
-    }
-    float* orow = out.Row(i);
-    for (size_t j = 0; j < ns.size(); ++j) {
-      a[j] /= sum;
-      const float* vrow = v->value.Row(ns[j]);
-      for (int c = 0; c < d; ++c) orow[c] += a[j] * vrow[c];
-    }
+    kernels.attention_row(q->value.Row(i), k->value.data(), v->value.data(),
+                          ns.data(), static_cast<int>(ns.size()), d,
+                          inv_sqrt_d, a.data(), out.Row(i));
   }
 
   return MakeFusedOp(
@@ -156,6 +124,7 @@ Var NeighborAttention(const Var& q, const Var& k, const Var& v,
         if (gq) q->EnsureGrad();
         if (gk) k->EnsureGrad();
         if (gv) v->EnsureGrad();
+        const nn::Kernels& kernels = nn::ActiveKernels();
         std::vector<float> da;
         for (int i = 0; i < t; ++i) {
           const auto& ns = (*nbrs)[static_cast<size_t>(i)];
@@ -165,27 +134,25 @@ Var NeighborAttention(const Var& q, const Var& k, const Var& v,
           float dot_a_da = 0;
           for (size_t j = 0; j < ns.size(); ++j) {
             if (gv) {
-              float* vg = v->grad.Row(ns[j]);
-              for (int c = 0; c < d; ++c) vg[c] += a[j] * grow[c];
+              kernels.axpy(a[j], grow, v->grad.Row(ns[j]), d);
             }
-            da[j] = DotSpan(grow, v->value.Row(ns[j]), d);
+            da[j] = kernels.dot(grow, v->value.Row(ns[j]), d);
             dot_a_da += a[j] * da[j];
           }
           if (!gq && !gk) continue;
           const float* qrow = q->value.Row(i);
           float* qg = gq ? q->grad.Row(i) : nullptr;
+          // Every score gradient is applied unconditionally: skipping
+          // bit-exact zeros would make the executed FLOP sequence
+          // data-dependent, breaking scalar-vs-SIMD comparability (ISSUE 7).
           for (size_t j = 0; j < ns.size(); ++j) {
             float ds = a[j] * (da[j] - dot_a_da) * inv_sqrt_d;
-            // fslint: allow(no-float-equality): exact-zero sparsity skip —
-            // only bit-exact zeros carry no gradient, so == is the point.
-            if (ds == 0.0f) continue;
             const float* krow = k->value.Row(ns[j]);
             if (gq) {
-              for (int c = 0; c < d; ++c) qg[c] += ds * krow[c];
+              kernels.axpy(ds, krow, qg, d);
             }
             if (gk) {
-              float* kg = k->grad.Row(ns[j]);
-              for (int c = 0; c < d; ++c) kg[c] += ds * qrow[c];
+              kernels.axpy(ds, qrow, k->grad.Row(ns[j]), d);
             }
           }
         }
@@ -234,6 +201,11 @@ Var SoftmaxCrossEntropy(const Var& logits, std::vector<int> labels,
           const float* prow = probs->Row(i);
           float* lrow = logits->grad.Row(i);
           int y = labels[static_cast<size_t>(i)];
+          // A row whose true-class probability was clamped in the forward
+          // (p_y < 1e-12) sits on the flat part of -log(max(p, 1e-12)), so
+          // its gradient is exactly zero; the unclamped formula would push
+          // a huge spurious gradient through logits the loss never saw.
+          if (prow[y] < 1e-12f) continue;
           for (int j = 0; j < c; ++j) {
             lrow[j] += w * (prow[j] - (j == y ? 1.0f : 0.0f));
           }
@@ -273,6 +245,43 @@ Var BinaryCrossEntropyWithLogits(const Var& logits,
                                   targets[static_cast<size_t>(i)]);
                        }
                      });
+}
+
+void LayerNormInto(const Matrix& x, const Matrix& gain, const Matrix& bias,
+                   Matrix& out, float epsilon) {
+  FS_CHECK_EQ(gain.rows(), 1);
+  FS_CHECK_EQ(gain.cols(), x.cols());
+  FS_CHECK_EQ(bias.rows(), 1);
+  FS_CHECK_EQ(bias.cols(), x.cols());
+  FS_CHECK_EQ(out.rows(), x.rows());
+  FS_CHECK_EQ(out.cols(), x.cols());
+  nn::ActiveKernels().layer_norm(x.data(), gain.Row(0), bias.Row(0), x.rows(),
+                                 x.cols(), epsilon, out.data(),
+                                 /*normed=*/nullptr, /*inv_std=*/nullptr);
+}
+
+void NeighborAttentionInto(const Matrix& q, const Matrix& k, const Matrix& v,
+                           const std::vector<std::vector<int>>& neighbors,
+                           Matrix& out) {
+  const int t = q.rows();
+  const int d = q.cols();
+  FS_CHECK_EQ(k.cols(), d);
+  FS_CHECK_EQ(v.cols(), d);
+  FS_CHECK_EQ(k.rows(), v.rows());
+  FS_CHECK_EQ(static_cast<int>(neighbors.size()), t);
+  FS_CHECK_EQ(out.rows(), t);
+  FS_CHECK_EQ(out.cols(), d);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+  const nn::Kernels& kernels = nn::ActiveKernels();
+  std::vector<float> weights;
+  for (int i = 0; i < t; ++i) {
+    const auto& ns = neighbors[static_cast<size_t>(i)];
+    FS_CHECK(!ns.empty()) << "empty neighbor list for row " << i;
+    weights.resize(ns.size());
+    kernels.attention_row(q.Row(i), k.data(), v.data(), ns.data(),
+                          static_cast<int>(ns.size()), d, inv_sqrt_d,
+                          weights.data(), out.Row(i));
+  }
 }
 
 Matrix RowSoftmax(const Matrix& logits) {

@@ -38,6 +38,17 @@ Var BinaryCrossEntropyWithLogits(const Var& logits,
 /// differentiable).
 Matrix RowSoftmax(const Matrix& logits);
 
+/// Graph-free fused LayerNorm forward: the exact arithmetic of
+/// LayerNorm(...)->value without the tape. `out` preshaped like `x`.
+void LayerNormInto(const Matrix& x, const Matrix& gain, const Matrix& bias,
+                   Matrix& out, float epsilon = 1e-5f);
+
+/// Graph-free neighbor-attention forward: the exact arithmetic of
+/// NeighborAttention(...)->value without the tape. `out` preshaped [T, d].
+void NeighborAttentionInto(const Matrix& q, const Matrix& k, const Matrix& v,
+                           const std::vector<std::vector<int>>& neighbors,
+                           Matrix& out);
+
 }  // namespace fieldswap
 
 #endif  // FIELDSWAP_NN_OPS_H_

@@ -1,0 +1,72 @@
+#include "nn/quant.h"
+
+#include <cmath>
+
+#include "nn/kernels/backend.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+
+QuantizedTensor QuantizeTransposed(const Matrix& w) {
+  QuantizedTensor q;
+  q.rows = w.cols();
+  q.cols = w.rows();
+  q.data.assign(static_cast<size_t>(q.rows) * q.cols, 0);
+
+  float maxabs = 0.0f;
+  for (float v : w.values()) maxabs = std::max(maxabs, std::fabs(v));
+  q.scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+
+  // Transpose into a float staging row, then quantize with the backend
+  // kernel so scalar and SIMD produce identical bytes.
+  const float inv_scale = 1.0f / q.scale;
+  std::vector<float> staging(static_cast<size_t>(q.cols));
+  const nn::Kernels& kernels = nn::ActiveKernels();
+  for (int r = 0; r < q.rows; ++r) {
+    for (int c = 0; c < q.cols; ++c) {
+      staging[static_cast<size_t>(c)] = w.At(c, r);
+    }
+    kernels.quantize_i8(staging.data(), q.cols, inv_scale,
+                        q.data.data() + static_cast<size_t>(r) * q.cols);
+  }
+  return q;
+}
+
+void QuantizedLinearInto(const Matrix& x, const QuantizedTensor& wt,
+                         const Matrix& bias, Matrix& out) {
+  FS_CHECK_EQ(x.cols(), wt.cols);
+  FS_CHECK_EQ(bias.rows(), 1);
+  FS_CHECK_EQ(bias.cols(), wt.rows);
+  FS_CHECK_EQ(out.rows(), x.rows());
+  FS_CHECK_EQ(out.cols(), wt.rows);
+  const int m = x.rows();
+  const int k = x.cols();
+  const int n = wt.rows;
+  const nn::Kernels& kernels = nn::ActiveKernels();
+
+  float maxabs = 0.0f;
+  for (float v : x.values()) maxabs = std::max(maxabs, std::fabs(v));
+  const float x_scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+
+  // Serving calls this once per Linear per document; thread-local staging
+  // keeps the hot path free of allocator traffic (and stays deterministic —
+  // the buffers carry no state across calls, they are fully overwritten).
+  thread_local std::vector<int8_t> xq;
+  thread_local std::vector<int32_t> acc;
+  xq.resize(static_cast<size_t>(m) * k);
+  acc.resize(static_cast<size_t>(m) * n);
+  kernels.quantize_i8(x.data(), m * k, 1.0f / x_scale, xq.data());
+  kernels.gemm_i8(xq.data(), wt.data.data(), acc.data(), m, k, n);
+
+  const float dequant = x_scale * wt.scale;
+  const float* brow = bias.Row(0);
+  for (int i = 0; i < m; ++i) {
+    const int32_t* arow = acc.data() + static_cast<size_t>(i) * n;
+    float* orow = out.Row(i);
+    for (int j = 0; j < n; ++j) {
+      orow[j] = static_cast<float>(arow[j]) * dequant + brow[j];
+    }
+  }
+}
+
+}  // namespace fieldswap

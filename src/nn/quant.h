@@ -1,0 +1,42 @@
+#ifndef FIELDSWAP_NN_QUANT_H_
+#define FIELDSWAP_NN_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace fieldswap {
+
+/// Per-tensor symmetric int8 quantization (ISSUE 7). Weights are quantized
+/// once (at snapshot construction), activations dynamically per call; both
+/// use one scale per tensor with round-to-nearest-even and values clamped
+/// to [-127, 127], so the representation is symmetric around an exact zero.
+/// The int8 x int8 -> int32 product is exact; the only rounding happens in
+/// quantization and the final dequantize multiply, which makes the whole
+/// path bit-deterministic for fixed inputs on every backend.
+
+/// An int8 tensor with its dequantization scale: float ~= scale * int8.
+struct QuantizedTensor {
+  std::vector<int8_t> data;  // row-major [rows, cols]
+  int rows = 0;
+  int cols = 0;
+  float scale = 1.0f;
+};
+
+/// Quantizes `w` ([in, out]) transposed, producing a [out, in] tensor laid
+/// out for the row-major int8 GEMM (each output channel's weights are
+/// contiguous). scale = maxabs(w) / 127; an all-zero tensor gets scale 1.
+QuantizedTensor QuantizeTransposed(const Matrix& w);
+
+/// out = dequant(quant(x) * wt^T) + bias (row-broadcast), the int8
+/// counterpart of Linear::Apply. `x` is [m, in], `wt` a QuantizeTransposed
+/// result ([out, in]), `bias` [1, out], `out` preshaped [m, out]
+/// (FS_CHECKed). `x` is quantized per-tensor dynamically: one scale from
+/// its max |value|, so the call is a pure function of (x, wt, bias).
+void QuantizedLinearInto(const Matrix& x, const QuantizedTensor& wt,
+                         const Matrix& bias, Matrix& out);
+
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_NN_QUANT_H_

@@ -119,6 +119,10 @@ ExtractionServer::ExtractionServer(
   FS_CHECK(snapshot_ != nullptr) << "ExtractionServer needs a model snapshot";
   std::string error = options_.Validate();
   FS_CHECK(error.empty()) << error;
+  FS_CHECK(!options_.int8_inference || snapshot_->int8_plan() != nullptr)
+      << "ServeOptions.int8_inference is set but snapshot '"
+      << snapshot_->version()
+      << "' has no int8 plan; build it with with_int8_plan=true";
   obs::CounterAdd("fieldswap.serve.servers_started");
 }
 
@@ -274,7 +278,8 @@ void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
       obs::Stopwatch predict_timer;
       std::vector<std::vector<EntitySpan>> predictions =
           par::ParallelMap(live.size(), [&](size_t j) {
-            return snapshot->model().PredictEncoded(*encoded[j]);
+            return snapshot->PredictEncoded(*encoded[j],
+                                            options_.int8_inference);
           });
       for (size_t j = 0; j < live.size(); ++j) {
         size_t i = live[j];
@@ -347,6 +352,10 @@ std::vector<ExtractResponse> ExtractionServer::ExtractBatch(
 void ExtractionServer::SwapSnapshot(
     std::shared_ptr<const ModelSnapshot> snapshot) {
   FS_CHECK(snapshot != nullptr) << "SwapSnapshot needs a model snapshot";
+  FS_CHECK(!options_.int8_inference || snapshot->int8_plan() != nullptr)
+      << "ServeOptions.int8_inference is set but swapped-in snapshot '"
+      << snapshot->version()
+      << "' has no int8 plan; build it with with_int8_plan=true";
   std::lock_guard<std::mutex> lock(mu_);
   snapshot_ = std::move(snapshot);
   obs::CounterAdd("fieldswap.serve.snapshot_swaps");

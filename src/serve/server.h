@@ -71,6 +71,12 @@ struct ServeOptions {
   int result_cache_capacity = 256;
   /// Default per-request deadline in milliseconds; 0 = no deadline.
   double default_deadline_ms = 0;
+  /// Serve with the snapshot's int8-quantized inference plan instead of the
+  /// float forward. Requires snapshots built with with_int8_plan=true
+  /// (FS_CHECKed at construction and on every SwapSnapshot). Responses stay
+  /// deterministic, but differ from the float path by the quantization
+  /// error (bounded by the golden-corpus F1 gate in tests/kernels_test.cc).
+  bool int8_inference = false;
   /// Injectable monotonic clock (milliseconds). Defaults to server uptime.
   /// Tests substitute a fake clock to exercise deadline rejection
   /// deterministically.
@@ -96,11 +102,13 @@ uint64_t DocContentHash(const Document& doc);
 /// on the shared par pool; other waiters block on a condvar until their
 /// response is published.
 ///
-/// Each response is a pure function of (snapshot, document content), so
-/// results are bit-identical to calling `snapshot->model().Predict(doc)`
-/// directly, for any FIELDSWAP_THREADS value, any batch size, and any
-/// interleaving of concurrent submitters (enforced by tests/serve_test.cc).
-/// Caches are memoization only and cannot change payloads.
+/// Each response is a pure function of (snapshot, document content, the
+/// int8_inference flag), so results are bit-identical to calling
+/// `snapshot->model().Predict(doc)` directly (or the snapshot's int8
+/// prediction when int8_inference is set), for any FIELDSWAP_THREADS value,
+/// any batch size, and any interleaving of concurrent submitters (enforced
+/// by tests/serve_test.cc). Caches are memoization only and cannot change
+/// payloads.
 ///
 /// The model snapshot is hot-swappable: SwapSnapshot atomically replaces
 /// the pointer; in-flight batches finish on the snapshot they started with,

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "util/logging.h"
+
 namespace fieldswap {
 namespace serve {
 
@@ -14,13 +16,27 @@ uint64_t NextSequence() {
 
 }  // namespace
 
-ModelSnapshot::ModelSnapshot(SequenceLabelingModel model, std::string version)
+ModelSnapshot::ModelSnapshot(SequenceLabelingModel model, std::string version,
+                             bool with_int8_plan)
     : model_(std::move(model)),
       version_(std::move(version)),
       sequence_(NextSequence()) {
   if (version_.empty()) {
     version_ = "snapshot-" + std::to_string(sequence_);
   }
+  if (with_int8_plan) {
+    int8_plan_ = std::make_unique<const Int8Plan>(model_.MakeInt8Plan());
+  }
+}
+
+std::vector<EntitySpan> ModelSnapshot::PredictEncoded(
+    const EncodedDoc& encoded, bool int8) const {
+  if (!int8) return model_.PredictEncoded(encoded);
+  FS_CHECK(int8_plan_ != nullptr)
+      << "int8 prediction requested on snapshot '" << version_
+      << "' built without an int8 plan; construct it with "
+         "with_int8_plan=true";
+  return model_.PredictEncodedInt8(*int8_plan_, encoded);
 }
 
 }  // namespace serve

@@ -24,8 +24,12 @@ class ModelSnapshot {
  public:
   /// `version` is a human-readable label surfaced in responses ("v1",
   /// "ckpt-2026-08-05", ...); defaults to "snapshot-<sequence>".
-  explicit ModelSnapshot(SequenceLabelingModel model,
-                         std::string version = "");
+  /// `with_int8_plan` additionally quantizes the model's GEMM weights
+  /// (per-tensor symmetric int8) at construction, enabling the int8
+  /// serving path (ServeOptions.int8_inference). The float weights are
+  /// untouched either way.
+  explicit ModelSnapshot(SequenceLabelingModel model, std::string version = "",
+                         bool with_int8_plan = false);
 
   ModelSnapshot(const ModelSnapshot&) = delete;
   ModelSnapshot& operator=(const ModelSnapshot&) = delete;
@@ -34,18 +38,30 @@ class ModelSnapshot {
   const std::string& version() const { return version_; }
   uint64_t sequence() const { return sequence_; }
 
+  /// The quantized inference plan, or null when the snapshot was built
+  /// without one.
+  const Int8Plan* int8_plan() const { return int8_plan_.get(); }
+
+  /// Predicts spans for an encoded document using this snapshot's weights:
+  /// the int8 plan when `int8` is set (FS_CHECKs the plan exists), else the
+  /// float graph-free forward.
+  std::vector<EntitySpan> PredictEncoded(const EncodedDoc& encoded,
+                                         bool int8 = false) const;
+
  private:
   SequenceLabelingModel model_;
   std::string version_;
   uint64_t sequence_ = 0;
+  std::unique_ptr<const Int8Plan> int8_plan_;
 };
 
 /// Convenience wrapper producing the shared-ownership form the server
 /// consumes.
 inline std::shared_ptr<const ModelSnapshot> MakeSnapshot(
-    SequenceLabelingModel model, std::string version = "") {
-  return std::make_shared<const ModelSnapshot>(std::move(model),
-                                               std::move(version));
+    SequenceLabelingModel model, std::string version = "",
+    bool with_int8_plan = false) {
+  return std::make_shared<const ModelSnapshot>(
+      std::move(model), std::move(version), with_int8_plan);
 }
 
 }  // namespace serve

@@ -223,6 +223,32 @@ TEST(GradCheckTest, SoftmaxCrossEntropy) {
   });
 }
 
+TEST(GradCheckTest, SoftmaxCrossEntropyExtremeLogitsMatchesClampedForward) {
+  // Row 0 puts ~exp(-80) on its true class: the forward clamps
+  // p = max(p, 1e-12), so the loss is flat in every logit of that row and
+  // the consistent backward is exactly zero there (ISSUE 7 bugfix — the
+  // unclamped backward reported a huge gradient the forward never sees).
+  // Row 1 is an ordinary row and must keep its usual gradient.
+  Matrix extreme = Matrix::FromValues(
+      2, 3, {40.0f, -40.0f, 0.0f, 0.5f, -0.2f, 0.1f});
+  Var logits = Parameter(extreme);
+  Var loss = SoftmaxCrossEntropy(logits, {1, 2});
+  logits->EnsureGrad();
+  logits->grad.Zero();
+  Backward(loss);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(logits->grad.At(0, c), 0.0f) << "clamped row, col " << c;
+  }
+  EXPECT_NE(logits->grad.At(1, 2), 0.0f) << "ordinary row lost its gradient";
+
+  // Central differences agree: the flat row contributes zero numerically
+  // too, so analytic-vs-numeric holds across the clamp boundary.
+  Var fresh = Parameter(extreme);
+  CheckGradient(fresh, [&](const Var& x) {
+    return SoftmaxCrossEntropy(x, {1, 2});
+  });
+}
+
 TEST(GradCheckTest, SoftmaxCrossEntropyWithClassWeights) {
   Var logits = Parameter(RandomMatrix(3, 4, 38));
   CheckGradient(logits, [&](const Var& x) {

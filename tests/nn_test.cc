@@ -53,7 +53,7 @@ TEST(MatrixTest, Norm) {
 TEST(MatrixTest, MatMulKnownResult) {
   Matrix a = Matrix::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
   Matrix b = Matrix::FromValues(3, 2, {7, 8, 9, 10, 11, 12});
-  Matrix out;
+  Matrix out(2, 2);
   MatMulInto(a, b, out);
   // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154]
   EXPECT_FLOAT_EQ(out.At(0, 0), 58.0f);
@@ -62,18 +62,28 @@ TEST(MatrixTest, MatMulKnownResult) {
   EXPECT_FLOAT_EQ(out.At(1, 1), 154.0f);
 }
 
+TEST(MatrixTest, MatMulIntoOverwritesAndAccumAdds) {
+  Matrix a = Matrix::FromValues(1, 2, {1, 2});
+  Matrix b = Matrix::FromValues(2, 1, {3, 4});
+  Matrix out = Matrix::Full(1, 1, 100.0f);
+  MatMulInto(a, b, out);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 11.0f);  // stale contents discarded
+  MatMulAccumInto(a, b, out);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 22.0f);  // accumulates on request
+}
+
 TEST(MatrixTest, MatMulTransVariantsAgree) {
   Rng rng(5);
   Matrix a = Matrix::Gaussian(4, 3, 1.0f, rng);
   Matrix b = Matrix::Gaussian(4, 5, 1.0f, rng);
-  // a^T * b via MatMulTransAInto vs explicit transpose + MatMulInto.
+  // a^T * b via MatMulTransAAccumInto vs explicit transpose + MatMulInto.
   Matrix out1(3, 5);
-  MatMulTransAInto(a, b, out1);
+  MatMulTransAAccumInto(a, b, out1);
   Matrix at(3, 4);
   for (int r = 0; r < 4; ++r) {
     for (int c = 0; c < 3; ++c) at.At(c, r) = a.At(r, c);
   }
-  Matrix out2;
+  Matrix out2(3, 5);
   MatMulInto(at, b, out2);
   for (int r = 0; r < 3; ++r) {
     for (int c = 0; c < 5; ++c) {

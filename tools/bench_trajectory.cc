@@ -64,6 +64,8 @@ struct BenchSpec {
 const BenchSpec kSuite[] = {
     {"micro_ops", "bench/micro_ops",
      "micro_ops_kernel_timings.metrics.json", false},
+    {"kernel_ops", "bench/kernel_ops",
+     "kernel_ops_simd_backends_int8_serving.metrics.json", true},
     {"par_scaling", "bench/par_scaling",
      "parallel_scaling_src_par_hot_paths.metrics.json", true},
     {"serve_throughput", "bench/serve_throughput",

@@ -4,7 +4,9 @@
 # layer runs serially (FIELDSWAP_THREADS=1) or on a pool
 # (FIELDSWAP_THREADS=4), and the batched extraction server must emit
 # byte-identical JSONL responses at 1 thread / batch 1 vs 8 threads /
-# batch 16.
+# batch 16 — the last check repeated per kernel backend (scalar, avx2,
+# ...): within a backend, thread count and batch size must never change a
+# served byte, in both float and int8 inference.
 #
 # Usage: tools/check_determinism.sh [build_dir]   (default: build)
 #
@@ -55,20 +57,37 @@ fi
 # Serve leg: the same corpus through the batched ExtractionServer must
 # produce byte-identical JSONL whether it runs serially one document at a
 # time or pooled in large batches (stderr carries the timings; stdout is
-# the determinism contract).
-echo "=== serve responses with FIELDSWAP_THREADS=1, batch 1 ==="
-FIELDSWAP_THREADS=1 "$SERVE_BIN" --domain invoices --generate 12 --batch 1 \
-  --train-docs 12 --train-steps 40 --repeat 2 \
-  > "$tmpdir/serve_serial.jsonl"
-echo "=== serve responses with FIELDSWAP_THREADS=8, batch 16 ==="
-FIELDSWAP_THREADS=8 "$SERVE_BIN" --domain invoices --generate 12 --batch 16 \
-  --train-docs 12 --train-steps 40 --repeat 2 \
-  > "$tmpdir/serve_pooled.jsonl"
+# the determinism contract). The contract is per kernel backend — scalar
+# and SIMD may differ from each other by bounded ulps (tests/kernels_test.cc
+# pins the bound), but WITHIN a backend thread count, batch size, and the
+# int8 path must be bit-stable, so the whole pair runs once per available
+# backend and once more for int8 inference on the best backend.
+serve_pair() {
+  local label="$1"; shift
+  echo "=== serve responses [$label] with FIELDSWAP_THREADS=1, batch 1 ==="
+  FIELDSWAP_THREADS=1 "$SERVE_BIN" --domain invoices --generate 12 --batch 1 \
+    --train-docs 12 --train-steps 40 --repeat 2 "$@" \
+    > "$tmpdir/serve_serial.jsonl"
+  echo "=== serve responses [$label] with FIELDSWAP_THREADS=8, batch 16 ==="
+  FIELDSWAP_THREADS=8 "$SERVE_BIN" --domain invoices --generate 12 --batch 16 \
+    --train-docs 12 --train-steps 40 --repeat 2 "$@" \
+    > "$tmpdir/serve_pooled.jsonl"
+  echo "=== diffing serve JSONL [$label] (1 thread/batch 1 vs 8 threads/batch 16) ==="
+  if diff "$tmpdir/serve_serial.jsonl" "$tmpdir/serve_pooled.jsonl"; then
+    echo "OK [$label]: served responses bit-identical across threads and batches"
+  else
+    echo "FAIL [$label]: fieldswap_serve output differs across threads/batch size" >&2
+    exit 1
+  fi
+}
 
-echo "=== diffing serve JSONL (1 thread / batch 1 vs 8 threads / batch 16) ==="
-if diff "$tmpdir/serve_serial.jsonl" "$tmpdir/serve_pooled.jsonl"; then
-  echo "OK: served responses bit-identical across threads and batch sizes"
-else
-  echo "FAIL: fieldswap_serve output differs across threads/batch size" >&2
-  exit 1
-fi
+backends="$("$SERVE_BIN" --list-kernel-backends)"
+echo "=== kernel backends available: $(echo $backends | tr '\n' ' ')==="
+for backend in $backends; do
+  serve_pair "backend=$backend" --kernel-backend "$backend"
+done
+
+# Int8 inference on the best backend (the first listed). Quantization error
+# shifts which spans are predicted, but determinism must hold regardless.
+best_backend="$(echo "$backends" | head -n1)"
+serve_pair "backend=$best_backend,int8" --kernel-backend "$best_backend" --int8

@@ -79,11 +79,11 @@ int main(int argc, char** argv) {
       "fieldswap_serve",
       "Serve a JSONL corpus through the batched extraction server "
       "(responses to stdout, timings to stderr).");
-  std::string domain, input, model_path;
+  std::string domain, input, model_path, kernel_backend;
   int generate = 0, batch = 0, queue = 0, train_docs = 0, train_steps = 0,
       seed = 0, repeat = 0;
   double deadline_ms = 0;
-  bool stats = false;
+  bool stats = false, int8 = false, list_kernel_backends = false;
   args.AddString("domain", "invoices",
                  "synthetic domain (invoices, paystubs, utility_bills)",
                  &domain);
@@ -115,7 +115,33 @@ int main(int argc, char** argv) {
                "on stderr at exit (stdout stays the deterministic JSONL "
                "response stream)",
                &stats);
+  args.AddString("kernel-backend", "",
+                 "compute kernel backend (scalar, avx2, neon; empty/'auto' "
+                 "picks the best available, same as FIELDSWAP_KERNEL_BACKEND)",
+                 &kernel_backend);
+  args.AddBool("list-kernel-backends",
+               "print the kernel backends usable in this process (best "
+               "first) and exit",
+               &list_kernel_backends);
+  args.AddBool("int8",
+               "serve from the snapshot's int8-quantized weights instead of "
+               "the float forward (per-tensor symmetric quantization, built "
+               "at snapshot time)",
+               &int8);
   if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
+
+  if (list_kernel_backends) {
+    for (const std::string& name : fieldswap::nn::AvailableKernelBackends()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (!kernel_backend.empty() &&
+      !fieldswap::nn::SetKernelBackend(kernel_backend)) {
+    std::cerr << "fieldswap_serve: kernel backend '" << kernel_backend
+              << "' is not available here (try --list-kernel-backends)\n";
+    return 2;
+  }
 
   fieldswap::DomainSpec spec = fieldswap::SpecByName(domain);
   uint64_t seed64 = static_cast<uint64_t>(seed);
@@ -178,8 +204,12 @@ int main(int argc, char** argv) {
   options.max_batch = batch;
   options.queue_capacity = queue;
   options.default_deadline_ms = deadline_ms;
+  options.int8_inference = int8;
   std::unique_ptr<serve::ExtractionServer> server =
       api::Serve(std::move(model), options);
+  std::cerr << "fieldswap_serve: kernel backend "
+            << fieldswap::nn::KernelBackendName()
+            << (int8 ? ", int8 inference" : "") << "\n";
 
   obs::Stopwatch serve_timer;
   int served = 0;
