@@ -68,5 +68,35 @@ std::unique_ptr<serve::ExtractionServer> Serve(SequenceLabelingModel model,
       std::move(options));
 }
 
+std::shared_ptr<serve::ModelRegistry> NewRegistry() {
+  return std::make_shared<serve::ModelRegistry>();
+}
+
+uint64_t PublishModel(serve::ModelRegistry& registry,
+                      const std::string& tenant, SequenceLabelingModel model,
+                      std::string version, bool with_int8_plan) {
+  return registry.Publish(
+      tenant, serve::MakeSnapshot(std::move(model), std::move(version),
+                                  with_int8_plan));
+}
+
+std::unique_ptr<serve::MultiTenantServer> ServeTenants(
+    std::shared_ptr<serve::ModelRegistry> registry,
+    serve::ServeOptions options) {
+  return std::make_unique<serve::MultiTenantServer>(std::move(registry),
+                                                    std::move(options));
+}
+
+bool SaveFlatSnapshot(const std::string& path,
+                      const serve::ModelSnapshot& snapshot,
+                      std::string* error) {
+  return serve::WriteFlatSnapshot(path, snapshot, error);
+}
+
+std::shared_ptr<const serve::ModelSnapshot> LoadFlatSnapshot(
+    const std::string& path, std::string* error) {
+  return serve::LoadFlatSnapshot(path, error);
+}
+
 }  // namespace api
 }  // namespace fieldswap

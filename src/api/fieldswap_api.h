@@ -36,8 +36,11 @@
 #include "nn/kernels.h"
 #include "ocr/line_detector.h"
 #include "par/parallel.h"
+#include "serve/flat_snapshot.h"
+#include "serve/registry.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "serve/tenant_server.h"
 #include "synth/domains.h"
 #include "synth/generator.h"
 
@@ -94,6 +97,34 @@ AugmentationResult Augment(const std::vector<Document>& originals,
 std::unique_ptr<serve::ExtractionServer> Serve(
     SequenceLabelingModel model, serve::ServeOptions options = {},
     std::string version = "");
+
+/// Fresh empty tenant registry (multi-tenant serving, ISSUE 8).
+std::shared_ptr<serve::ModelRegistry> NewRegistry();
+
+/// Snapshots a trained model (int8 plan included when `with_int8_plan`)
+/// and publishes it as the tenant's new active version. Returns the
+/// assigned monotonic version number.
+uint64_t PublishModel(serve::ModelRegistry& registry,
+                      const std::string& tenant, SequenceLabelingModel model,
+                      std::string version = "", bool with_int8_plan = false);
+
+/// Multi-tenant front end over a registry: per-tenant quotas,
+/// deficit-round-robin fair batching, cross-tenant batch packing. See
+/// serve/tenant_server.h for the determinism contract.
+std::unique_ptr<serve::MultiTenantServer> ServeTenants(
+    std::shared_ptr<serve::ModelRegistry> registry,
+    serve::ServeOptions options = {});
+
+/// Writes a snapshot to the mmap-able flat format; false with a reason in
+/// `*error` on failure.
+bool SaveFlatSnapshot(const std::string& path,
+                      const serve::ModelSnapshot& snapshot,
+                      std::string* error = nullptr);
+
+/// Maps a flat snapshot back with zero weight copies (weights are views
+/// into the mapping); null with a reason in `*error` on failure.
+std::shared_ptr<const serve::ModelSnapshot> LoadFlatSnapshot(
+    const std::string& path, std::string* error = nullptr);
 
 }  // namespace api
 }  // namespace fieldswap

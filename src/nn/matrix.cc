@@ -42,45 +42,86 @@ Matrix Matrix::FromValues(int rows, int cols, std::vector<float> values) {
   return m;
 }
 
+Matrix Matrix::View(const float* values, int rows, int cols) {
+  FS_CHECK(values != nullptr || rows * cols == 0);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.view_ = values;
+  return m;
+}
+
+float* Matrix::MutableData() {
+  FS_CHECK(view_ == nullptr);  // views are read-only (mmap'd PROT_READ)
+  return data_.data();
+}
+
+const std::vector<float>& Matrix::values() const {
+  FS_CHECK(view_ == nullptr);
+  return data_;
+}
+
 void Matrix::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  float* d = MutableData();
+  std::fill(d, d + size(), value);
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
   FS_CHECK_EQ(rows_, other.rows_);
   FS_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* dst = MutableData();
+  const float* src = other.data();
+  for (size_t i = 0; i < size(); ++i) dst[i] += src[i];
 }
 
 void Matrix::AxpyInPlace(float scale, const Matrix& other) {
   FS_CHECK_EQ(rows_, other.rows_);
   FS_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scale * other.data_[i];
+  float* dst = MutableData();
+  const float* src = other.data();
+  for (size_t i = 0; i < size(); ++i) {
+    dst[i] += scale * src[i];
   }
 }
 
 void Matrix::ScaleInPlace(float scale) {
-  for (float& v : data_) v *= scale;
+  float* d = MutableData();
+  for (size_t i = 0; i < size(); ++i) d[i] *= scale;
 }
 
 float Matrix::Norm() const {
   double ss = 0;
-  for (float v : data_) ss += static_cast<double>(v) * v;
+  const float* d = data();
+  for (size_t i = 0; i < size(); ++i) {
+    ss += static_cast<double>(d[i]) * d[i];
+  }
   return static_cast<float>(std::sqrt(ss));
 }
 
 std::string Matrix::DebugString() const {
   std::ostringstream os;
-  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
-  size_t show = std::min<size_t>(data_.size(), 8);
+  os << "Matrix(" << rows_ << "x" << cols_ << ")"
+     << (view_ != nullptr ? "[view]" : "") << "[";
+  const float* d = data();
+  size_t show = std::min<size_t>(size(), 8);
   for (size_t i = 0; i < show; ++i) {
     if (i > 0) os << ", ";
-    os << data_[i];
+    os << d[i];
   }
-  if (data_.size() > show) os << ", ...";
+  if (size() > show) os << ", ...";
   os << "]";
   return os.str();
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  if (pa == pb) return true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (pa[i] != pb[i]) return false;
+  }
+  return true;
 }
 
 namespace {

@@ -13,6 +13,14 @@ namespace fieldswap {
 /// Vectors are 1xN or Nx1 matrices; scalars are 1x1. Sized for the small
 /// models this reproduction trains (d_model 16-64, <=256 tokens), so all
 /// kernels are simple loops.
+///
+/// A Matrix either owns its storage (the default) or is a read-only *view*
+/// over external row-major floats (Matrix::View). Views exist for the
+/// mmap-able flat-snapshot serving path (serve/flat_snapshot.h): N server
+/// shards map one weight file and every shard's model reads the same
+/// physical pages. Views are shallow-copied (copies alias the same
+/// storage, which must outlive them) and reject every mutating entry
+/// point with an FS_CHECK — a flat-loaded model is inference-only.
 class Matrix {
  public:
   Matrix() = default;
@@ -27,31 +35,41 @@ class Matrix {
   /// Gaussian(0, stddev).
   static Matrix Gaussian(int rows, int cols, float stddev, Rng& rng);
   static Matrix FromValues(int rows, int cols, std::vector<float> values);
+  /// Non-owning read-only view over `rows * cols` external row-major
+  /// floats. The storage must outlive the view and every copy of it.
+  static Matrix View(const float* values, int rows, int cols);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  size_t size() const {
+    return static_cast<size_t>(rows_) * static_cast<size_t>(cols_);
+  }
+  bool empty() const { return size() == 0; }
+  bool is_view() const { return view_ != nullptr; }
 
   float& At(int r, int c) {
-    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
-                 static_cast<size_t>(c)];
+    return MutableData()[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                         static_cast<size_t>(c)];
   }
   float At(int r, int c) const {
-    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
-                 static_cast<size_t>(c)];
+    return data()[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                  static_cast<size_t>(c)];
   }
 
   float* Row(int r) {
-    return data_.data() + static_cast<size_t>(r) * static_cast<size_t>(cols_);
+    return MutableData() + static_cast<size_t>(r) * static_cast<size_t>(cols_);
   }
   const float* Row(int r) const {
-    return data_.data() + static_cast<size_t>(r) * static_cast<size_t>(cols_);
+    return data() + static_cast<size_t>(r) * static_cast<size_t>(cols_);
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  const std::vector<float>& values() const { return data_; }
+  float* data() { return MutableData(); }
+  const float* data() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
+  /// Owned storage only (views FS_CHECK): use data()/size() to read
+  /// storage-agnostically.
+  const std::vector<float>& values() const;
 
   void Fill(float value);
   void Zero() { Fill(0.0f); }
@@ -68,12 +86,20 @@ class Matrix {
 
   std::string DebugString() const;
 
-  friend bool operator==(const Matrix& a, const Matrix& b) = default;
+  /// Deep equality: same shape and element bytes, regardless of whether
+  /// either side owns its storage or views external memory.
+  friend bool operator==(const Matrix& a, const Matrix& b);
 
  private:
+  /// Mutation doorway: every non-const accessor funnels here so a view can
+  /// never be written through (the mapped file is PROT_READ; a stray write
+  /// would be a SIGSEGV at best and silent UB at worst).
+  float* MutableData();
+
   int rows_ = 0;
   int cols_ = 0;
   std::vector<float> data_;
+  const float* view_ = nullptr;  // aliases external storage when non-null
 };
 
 /// GEMM entry points. One shared contract (ISSUE 7): `out` is always a

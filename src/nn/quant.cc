@@ -14,7 +14,10 @@ QuantizedTensor QuantizeTransposed(const Matrix& w) {
   q.data.assign(static_cast<size_t>(q.rows) * q.cols, 0);
 
   float maxabs = 0.0f;
-  for (float v : w.values()) maxabs = std::max(maxabs, std::fabs(v));
+  const float* wd = w.data();
+  for (size_t i = 0; i < w.size(); ++i) {
+    maxabs = std::max(maxabs, std::fabs(wd[i]));
+  }
   q.scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
 
   // Transpose into a float staging row, then quantize with the backend
@@ -45,7 +48,10 @@ void QuantizedLinearInto(const Matrix& x, const QuantizedTensor& wt,
   const nn::Kernels& kernels = nn::ActiveKernels();
 
   float maxabs = 0.0f;
-  for (float v : x.values()) maxabs = std::max(maxabs, std::fabs(v));
+  const float* xd = x.data();
+  for (size_t i = 0; i < x.size(); ++i) {
+    maxabs = std::max(maxabs, std::fabs(xd[i]));
+  }
   const float x_scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
 
   // Serving calls this once per Linear per document; thread-local staging
@@ -56,7 +62,7 @@ void QuantizedLinearInto(const Matrix& x, const QuantizedTensor& wt,
   xq.resize(static_cast<size_t>(m) * k);
   acc.resize(static_cast<size_t>(m) * n);
   kernels.quantize_i8(x.data(), m * k, 1.0f / x_scale, xq.data());
-  kernels.gemm_i8(xq.data(), wt.data.data(), acc.data(), m, k, n);
+  kernels.gemm_i8(xq.data(), wt.ptr(), acc.data(), m, k, n);
 
   const float dequant = x_scale * wt.scale;
   const float* brow = bias.Row(0);

@@ -17,11 +17,21 @@ namespace fieldswap {
 /// path bit-deterministic for fixed inputs on every backend.
 
 /// An int8 tensor with its dequantization scale: float ~= scale * int8.
+/// Owns its bytes by default; `view` (when non-null) aliases external
+/// storage instead — the mmap'd flat-snapshot path (serve/flat_snapshot.h)
+/// points it straight at the mapped file so int8 plans are zero-copy too.
+/// Read elements through ptr(), never `data` directly.
 struct QuantizedTensor {
-  std::vector<int8_t> data;  // row-major [rows, cols]
+  std::vector<int8_t> data;         // row-major [rows, cols] when owned
+  const int8_t* view = nullptr;     // aliases external storage when non-null
   int rows = 0;
   int cols = 0;
   float scale = 1.0f;
+
+  const int8_t* ptr() const { return view != nullptr ? view : data.data(); }
+  size_t size() const {
+    return static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  }
 };
 
 /// Quantizes `w` ([in, out]) transposed, producing a [out, in] tensor laid

@@ -1,0 +1,280 @@
+#include "serve/flat_snapshot.h"
+
+#include <utility>
+#include <vector>
+
+#include "serve/flat/format.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+namespace serve {
+
+namespace {
+
+namespace flat = ::fieldswap::serve::flat;
+using ::fieldswap::util::JsonValue;
+
+constexpr int kMetadataSchemaVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Metadata (config + schema + version label) as canonical JSON.
+
+JsonValue ConfigToJson(const SequenceModelConfig& c) {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("d_model", JsonValue::MakeNumber(c.d_model));
+  j.Set("num_layers", JsonValue::MakeNumber(c.num_layers));
+  j.Set("spatial_neighbors", JsonValue::MakeNumber(c.spatial_neighbors));
+  j.Set("sequence_window", JsonValue::MakeNumber(c.sequence_window));
+  j.Set("text_buckets", JsonValue::MakeNumber(c.text_buckets));
+  j.Set("shape_buckets", JsonValue::MakeNumber(c.shape_buckets));
+  j.Set("max_tokens", JsonValue::MakeNumber(c.max_tokens));
+  j.Set("outside_weight", JsonValue::MakeNumber(c.outside_weight));
+  j.Set("use_viterbi_decoding", JsonValue::MakeBool(c.use_viterbi_decoding));
+  j.Set("seed", JsonValue::MakeNumber(static_cast<double>(c.seed)));
+  return j;
+}
+
+bool ReadInt(const JsonValue& j, const std::string& key, int lo, int hi,
+             int* out) {
+  const JsonValue* v = j.Find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  const double d = v->number_value();
+  if (d < lo || d > hi) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+// Range bounds keep a hostile metadata blob from driving model
+// construction to absurd allocations before tensor validation even runs.
+bool ConfigFromJson(const JsonValue& j, SequenceModelConfig* c) {
+  if (!ReadInt(j, "d_model", 1, 4096, &c->d_model)) return false;
+  if (!ReadInt(j, "num_layers", 0, 64, &c->num_layers)) return false;
+  if (!ReadInt(j, "spatial_neighbors", 0, 4096, &c->spatial_neighbors)) {
+    return false;
+  }
+  if (!ReadInt(j, "sequence_window", 0, 4096, &c->sequence_window)) {
+    return false;
+  }
+  if (!ReadInt(j, "text_buckets", 1, 1 << 24, &c->text_buckets)) return false;
+  if (!ReadInt(j, "shape_buckets", 1, 1 << 24, &c->shape_buckets)) {
+    return false;
+  }
+  if (!ReadInt(j, "max_tokens", 1, 1 << 20, &c->max_tokens)) return false;
+  const JsonValue* ow = j.Find("outside_weight");
+  if (ow == nullptr || !ow->is_number()) return false;
+  c->outside_weight = static_cast<float>(ow->number_value());
+  const JsonValue* viterbi = j.Find("use_viterbi_decoding");
+  if (viterbi == nullptr || !viterbi->is_bool()) return false;
+  c->use_viterbi_decoding = viterbi->bool_value();
+  const JsonValue* seed = j.Find("seed");
+  if (seed == nullptr || !seed->is_number()) return false;
+  c->seed = static_cast<uint64_t>(seed->number_value());
+  return true;
+}
+
+JsonValue SchemaToJson(const DomainSchema& schema) {
+  JsonValue j = JsonValue::MakeObject();
+  j.Set("domain", JsonValue::MakeString(schema.domain()));
+  JsonValue fields = JsonValue::MakeArray();
+  for (const FieldSpec& f : schema.fields()) {
+    JsonValue fj = JsonValue::MakeObject();
+    fj.Set("name", JsonValue::MakeString(f.name));
+    fj.Set("type", JsonValue::MakeString(std::string(FieldTypeName(f.type))));
+    fj.Set("frequency", JsonValue::MakeNumber(f.frequency));
+    fields.Append(std::move(fj));
+  }
+  j.Set("fields", std::move(fields));
+  return j;
+}
+
+bool SchemaFromJson(const JsonValue& j, DomainSchema* schema) {
+  const JsonValue* domain = j.Find("domain");
+  const JsonValue* fields = j.Find("fields");
+  if (domain == nullptr || !domain->is_string() || fields == nullptr ||
+      !fields->is_array()) {
+    return false;
+  }
+  std::vector<FieldSpec> specs;
+  specs.reserve(fields->array_items().size());
+  for (const JsonValue& fj : fields->array_items()) {
+    const JsonValue* name = fj.Find("name");
+    const JsonValue* type = fj.Find("type");
+    const JsonValue* freq = fj.Find("frequency");
+    if (name == nullptr || !name->is_string() || type == nullptr ||
+        !type->is_string() || freq == nullptr || !freq->is_number()) {
+      return false;
+    }
+    std::optional<FieldType> parsed = ParseFieldType(type->string_value());
+    if (!parsed.has_value()) return false;
+    FieldSpec spec;
+    spec.name = name->string_value();
+    spec.type = *parsed;
+    spec.frequency = freq->number_value();
+    specs.push_back(std::move(spec));
+  }
+  *schema = DomainSchema(domain->string_value(), std::move(specs));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Int8 plan slot enumeration. Writer and loader must agree on tensor names,
+// so both walk the plan through this single function: one callback per
+// Linear with its flat-file name prefix ("<prefix>.wt" holds the quantized
+// transposed weight, "<prefix>.bias" the float bias).
+
+template <typename Plan, typename Fn>
+void ForEachInt8Slot(Plan& plan, int num_layers, Fn&& fn) {
+  fn("int8/pos_proj", plan.pos_proj);
+  for (int i = 0; i < num_layers; ++i) {
+    const std::string base = "int8/block" + std::to_string(i);
+    auto& b = plan.blocks[static_cast<size_t>(i)];
+    fn(base + "/wq", b.wq);
+    fn(base + "/wk", b.wk);
+    fn(base + "/wv", b.wv);
+    fn(base + "/wo", b.wo);
+    fn(base + "/ff1", b.ff1);
+    fn(base + "/ff2", b.ff2);
+  }
+  fn("int8/head", plan.head);
+}
+
+}  // namespace
+
+bool WriteFlatSnapshot(const std::string& path, const ModelSnapshot& snapshot,
+                       std::string* error) {
+  const SequenceLabelingModel& model = snapshot.model();
+
+  JsonValue meta = JsonValue::MakeObject();
+  meta.Set("schema_version", JsonValue::MakeNumber(kMetadataSchemaVersion));
+  meta.Set("config", ConfigToJson(model.config()));
+  meta.Set("schema", SchemaToJson(model.schema()));
+  meta.Set("version", JsonValue::MakeString(snapshot.version()));
+  meta.Set("int8", JsonValue::MakeBool(snapshot.int8_plan() != nullptr));
+
+  flat::FlatWriter writer;
+  writer.SetMetadata(meta.Dump());
+
+  // Float parameters, in the model's deterministic Params() order. The
+  // NamedParam vector must outlive Write(): the writer holds raw pointers.
+  const std::vector<NamedParam> params = model.Params();
+  for (const NamedParam& np : params) {
+    const Matrix& m = np.param->value;
+    writer.AddF32(np.name, m.data(), m.rows(), m.cols());
+  }
+
+  const Int8Plan* plan = snapshot.int8_plan();
+  if (plan != nullptr) {
+    ForEachInt8Slot(*plan, model.config().num_layers,
+                    [&writer](const std::string& prefix,
+                              const Int8LinearPlan& lp) {
+                      writer.AddI8(prefix + ".wt", lp.weight_t.ptr(),
+                                   lp.weight_t.rows, lp.weight_t.cols,
+                                   lp.weight_t.scale);
+                      writer.AddF32(prefix + ".bias", lp.bias.data(),
+                                    lp.bias.rows(), lp.bias.cols());
+                    });
+  }
+  return writer.Write(path, error);
+}
+
+std::shared_ptr<const ModelSnapshot> LoadFlatSnapshot(const std::string& path,
+                                                      std::string* error) {
+  auto fail = [error](const std::string& reason)
+      -> std::shared_ptr<const ModelSnapshot> {
+    if (error != nullptr) *error = reason;
+    return nullptr;
+  };
+
+  std::shared_ptr<const flat::FlatFile> file = flat::FlatFile::Map(path, error);
+  if (file == nullptr) return nullptr;
+
+  std::optional<JsonValue> meta =
+      JsonValue::Parse(std::string(file->metadata()));
+  if (!meta.has_value() || !meta->is_object()) {
+    return fail(path + ": flat metadata is not a JSON object");
+  }
+  const JsonValue* schema_version = meta->Find("schema_version");
+  if (schema_version == nullptr || !schema_version->is_number() ||
+      static_cast<int>(schema_version->number_value()) !=
+          kMetadataSchemaVersion) {
+    return fail(path + ": unsupported flat metadata schema_version");
+  }
+
+  SequenceModelConfig config;
+  const JsonValue* config_json = meta->Find("config");
+  if (config_json == nullptr || !ConfigFromJson(*config_json, &config)) {
+    return fail(path + ": bad or missing model config in flat metadata");
+  }
+  DomainSchema schema;
+  const JsonValue* schema_json = meta->Find("schema");
+  if (schema_json == nullptr || !SchemaFromJson(*schema_json, &schema)) {
+    return fail(path + ": bad or missing domain schema in flat metadata");
+  }
+  const JsonValue* version = meta->Find("version");
+  if (version == nullptr || !version->is_string()) {
+    return fail(path + ": missing version label in flat metadata");
+  }
+  const JsonValue* int8_flag = meta->Find("int8");
+  if (int8_flag == nullptr || !int8_flag->is_bool()) {
+    return fail(path + ": missing int8 flag in flat metadata");
+  }
+
+  // Build the model skeleton from the config, then point every parameter at
+  // the mapped bytes. Dims must match what the config implies — a hostile
+  // directory that disagrees is rejected before any view is taken.
+  SequenceLabelingModel model(config, std::move(schema));
+  for (const NamedParam& np : model.Params()) {
+    const flat::FlatTensor* t = file->Find(np.name);
+    if (t == nullptr) {
+      return fail(path + ": flat file is missing parameter '" + np.name + "'");
+    }
+    const Matrix& expect = np.param->value;
+    if (t->dtype != flat::DType::kF32 || t->rows != expect.rows() ||
+        t->cols != expect.cols()) {
+      return fail(path + ": parameter '" + np.name +
+                  "' has wrong dtype/shape for this config");
+    }
+    np.param->value = Matrix::View(t->f32(), t->rows, t->cols);
+  }
+
+  std::unique_ptr<const Int8Plan> plan;
+  if (int8_flag->bool_value()) {
+    auto built = std::make_unique<Int8Plan>();
+    built->blocks.resize(static_cast<size_t>(config.num_layers));
+    bool ok = true;
+    std::string bad;
+    ForEachInt8Slot(*built, config.num_layers,
+                    [&](const std::string& prefix, Int8LinearPlan& lp) {
+                      if (!ok) return;
+                      const flat::FlatTensor* wt = file->Find(prefix + ".wt");
+                      const flat::FlatTensor* bias =
+                          file->Find(prefix + ".bias");
+                      if (wt == nullptr || wt->dtype != flat::DType::kI8 ||
+                          bias == nullptr ||
+                          bias->dtype != flat::DType::kF32 ||
+                          bias->rows != 1 || bias->cols != wt->rows) {
+                        ok = false;
+                        bad = prefix;
+                        return;
+                      }
+                      lp.weight_t.view = wt->i8();
+                      lp.weight_t.rows = wt->rows;
+                      lp.weight_t.cols = wt->cols;
+                      lp.weight_t.scale = wt->scale;
+                      lp.bias = Matrix::View(bias->f32(), bias->rows,
+                                             bias->cols);
+                    });
+    if (!ok) {
+      return fail(path + ": bad or missing int8 tensor pair '" + bad + "'");
+    }
+    plan = std::move(built);
+  }
+
+  return std::make_shared<const ModelSnapshot>(
+      std::move(model), version->string_value(), std::move(plan),
+      std::static_pointer_cast<const void>(file));
+}
+
+}  // namespace serve
+}  // namespace fieldswap

@@ -1,0 +1,43 @@
+#ifndef FIELDSWAP_SERVE_FLAT_SNAPSHOT_H_
+#define FIELDSWAP_SERVE_FLAT_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "serve/snapshot.h"
+
+namespace fieldswap {
+namespace serve {
+
+/// Model-level flat snapshots on top of the generic serve/flat container
+/// (ISSUE 8): WriteFlatSnapshot lays a trained ModelSnapshot out as one
+/// mmap-able blob (config + full schema as JSON metadata, every float
+/// parameter, and the int8 plan when the snapshot carries one);
+/// LoadFlatSnapshot maps it back with ZERO weight copies — every Matrix in
+/// the loaded model is a read-only view straight into the mapped file, as
+/// is every int8 tensor, so N server shards loading the same file share
+/// one physical weight copy through the page cache.
+///
+/// A flat-loaded snapshot is inference-only (views FS_CHECK on mutation)
+/// and bit-identical in behavior to the snapshot that wrote it: same
+/// config, same schema, same weight bytes, same int8 plan bytes
+/// (tests/property_test.cc sweeps the round trip across all domains).
+
+/// Serializes `snapshot` to `path` (atomic rename, see flat::FlatWriter).
+/// Returns false with a reason in `*error` on failure.
+bool WriteFlatSnapshot(const std::string& path, const ModelSnapshot& snapshot,
+                       std::string* error);
+
+/// Maps a WriteFlatSnapshot file and reconstructs the snapshot around
+/// zero-copy weight views. The returned snapshot keeps the mapping alive;
+/// it gets a fresh process-unique sequence() so server caches can never
+/// confuse it with another snapshot. Returns null with a reason in
+/// `*error` on any validation failure (hostile files are rejected cleanly,
+/// never dereferenced out of bounds).
+std::shared_ptr<const ModelSnapshot> LoadFlatSnapshot(const std::string& path,
+                                                      std::string* error);
+
+}  // namespace serve
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SERVE_FLAT_SNAPSHOT_H_

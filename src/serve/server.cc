@@ -32,13 +32,11 @@ void AppendDouble(std::string& buffer, double value) {
   AppendU64(buffer, std::bit_cast<uint64_t>(value));
 }
 
-/// Folds the snapshot sequence into a content hash so cache entries from a
-/// retired snapshot can never match requests served by its replacement.
-uint64_t CacheKey(uint64_t content_hash, uint64_t snapshot_sequence) {
+}  // namespace
+
+uint64_t SnapshotCacheKey(uint64_t content_hash, uint64_t snapshot_sequence) {
   return content_hash ^ (snapshot_sequence * 0x9e3779b97f4a7c15ULL);
 }
-
-}  // namespace
 
 const char* ServeStatusName(ServeStatus status) {
   switch (status) {
@@ -50,6 +48,10 @@ const char* ServeStatusName(ServeStatus status) {
       return "rejected_deadline";
     case ServeStatus::kRejectedShutdown:
       return "rejected_shutdown";
+    case ServeStatus::kRejectedQuota:
+      return "rejected_quota";
+    case ServeStatus::kRejectedUnknownTenant:
+      return "rejected_unknown_tenant";
   }
   return "unknown";
 }
@@ -225,7 +227,8 @@ void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
         responses[i].snapshot_version = snapshot->version();
         continue;
       }
-      keys[i] = CacheKey(DocContentHash(request.doc), snapshot->sequence());
+      keys[i] =
+          SnapshotCacheKey(DocContentHash(request.doc), snapshot->sequence());
       std::shared_ptr<const std::vector<EntitySpan>> cached =
           result_cache_.Get(keys[i]);
       if (cached != nullptr) {

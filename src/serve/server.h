@@ -30,6 +30,13 @@ enum class ServeStatus {
   /// The server was shut down while the request was queued (or before it
   /// was submitted).
   kRejectedShutdown,
+  /// The tenant's admission quota was exhausted (multi-tenant serving,
+  /// serve/tenant_server.h). Backpressure is per tenant: one tenant at its
+  /// quota never blocks admission for the others.
+  kRejectedQuota,
+  /// The request named a tenant the registry has never published a model
+  /// for (serve/registry.h).
+  kRejectedUnknownTenant,
 };
 
 /// Human-readable name of a status ("ok", "rejected_queue_full", ...).
@@ -54,6 +61,16 @@ struct ExtractResponse {
   double latency_ms = 0;
   /// Actionable description for rejected requests, empty on kOk.
   std::string error;
+  /// Multi-tenant serving only (serve/tenant_server.h); empty/0 on the
+  /// single-tenant ExtractionServer.
+  std::string tenant;
+  /// Registry version of the tenant snapshot that served the request.
+  uint64_t tenant_version = 0;
+  /// Whole batches that ran between this request's admission and the batch
+  /// that served it. Unlike latency_ms this is a *deterministic* fairness
+  /// measure under a deterministic submission order, so tests and benches
+  /// can assert scheduling bounds exactly (tests/registry_test.cc).
+  int64_t batches_waited = 0;
 };
 
 /// Configuration of an ExtractionServer. All knobs have serving-friendly
@@ -91,6 +108,12 @@ struct ServeOptions {
 /// deliberately excluded (it never reaches the model), so re-submissions of
 /// the same page under fresh ids still hit the caches.
 uint64_t DocContentHash(const Document& doc);
+
+/// The cache key both servers use: folds the snapshot sequence into the
+/// content hash so entries from a retired snapshot can never match
+/// requests served by its replacement — and so tenants sharing one
+/// backbone snapshot (serve/tenant_server.h) share cache entries.
+uint64_t SnapshotCacheKey(uint64_t content_hash, uint64_t snapshot_sequence);
 
 /// Batched, deterministic extraction service.
 ///

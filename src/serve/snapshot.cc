@@ -29,6 +29,19 @@ ModelSnapshot::ModelSnapshot(SequenceLabelingModel model, std::string version,
   }
 }
 
+ModelSnapshot::ModelSnapshot(SequenceLabelingModel model, std::string version,
+                             std::unique_ptr<const Int8Plan> int8_plan,
+                             std::shared_ptr<const void> backing)
+    : model_(std::move(model)),
+      version_(std::move(version)),
+      sequence_(NextSequence()),
+      int8_plan_(std::move(int8_plan)),
+      backing_(std::move(backing)) {
+  if (version_.empty()) {
+    version_ = "snapshot-" + std::to_string(sequence_);
+  }
+}
+
 std::vector<EntitySpan> ModelSnapshot::PredictEncoded(
     const EncodedDoc& encoded, bool int8) const {
   if (!int8) return model_.PredictEncoded(encoded);

@@ -31,6 +31,14 @@ class ModelSnapshot {
   explicit ModelSnapshot(SequenceLabelingModel model, std::string version = "",
                          bool with_int8_plan = false);
 
+  /// Adoption constructor for deserialized snapshots (serve/flat_snapshot.h):
+  /// takes a pre-built int8 plan instead of quantizing, plus an opaque
+  /// `backing` the snapshot keeps alive for its whole lifetime — the mmap
+  /// holder when the model's weights are views into a mapped flat file.
+  ModelSnapshot(SequenceLabelingModel model, std::string version,
+                std::unique_ptr<const Int8Plan> int8_plan,
+                std::shared_ptr<const void> backing);
+
   ModelSnapshot(const ModelSnapshot&) = delete;
   ModelSnapshot& operator=(const ModelSnapshot&) = delete;
 
@@ -53,6 +61,7 @@ class ModelSnapshot {
   std::string version_;
   uint64_t sequence_ = 0;
   std::unique_ptr<const Int8Plan> int8_plan_;
+  std::shared_ptr<const void> backing_;  // outlives every weight view
 };
 
 /// Convenience wrapper producing the shared-ownership form the server

@@ -1,0 +1,421 @@
+#include "serve/tenant_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "par/parallel.h"
+#include "util/logging.h"
+
+namespace fieldswap {
+namespace serve {
+
+namespace {
+
+const std::vector<double>& BatchSizeBounds() {
+  static const std::vector<double> bounds = {1, 2, 4, 8, 16, 32, 64, 128};
+  return bounds;
+}
+
+}  // namespace
+
+MultiTenantServer::MultiTenantServer(std::shared_ptr<ModelRegistry> registry,
+                                     ServeOptions options)
+    : registry_(std::move(registry)),
+      options_(std::move(options)),
+      encoded_cache_(static_cast<size_t>(
+          options_.encoded_cache_capacity > 0 ? options_.encoded_cache_capacity
+                                              : 0)),
+      result_cache_(static_cast<size_t>(
+          options_.result_cache_capacity > 0 ? options_.result_cache_capacity
+                                             : 0)) {
+  FS_CHECK(registry_ != nullptr) << "MultiTenantServer needs a ModelRegistry";
+  std::string error = options_.Validate();
+  FS_CHECK(error.empty()) << error;
+  obs::CounterAdd("fieldswap.serve.tenant.servers_started");
+}
+
+double MultiTenantServer::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return uptime_.ElapsedMs();
+}
+
+ExtractResponse MultiTenantServer::Reject(ServeStatus status,
+                                          const std::string& tenant,
+                                          const Document& doc,
+                                          std::string error) const {
+  ExtractResponse response;
+  response.status = status;
+  response.doc_id = doc.id();
+  response.tenant = tenant;
+  response.error = std::move(error);
+  obs::CounterAdd(std::string("fieldswap.serve.tenant.") +
+                  ServeStatusName(status));
+  return response;
+}
+
+int64_t MultiTenantServer::Submit(const std::string& tenant,
+                                  const Document& doc, double deadline_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t id = next_id_++;
+  if (shutdown_) {
+    done_[id] =
+        Reject(ServeStatus::kRejectedShutdown, tenant, doc,
+               "multi-tenant server is shut down");
+    return id;
+  }
+  if (!registry_->Has(tenant)) {
+    done_[id] = Reject(
+        ServeStatus::kRejectedUnknownTenant, tenant, doc,
+        "tenant '" + tenant +
+            "' has no published model; publish one to the registry first");
+    return id;
+  }
+  TenantState& state = tenants_[tenant];
+  const TenantQuota quota = registry_->Quota(tenant);
+  if (state.queue.size() >= static_cast<size_t>(quota.queue_capacity)) {
+    state.stats.rejected_quota++;
+    ExtractResponse response = Reject(
+        ServeStatus::kRejectedQuota, tenant, doc,
+        "tenant '" + tenant + "' admission quota exhausted (capacity " +
+            std::to_string(quota.queue_capacity) +
+            "); drain pending requests or raise TenantQuota.queue_capacity");
+    response.tenant_version = registry_->ActiveVersion(tenant);
+    done_[id] = std::move(response);
+    return id;
+  }
+  double effective_deadline =
+      deadline_ms < 0 ? options_.default_deadline_ms : deadline_ms;
+  PendingRequest request;
+  request.id = id;
+  request.doc = doc;
+  request.submit_ms = NowMs();
+  request.deadline_at_ms =
+      effective_deadline > 0 ? request.submit_ms + effective_deadline : 0;
+  request.batches_at_submit = batches_run_;
+  state.queue.push_back(std::move(request));
+  state.stats.submitted++;
+  total_queued_++;
+  obs::CounterAdd("fieldswap.serve.tenant.requests");
+  obs::GaugeSet("fieldswap.serve.tenant.queue_depth",
+                static_cast<double>(total_queued_));
+  return id;
+}
+
+void MultiTenantServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
+  batch_in_flight_ = true;
+  const int64_t batches_before = batches_run_;
+
+  // Turn selection: the first tenant with queued work strictly after the
+  // cursor in sorted order, wrapping — the deterministic round-robin.
+  auto begin = tenants_.begin(), end = tenants_.end();
+  auto turn = end;
+  for (auto it = tenants_.upper_bound(cursor_); it != end; ++it) {
+    if (!it->second.queue.empty()) {
+      turn = it;
+      break;
+    }
+  }
+  if (turn == end) {
+    for (auto it = begin; it != end; ++it) {
+      if (!it->second.queue.empty()) {
+        turn = it;
+        break;
+      }
+    }
+  }
+  FS_CHECK(turn != end) << "leader elected with nothing queued";
+  const std::string turn_name = turn->first;
+  TenantState& turn_state = turn->second;
+
+  // DRR: credit the quantum, serve up to the deficit (capped by max_batch),
+  // carry the remainder; an emptied queue forfeits its leftover credit.
+  const TenantQuota quota = registry_->Quota(turn_name);
+  turn_state.deficit += quota.batch_quantum;
+  const size_t take = std::min(
+      {static_cast<size_t>(turn_state.deficit),
+       static_cast<size_t>(options_.max_batch), turn_state.queue.size()});
+  const PublishedVersion active = registry_->ActiveEntry(turn_name);
+  FS_CHECK(active.snapshot != nullptr)
+      << "tenant '" << turn_name << "' queued work but has no active snapshot";
+  FS_CHECK(!options_.int8_inference || active.snapshot->int8_plan() != nullptr)
+      << "ServeOptions.int8_inference is set but tenant '" << turn_name
+      << "' active snapshot '" << active.snapshot->version()
+      << "' has no int8 plan";
+
+  std::vector<BatchEntry> batch;
+  batch.reserve(static_cast<size_t>(options_.max_batch));
+  for (size_t i = 0; i < take; ++i) {
+    BatchEntry entry;
+    entry.request = std::move(turn_state.queue.front());
+    turn_state.queue.pop_front();
+    entry.tenant = turn_name;
+    entry.tenant_version = active.version;
+    batch.push_back(std::move(entry));
+  }
+  turn_state.deficit -= static_cast<int64_t>(take);
+  if (turn_state.queue.empty()) turn_state.deficit = 0;
+  turn_state.stats.turn_batches++;
+  cursor_ = turn_name;
+
+  // Work-conserving cross-tenant packing: leftover batch room goes to
+  // other tenants whose active snapshot is the SAME object (shared
+  // backbone), in round-robin order after the turn tenant. Packed service
+  // is a bonus — it charges no one's deficit and can only fill capacity
+  // the turn tenant could not use, so it never delays anyone's turn.
+  int64_t packed = 0;
+  if (batch.size() < static_cast<size_t>(options_.max_batch)) {
+    auto scan = turn;
+    for (size_t visited = 0; visited + 1 < tenants_.size(); ++visited) {
+      ++scan;
+      if (scan == end) scan = begin;
+      if (batch.size() >= static_cast<size_t>(options_.max_batch)) break;
+      TenantState& other = scan->second;
+      if (other.queue.empty()) continue;
+      const PublishedVersion entry = registry_->ActiveEntry(scan->first);
+      if (entry.snapshot.get() != active.snapshot.get()) continue;
+      while (!other.queue.empty() &&
+             batch.size() < static_cast<size_t>(options_.max_batch)) {
+        BatchEntry be;
+        be.request = std::move(other.queue.front());
+        other.queue.pop_front();
+        be.tenant = scan->first;
+        be.tenant_version = entry.version;
+        be.packed = true;
+        batch.push_back(std::move(be));
+        other.stats.packed_docs++;
+        packed++;
+      }
+    }
+  }
+  total_queued_ -= batch.size();
+  obs::GaugeSet("fieldswap.serve.tenant.queue_depth",
+                static_cast<double>(total_queued_));
+  const std::shared_ptr<const ModelSnapshot> snapshot = active.snapshot;
+  lock.unlock();
+
+  std::vector<ExtractResponse> responses(batch.size());
+  {
+    FS_TRACE_SPAN("serve.tenant_batch");
+    obs::CounterAdd("fieldswap.serve.tenant.batches");
+    if (packed > 0) {
+      obs::CounterAdd("fieldswap.serve.tenant.packed_docs", packed);
+    }
+    obs::HistogramObserve("fieldswap.serve.tenant.batch_size",
+                          static_cast<double>(batch.size()),
+                          BatchSizeBounds());
+    double now = NowMs();
+
+    // Triage in batch order: expired deadlines reject, result-cache hits
+    // complete immediately, the rest go to the model. Serial cache traffic
+    // keeps hit accounting and LRU order deterministic for a fixed
+    // submission order.
+    std::vector<size_t> live;
+    std::vector<uint64_t> keys(batch.size(), 0);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      BatchEntry& entry = batch[i];
+      responses[i].tenant = entry.tenant;
+      responses[i].tenant_version = entry.tenant_version;
+      responses[i].batches_waited =
+          batches_before - entry.request.batches_at_submit;
+      if (entry.request.deadline_at_ms > 0 &&
+          now > entry.request.deadline_at_ms) {
+        ExtractResponse reject = Reject(
+            ServeStatus::kRejectedDeadline, entry.tenant, entry.request.doc,
+            "deadline expired before batching; extend the deadline or "
+            "reduce load");
+        reject.tenant_version = responses[i].tenant_version;
+        reject.batches_waited = responses[i].batches_waited;
+        reject.snapshot_version = snapshot->version();
+        responses[i] = std::move(reject);
+        continue;
+      }
+      keys[i] = SnapshotCacheKey(DocContentHash(entry.request.doc),
+                                 snapshot->sequence());
+      std::shared_ptr<const std::vector<EntitySpan>> cached =
+          result_cache_.Get(keys[i]);
+      if (cached != nullptr) {
+        obs::CounterAdd("fieldswap.serve.tenant.result_cache_hits");
+        responses[i].status = ServeStatus::kOk;
+        responses[i].spans = *cached;
+        responses[i].snapshot_version = snapshot->version();
+        responses[i].doc_id = entry.request.doc.id();
+        responses[i].cache_hit = true;
+        responses[i].encoded_cache_hit = true;
+        continue;
+      }
+      obs::CounterAdd("fieldswap.serve.tenant.result_cache_misses");
+      live.push_back(i);
+    }
+
+    std::vector<std::shared_ptr<const EncodedDoc>> encoded(live.size());
+    std::vector<size_t> to_encode;
+    for (size_t j = 0; j < live.size(); ++j) {
+      encoded[j] = encoded_cache_.Get(keys[live[j]]);
+      if (encoded[j] == nullptr) {
+        to_encode.push_back(j);
+      } else {
+        responses[live[j]].encoded_cache_hit = true;
+      }
+    }
+    if (!to_encode.empty()) {
+      FS_TRACE_SPAN("serve.tenant_encode");
+      std::vector<std::shared_ptr<const EncodedDoc>> fresh =
+          par::ParallelMap(to_encode.size(), [&](size_t k) {
+            const Document& doc = batch[live[to_encode[k]]].request.doc;
+            return std::make_shared<const EncodedDoc>(
+                snapshot->model().EncodeDoc(doc));
+          });
+      for (size_t k = 0; k < to_encode.size(); ++k) {
+        encoded[to_encode[k]] = fresh[k];
+        encoded_cache_.Put(keys[live[to_encode[k]]], fresh[k]);
+      }
+    }
+
+    if (!live.empty()) {
+      FS_TRACE_SPAN("serve.tenant_predict");
+      std::vector<std::vector<EntitySpan>> predictions =
+          par::ParallelMap(live.size(), [&](size_t j) {
+            return snapshot->PredictEncoded(*encoded[j],
+                                            options_.int8_inference);
+          });
+      for (size_t j = 0; j < live.size(); ++j) {
+        size_t i = live[j];
+        auto shared = std::make_shared<const std::vector<EntitySpan>>(
+            std::move(predictions[j]));
+        result_cache_.Put(keys[i], shared);
+        responses[i].status = ServeStatus::kOk;
+        responses[i].spans = *shared;
+        responses[i].snapshot_version = snapshot->version();
+        responses[i].doc_id = batch[i].request.doc.id();
+      }
+    }
+
+    double end_ms = NowMs();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      responses[i].latency_ms = end_ms - batch[i].request.submit_ms;
+      obs::HistogramObserve("fieldswap.serve.tenant.latency_ms",
+                            responses[i].latency_ms);
+    }
+  }
+
+  lock.lock();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (responses[i].status == ServeStatus::kOk) {
+      TenantState& state = tenants_[batch[i].tenant];
+      state.stats.served++;
+      state.stats.max_batches_waited = std::max(
+          state.stats.max_batches_waited, responses[i].batches_waited);
+    }
+    done_[batch[i].request.id] = std::move(responses[i]);
+  }
+  batches_run_++;
+  batch_in_flight_ = false;
+  cv_.notify_all();
+}
+
+ExtractResponse MultiTenantServer::Wait(int64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = done_.find(id);
+    if (it != done_.end()) {
+      ExtractResponse response = std::move(it->second);
+      done_.erase(it);
+      return response;
+    }
+    if (!batch_in_flight_ && total_queued_ > 0) {
+      RunBatchLocked(lock);
+      continue;
+    }
+    cv_.wait(lock);
+  }
+}
+
+ExtractResponse MultiTenantServer::Extract(const std::string& tenant,
+                                           const Document& doc,
+                                           double deadline_ms) {
+  return Wait(Submit(tenant, doc, deadline_ms));
+}
+
+std::vector<ExtractResponse> MultiTenantServer::ExtractBatch(
+    const std::string& tenant, const std::vector<Document>& docs) {
+  std::vector<ExtractResponse> responses(docs.size());
+  const size_t window = std::max<size_t>(
+      1, static_cast<size_t>(registry_->Quota(tenant).queue_capacity));
+  for (size_t start = 0; start < docs.size(); start += window) {
+    size_t end = std::min(docs.size(), start + window);
+    std::vector<int64_t> ids;
+    ids.reserve(end - start);
+    for (size_t i = start; i < end; ++i) ids.push_back(Submit(tenant, docs[i]));
+    for (size_t i = start; i < end; ++i) responses[i] = Wait(ids[i - start]);
+  }
+  return responses;
+}
+
+void MultiTenantServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& [name, state] : tenants_) {
+    while (!state.queue.empty()) {
+      PendingRequest request = std::move(state.queue.front());
+      state.queue.pop_front();
+      done_[request.id] =
+          Reject(ServeStatus::kRejectedShutdown, name, request.doc,
+                 "multi-tenant server shut down while the request was queued");
+    }
+    state.deficit = 0;
+  }
+  total_queued_ = 0;
+  obs::GaugeSet("fieldswap.serve.tenant.queue_depth", 0);
+  cv_.notify_all();
+}
+
+int MultiTenantServer::queue_depth(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : static_cast<int>(it->second.queue.size());
+}
+
+TenantStats MultiTenantServer::stats(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? TenantStats{} : it->second.stats;
+}
+
+int64_t MultiTenantServer::batches_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_run_;
+}
+
+ShardedTenantService::ShardedTenantService(
+    std::shared_ptr<ModelRegistry> registry, int num_shards,
+    ServeOptions options) {
+  FS_CHECK(num_shards >= 1)
+      << "ShardedTenantService needs at least one shard, got " << num_shards;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<MultiTenantServer>(registry, options));
+  }
+}
+
+int ShardedTenantService::ShardFor(const Document& doc) const {
+  return static_cast<int>(DocContentHash(doc) % shards_.size());
+}
+
+ExtractResponse ShardedTenantService::Extract(const std::string& tenant,
+                                              const Document& doc,
+                                              double deadline_ms) {
+  return shards_[static_cast<size_t>(ShardFor(doc))]->Extract(tenant, doc,
+                                                              deadline_ms);
+}
+
+void ShardedTenantService::Shutdown() {
+  for (std::unique_ptr<MultiTenantServer>& shard : shards_) {
+    shard->Shutdown();
+  }
+}
+
+}  // namespace serve
+}  // namespace fieldswap

@@ -132,6 +132,18 @@ TEST(LayerGraph, RealManifestParsesAndEncodesDesignRules) {
   EXPECT_TRUE(layers.Allowed("model", "nn"));
   // Self-includes are implicit.
   EXPECT_TRUE(layers.Allowed("doc", "doc"));
+  // serve/flat is a nested byte-layout layer (ISSUE 8): serve may reach
+  // it, but the container format itself may touch only util — never the
+  // model, document, or parallel layers it serializes for.
+  EXPECT_TRUE(layers.IsLayer("serve/flat"));
+  EXPECT_TRUE(layers.Allowed("serve", "serve/flat"));
+  EXPECT_TRUE(layers.Allowed("serve/flat", "util"));
+  EXPECT_FALSE(layers.Allowed("serve/flat", "model"));
+  EXPECT_FALSE(layers.Allowed("serve/flat", "doc"));
+  EXPECT_FALSE(layers.Allowed("serve/flat", "nn"));
+  EXPECT_FALSE(layers.Allowed("serve/flat", "par"));
+  EXPECT_FALSE(layers.Allowed("serve/flat", "serve"))
+      << "the bridge points one way: serve -> serve/flat";
   // Outside src/, only the facade (plus serve/obs/util conveniences) is
   // reachable — internals must come through api/fieldswap_api.h or
   // api/internals.h.
@@ -151,6 +163,10 @@ TEST(LayerGraph, LayerForPath) {
   EXPECT_EQ(layers.LayerForPath("src/model/trainer.cc"), "model");
   EXPECT_EQ(layers.LayerForPath("src/lint/rules.cc"), "lint");
   EXPECT_EQ(layers.LayerForPath("src/serve/server.cc"), "serve");
+  // Longest-prefix resolution: the nested flat-format layer wins over its
+  // parent for files under serve/flat/, and the bridge stays in serve.
+  EXPECT_EQ(layers.LayerForPath("src/serve/flat/format.cc"), "serve/flat");
+  EXPECT_EQ(layers.LayerForPath("src/serve/flat_snapshot.cc"), "serve");
   EXPECT_EQ(layers.LayerForPath("src/api/fieldswap_api.h"), "api");
   EXPECT_EQ(layers.LayerForPath("src/mystery/x.cc"), "");
   // Declared top-level directories are layers too; undeclared ones

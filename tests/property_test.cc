@@ -4,13 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <string>
 
 #include "attack/perturbation.h"
 #include "core/human_expert.h"
 #include "core/pipeline.h"
 #include "doc/serialize.h"
 #include "model/sequence_model.h"
+#include "serve/flat_snapshot.h"
+#include "serve/snapshot.h"
 #include "synth/domains.h"
 #include "synth/generator.h"
 
@@ -203,6 +207,110 @@ TEST_P(DomainPropertyTest, SequenceModelHandlesEveryDomain) {
   for (const EntitySpan& span : model.PredictEncoded(encoded)) {
     EXPECT_TRUE(spec_.Schema().Has(span.field));
   }
+}
+
+// ---- Flat snapshot round trip (ISSUE 8) -----------------------------------
+
+// MakeSnapshot -> WriteFlatSnapshot -> LoadFlatSnapshot must reproduce
+// extraction byte-identically for every domain, in both float and int8
+// serving modes. The loaded model's weights are zero-copy views into the
+// mapping, so this sweep also proves the view-mode Matrix path computes
+// exactly what the owning path does.
+TEST_P(DomainPropertyTest, FlatSnapshotRoundTripIsByteIdentical) {
+  for (bool int8 : {false, true}) {
+    SequenceModelConfig config;
+    config.d_model = 16;
+    config.seed = 77;
+    auto original = serve::MakeSnapshot(
+        SequenceLabelingModel(config, spec_.Schema()), "round-trip", int8);
+    std::string path = ::testing::TempDir() + "/flat_" +
+                       std::string(GetParam()) + (int8 ? "_i8" : "_f32") +
+                       ".fsfl";
+    std::string error;
+    ASSERT_TRUE(serve::WriteFlatSnapshot(path, *original, &error)) << error;
+
+    std::shared_ptr<const serve::ModelSnapshot> loaded =
+        serve::LoadFlatSnapshot(path, &error);
+    ASSERT_NE(loaded, nullptr) << error;
+    EXPECT_EQ(loaded->version(), "round-trip");
+    ASSERT_EQ(loaded->int8_plan() != nullptr, int8)
+        << "int8 plans must survive the flat format";
+
+    for (const Document& doc : GenerateCorpus(spec_, 4, 55, "flat")) {
+      EncodedDoc original_encoded = original->model().EncodeDoc(doc);
+      EncodedDoc loaded_encoded = loaded->model().EncodeDoc(doc);
+      EXPECT_EQ(original->PredictEncoded(original_encoded, int8),
+                loaded->PredictEncoded(loaded_encoded, int8));
+    }
+  }
+}
+
+// ---- Hostile flat files ---------------------------------------------------
+
+namespace {
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+}  // namespace
+
+// Truncated, bit-flipped, and mislabeled files must fail with a clean
+// error — never crash, read out of bounds, or hand back a half-built
+// snapshot. tools/check_sanitizers.sh runs this under ASan/UBSan, which
+// turns "no UB" from a hope into a checked property.
+TEST(FlatSnapshotHostileTest, TruncatedAndCorruptedFilesFailCleanly) {
+  SequenceModelConfig config;
+  config.d_model = 16;
+  config.seed = 3;
+  auto snapshot = serve::MakeSnapshot(
+      SequenceLabelingModel(config, SpecByName("fara").Schema()), "h",
+      /*with_int8_plan=*/true);
+  std::string valid_path = ::testing::TempDir() + "/hostile_valid.fsfl";
+  std::string error;
+  ASSERT_TRUE(serve::WriteFlatSnapshot(valid_path, *snapshot, &error))
+      << error;
+  std::ifstream in(valid_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 256u);
+  ASSERT_NE(serve::LoadFlatSnapshot(valid_path, &error), nullptr) << error;
+
+  std::string hostile_path = ::testing::TempDir() + "/hostile.fsfl";
+
+  // Every truncation must be rejected: nothing (not even the header),
+  // a partial header, exactly the header, a partial directory, and
+  // one-byte-short of valid.
+  for (size_t keep :
+       {size_t{0}, size_t{1}, size_t{33}, size_t{63}, size_t{64}, size_t{65},
+        bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    WriteBytes(hostile_path, bytes.substr(0, keep));
+    error.clear();
+    EXPECT_EQ(serve::LoadFlatSnapshot(hostile_path, &error), nullptr)
+        << "truncated to " << keep << " bytes";
+    EXPECT_FALSE(error.empty()) << "truncated to " << keep << " bytes";
+  }
+
+  // Single corrupted bytes: magic, format version, recorded file size,
+  // checksum, metadata region, payload middle, and the final byte. Each
+  // must be caught (structurally or by the checksum) with a clean error.
+  for (size_t offset : {size_t{0}, size_t{4}, size_t{8}, size_t{16},
+                        size_t{70}, bytes.size() / 2, bytes.size() - 1}) {
+    std::string corrupted = bytes;
+    corrupted[offset] = static_cast<char>(corrupted[offset] ^ 0x5A);
+    WriteBytes(hostile_path, corrupted);
+    error.clear();
+    EXPECT_EQ(serve::LoadFlatSnapshot(hostile_path, &error), nullptr)
+        << "corrupted byte at offset " << offset;
+    EXPECT_FALSE(error.empty()) << "corrupted byte at offset " << offset;
+  }
+
+  // A missing file is an error, not an abort.
+  error.clear();
+  EXPECT_EQ(serve::LoadFlatSnapshot(::testing::TempDir() + "/nonexistent.fsfl",
+                                    &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllDomains, DomainPropertyTest,

@@ -70,6 +70,10 @@ const BenchSpec kSuite[] = {
      "parallel_scaling_src_par_hot_paths.metrics.json", true},
     {"serve_throughput", "bench/serve_throughput",
      "serving_throughput_batched_extractionserver.metrics.json", true},
+    {"tenant_throughput", "bench/tenant_throughput",
+     "multi_tenant_serving_throughput_registry_packing_flat_shards"
+     ".metrics.json",
+     true},
     {"attack_sweep", "bench/attack_sweep",
      "attack_sweep_f1_degradation_under_form_attacks.metrics.json", true},
 };
@@ -265,7 +269,8 @@ int main(int argc, char** argv) {
               &threads);
   args.AddString("only", "",
                  "comma-separated subset of benches to run "
-                 "(micro_ops,par_scaling,serve_throughput,attack_sweep)",
+                 "(micro_ops,par_scaling,serve_throughput,tenant_throughput,"
+                 "attack_sweep)",
                  &only);
   args.AddBool("compare",
                "compare two trajectory files instead of recording", &compare);

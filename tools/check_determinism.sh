@@ -91,3 +91,44 @@ done
 # shifts which spans are predicted, but determinism must hold regardless.
 best_backend="$(echo "$backends" | head -n1)"
 serve_pair "backend=$best_backend,int8" --kernel-backend "$best_backend" --int8
+
+# Multi-tenant leg: two tenants through the registry server, submission
+# order shuffled (seed-deterministic), 1 thread/batch 1 vs 8 threads/
+# batch 16. Per-tenant responses — and therefore the whole tenant-tagged
+# stream — must be byte-identical: DRR scheduling and cross-tenant packing
+# decide which batch serves a document, never the response bytes.
+cat > "$tmpdir/tenants.json" <<'MANIFEST'
+{"tenants": [
+  {"name": "acme",   "domain": "invoices", "seed": 11},
+  {"name": "globex", "domain": "earnings", "seed": 12,
+   "queue_capacity": 32, "batch_quantum": 8}
+]}
+MANIFEST
+echo "=== multi-tenant serve with FIELDSWAP_THREADS=1, batch 1 ==="
+FIELDSWAP_THREADS=1 "$SERVE_BIN" --tenant-manifest "$tmpdir/tenants.json" \
+  --order shuffled --generate 10 --batch 1 --train-docs 12 --train-steps 40 \
+  --repeat 2 > "$tmpdir/tenant_serial.jsonl"
+echo "=== multi-tenant serve with FIELDSWAP_THREADS=8, batch 16 ==="
+FIELDSWAP_THREADS=8 "$SERVE_BIN" --tenant-manifest "$tmpdir/tenants.json" \
+  --order shuffled --generate 10 --batch 16 --train-docs 12 --train-steps 40 \
+  --repeat 2 > "$tmpdir/tenant_pooled.jsonl"
+echo "=== diffing multi-tenant JSONL (per-tenant streams) ==="
+for tenant in acme globex; do
+  grep "\"tenant\": \"$tenant\"" "$tmpdir/tenant_serial.jsonl" \
+    > "$tmpdir/tenant_serial_$tenant.jsonl"
+  grep "\"tenant\": \"$tenant\"" "$tmpdir/tenant_pooled.jsonl" \
+    > "$tmpdir/tenant_pooled_$tenant.jsonl"
+  if diff "$tmpdir/tenant_serial_$tenant.jsonl" \
+          "$tmpdir/tenant_pooled_$tenant.jsonl"; then
+    echo "OK [tenant=$tenant]: responses bit-identical across threads and batches"
+  else
+    echo "FAIL [tenant=$tenant]: multi-tenant serve output differs" >&2
+    exit 1
+  fi
+done
+if diff "$tmpdir/tenant_serial.jsonl" "$tmpdir/tenant_pooled.jsonl" > /dev/null; then
+  echo "OK [multi-tenant]: full interleaved stream bit-identical"
+else
+  echo "FAIL [multi-tenant]: interleaved stream differs across threads/batch size" >&2
+  exit 1
+fi
