@@ -1,0 +1,874 @@
+#include "lint/concurrency.h"
+
+#include <algorithm>
+#include <iterator>
+#include <tuple>
+
+#include "util/strings.h"
+
+namespace fieldswap {
+namespace lint {
+
+namespace {
+
+int LineForOffset(const std::vector<size_t>& line_starts, size_t offset) {
+  return static_cast<int>(
+      std::upper_bound(line_starts.begin(), line_starts.end(), offset) -
+      line_starts.begin());
+}
+
+/// "src/util/logging.cc" -> "logging" — used to qualify file-scope and
+/// function-local mutexes so equal names in different files never alias.
+std::string FileStem(const std::string& rel_path) {
+  size_t slash = rel_path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? rel_path : rel_path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  return base;
+}
+
+/// "Cls::mu_" -> "mu_"; "PoolMutex()" -> "PoolMutex".
+std::string BaseName(const std::string& qual) {
+  std::string s = qual;
+  if (EndsWith(s, "()")) s = s.substr(0, s.size() - 2);
+  size_t pos = s.rfind("::");
+  if (pos != std::string::npos) s = s.substr(pos + 2);
+  while (!s.empty() && (s.front() == '&' || s.front() == '*')) s.erase(0, 1);
+  return s;
+}
+
+bool IsCppKeywordish(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",     "else",    "for",     "while",  "do",      "switch",
+      "case",   "return",  "break",   "continue", "sizeof", "new",
+      "delete", "this",    "true",    "false",  "nullptr", "const",
+      "static", "auto",    "void",    "int",    "bool",    "char",
+      "float",  "double",  "long",    "short",  "unsigned", "signed",
+      "struct", "class",   "enum",    "union",  "namespace", "using",
+      "typedef", "template", "typename", "operator", "try", "catch",
+      "throw",  "default", "public",  "private", "protected", "std",
+      "constexpr", "mutable", "volatile", "inline", "friend", "goto",
+      "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+      "noexcept", "decltype", "co_await", "co_return", "co_yield",
+  };
+  return kw.count(s) != 0;
+}
+
+const std::set<std::string>& MutexHeads() {
+  static const std::set<std::string> heads = {
+      "mutex",       "recursive_mutex",     "timed_mutex",
+      "shared_mutex", "shared_timed_mutex", "recursive_timed_mutex",
+      "OrderedMutex",
+  };
+  return heads;
+}
+
+/// Cross-file symbol tables merged from every registered CstFile.
+struct Tables {
+  // class -> member name -> decl (variables only; methods are separate).
+  std::map<std::string, std::map<std::string, MemberDecl>> class_members;
+  // class -> method name -> FS_REQUIRES / FS_EXCLUDES annotations.
+  std::map<std::string, std::map<std::string, MethodAnnotation>> method_ann;
+  // member name -> guard base names, across every class annotating it.
+  std::map<std::string, std::set<std::string>> guards_by_member;
+  // member names that some class defines WITHOUT a guard — dotted accesses
+  // to these are ambiguous (cannot tell the owning class), so skipped.
+  std::set<std::string> unannotated_somewhere;
+  // mutex-typed member name -> classes declaring it.
+  std::map<std::string, std::set<std::string>> mutex_member_classes;
+  // member names that are std::function-typed in some class / any class.
+  std::set<std::string> callback_members;
+  std::set<std::string> noncallback_members;
+  // rel_path -> file-scope variable name -> decl.
+  std::map<std::string, std::map<std::string, MemberDecl>> globals;
+};
+
+struct Witness {
+  std::string file;
+  int line = 0;
+  std::string chain;  // human-readable acquisition chain with anchors
+};
+
+using EdgeMap = std::map<std::pair<std::string, std::string>, Witness>;
+
+struct ResolvedMutex {
+  std::string qual;
+  std::string base;
+};
+
+/// Walks one function body, tracking the held-lock stack.
+class FunctionWalker {
+ public:
+  FunctionWalker(const Tables& tables, const std::string& rel_path,
+                 const CstFile& cst, const std::vector<size_t>& line_starts,
+                 const FunctionDecl& fn, EdgeMap* edges,
+                 std::vector<Diagnostic>* diags)
+      : tables_(tables),
+        rel_path_(rel_path),
+        toks_(cst.tokens),
+        line_starts_(line_starts),
+        fn_(fn),
+        edges_(edges),
+        diags_(diags) {}
+
+  void Run() {
+    SeedRequiredLocks();
+    const size_t end = std::min(fn_.body_end, toks_.size());
+    for (size_t j = fn_.body_begin + 1; j < end; ++j) {
+      const CstToken& t = toks_[j];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "{") {
+          ++depth_;
+        } else if (t.text == "}") {
+          ReleaseScope(depth_);
+          --depth_;
+        }
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+      const std::string& word = t.text;
+      if (word == "lock_guard" || word == "scoped_lock" ||
+          word == "unique_lock" || word == "shared_lock") {
+        j = HandleLockDecl(j, word);
+        continue;
+      }
+      if (MutexHeads().count(word) != 0) {
+        // Function-local mutex declaration: `std::mutex m;`.
+        if (IsIdent(j + 1) && !IsPunct(j + 2, "(")) {
+          local_mutexes_[toks_[j + 1].text] =
+              FileStem(rel_path_) + "::" + fn_.name + "::" + toks_[j + 1].text;
+          j += 1;
+        }
+        continue;
+      }
+      if (word == "function" || word == "move_only_function") {
+        size_t k = SkipTemplateArgs(toks_, j + 1);
+        if (k != j + 1 && IsIdent(k)) local_callbacks_.insert(toks_[k].text);
+        if (k > j) j = k;
+        continue;
+      }
+      if ((word == "lock" || word == "unlock") && IsPrevAccess(j) &&
+          IsPunct(j + 1, "(")) {
+        HandleLockToggle(j, word == "lock");
+        j = MatchingClose(toks_, j + 1);
+        continue;
+      }
+      if ((word == "wait" || word == "wait_for" || word == "wait_until") &&
+          IsPrevAccess(j) && IsPunct(j + 1, "(")) {
+        HandleCvWait(j);
+        // Keep walking inside the call: wait predicates read guarded state.
+        continue;
+      }
+      CheckAccess(j, word);
+    }
+  }
+
+ private:
+  bool IsIdent(size_t i) const {
+    return i < toks_.size() && toks_[i].kind == TokKind::kIdent;
+  }
+  bool IsPunct(size_t i, const char* p) const {
+    return i < toks_.size() && toks_[i].kind == TokKind::kPunct &&
+           toks_[i].text == p;
+  }
+  bool IsPrevAccess(size_t i) const {
+    return i >= 1 && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->"));
+  }
+  int LineOf(size_t i) const {
+    return LineForOffset(line_starts_, toks_[i].offset);
+  }
+
+  struct Held {
+    std::string qual;
+    std::string base;
+    std::string file;
+    int line = 0;
+    int depth = 0;   // -1: held on entry via FS_REQUIRES, never released
+    int group = -1;  // scoped_lock group: no edges within one group
+  };
+
+  void SeedRequiredLocks() {
+    std::vector<std::string> reqs = fn_.requires_locks;
+    auto cit = tables_.method_ann.find(fn_.cls);
+    if (cit != tables_.method_ann.end()) {
+      auto mit = cit->second.find(fn_.name);
+      if (mit != cit->second.end()) {
+        for (const std::string& r : mit->second.requires_locks) {
+          if (std::find(reqs.begin(), reqs.end(), r) == reqs.end()) {
+            reqs.push_back(r);
+          }
+        }
+      }
+    }
+    for (const std::string& r : reqs) {
+      ResolvedMutex m = QualifyAnnotationArg(r);
+      held_.push_back(Held{m.qual, m.base, rel_path_, fn_.line, -1, -1});
+      // Bind unique_lock& parameters to the required mutex: the caller
+      // passed in the lock object that owns it.
+      for (const std::string& p : fn_.lock_params) {
+        if (lock_vars_.count(p) == 0) {
+          lock_vars_[p] = m;
+          break;
+        }
+      }
+    }
+  }
+
+  ResolvedMutex QualifyAnnotationArg(const std::string& arg) const {
+    ResolvedMutex m;
+    m.base = BaseName(arg);
+    if (arg.find("::") != std::string::npos) {
+      m.qual = arg;
+    } else if (!fn_.cls.empty() && MemberOf(fn_.cls, m.base) != nullptr) {
+      m.qual = fn_.cls + "::" + m.base;
+    } else {
+      m.qual = arg;
+    }
+    return m;
+  }
+
+  const MemberDecl* MemberOf(const std::string& cls,
+                             const std::string& name) const {
+    auto cit = tables_.class_members.find(cls);
+    if (cit == tables_.class_members.end()) return nullptr;
+    auto mit = cit->second.find(name);
+    return mit == cit->second.end() ? nullptr : &mit->second;
+  }
+
+  const MemberDecl* FileGlobal(const std::string& name) const {
+    auto fit = tables_.globals.find(rel_path_);
+    if (fit == tables_.globals.end()) return nullptr;
+    auto git = fit->second.find(name);
+    return git == fit->second.end() ? nullptr : &git->second;
+  }
+
+  /// Resolves the mutex expression in token range [s, e).
+  ResolvedMutex ResolveMutexExpr(size_t s, size_t e) const {
+    size_t last_ident = toks_.size();
+    for (size_t k = s; k < e && k < toks_.size(); ++k) {
+      if (toks_[k].kind == TokKind::kIdent && toks_[k].text != "std" &&
+          toks_[k].text != "this") {
+        last_ident = k;
+      }
+    }
+    ResolvedMutex m;
+    if (last_ident == toks_.size()) return m;
+    m.base = toks_[last_ident].text;
+    bool call_form = last_ident + 1 < e && IsPunct(last_ident + 1, "(");
+    if (call_form) {
+      m.qual = FileStem(rel_path_) + "::" + m.base + "()";
+      return m;
+    }
+    if (last_ident >= 2 && IsPunct(last_ident - 1, "::") &&
+        IsIdent(last_ident - 2)) {
+      m.qual = toks_[last_ident - 2].text + "::" + m.base;
+      return m;
+    }
+    if (last_ident >= 1 && IsPrevAccess(last_ident)) {
+      // obj.mu_ / ptr->mu_ — attribute to the unique class declaring a
+      // mutex member of this name, if there is exactly one.
+      auto it = tables_.mutex_member_classes.find(m.base);
+      if (it != tables_.mutex_member_classes.end() && it->second.size() == 1) {
+        m.qual = *it->second.begin() + "::" + m.base;
+      } else if (!fn_.cls.empty() && MemberOf(fn_.cls, m.base) != nullptr) {
+        m.qual = fn_.cls + "::" + m.base;
+      } else {
+        m.qual = m.base;
+      }
+      return m;
+    }
+    // Bare identifier.
+    auto lit = local_mutexes_.find(m.base);
+    if (lit != local_mutexes_.end()) {
+      m.qual = lit->second;
+      return m;
+    }
+    if (!fn_.cls.empty() && MemberOf(fn_.cls, m.base) != nullptr) {
+      m.qual = fn_.cls + "::" + m.base;
+      return m;
+    }
+    if (FileGlobal(m.base) != nullptr) {
+      m.qual = FileStem(rel_path_) + "::" + m.base;
+      return m;
+    }
+    auto it = tables_.mutex_member_classes.find(m.base);
+    if (it != tables_.mutex_member_classes.end() && it->second.size() == 1) {
+      m.qual = *it->second.begin() + "::" + m.base;
+      return m;
+    }
+    // Unknown: qualify by file+function so names never alias across files.
+    m.qual = FileStem(rel_path_) + "::" + fn_.name + "::" + m.base;
+    return m;
+  }
+
+  std::string ChainString(const ResolvedMutex& m, int line) const {
+    std::string chain;
+    for (const Held& h : held_) {
+      chain += h.qual + " (" + h.file + ":" + std::to_string(h.line) + ") -> ";
+    }
+    chain += m.qual + " (" + rel_path_ + ":" + std::to_string(line) + ")";
+    return chain;
+  }
+
+  void Acquire(const ResolvedMutex& m, int line, int group) {
+    if (m.qual.empty()) return;
+    for (const Held& h : held_) {
+      if (h.qual == m.qual) continue;
+      if (group >= 0 && h.group == group) continue;
+      auto key = std::make_pair(h.qual, m.qual);
+      if (edges_->count(key) == 0) {
+        (*edges_)[key] = Witness{rel_path_, line, ChainString(m, line)};
+      }
+    }
+    held_.push_back(Held{m.qual, m.base, rel_path_, line, depth_, group});
+  }
+
+  void Release(const std::string& qual) {
+    for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+      if (it->qual == qual && it->depth >= 0) {
+        held_.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+
+  void ReleaseScope(int depth) {
+    held_.erase(std::remove_if(held_.begin(), held_.end(),
+                               [depth](const Held& h) {
+                                 return h.depth == depth;
+                               }),
+                held_.end());
+  }
+
+  bool HoldsBase(const std::string& base) const {
+    for (const Held& h : held_) {
+      if (h.base == base) return true;
+    }
+    return false;
+  }
+
+  /// toks_[j] is lock_guard / scoped_lock / unique_lock / shared_lock.
+  /// Handles the declaration and returns the index to resume after.
+  size_t HandleLockDecl(size_t j, const std::string& kind) {
+    size_t k = SkipTemplateArgs(toks_, j + 1);
+    std::string var;
+    if (IsIdent(k)) {
+      var = toks_[k].text;
+      ++k;
+    }
+    if (!IsPunct(k, "(") && !IsPunct(k, "{")) return k - 1;
+    size_t close = MatchingClose(toks_, k);
+    // Split arguments at top-level commas.
+    std::vector<std::pair<size_t, size_t>> args;
+    size_t arg_start = k + 1;
+    for (size_t p = k + 1; p < close; ++p) {
+      if (IsPunct(p, "(") || IsPunct(p, "[") || IsPunct(p, "{")) {
+        p = MatchingClose(toks_, p);
+        continue;
+      }
+      if (IsPunct(p, "<")) {
+        size_t q = SkipTemplateArgs(toks_, p);
+        if (q != p) p = q - 1;
+        continue;
+      }
+      if (IsPunct(p, ",")) {
+        args.emplace_back(arg_start, p);
+        arg_start = p + 1;
+      }
+    }
+    if (arg_start < close) args.emplace_back(arg_start, close);
+    bool defer = false;
+    std::vector<std::pair<size_t, size_t>> mutex_args;
+    for (const auto& a : args) {
+      bool tag = false;
+      for (size_t p = a.first; p < a.second; ++p) {
+        if (IsIdent(p) && (toks_[p].text == "defer_lock" ||
+                           toks_[p].text == "adopt_lock" ||
+                           toks_[p].text == "try_to_lock")) {
+          tag = true;
+          if (toks_[p].text == "defer_lock") defer = true;
+        }
+      }
+      if (!tag) mutex_args.push_back(a);
+    }
+    int line = LineOf(j);
+    if (kind == "unique_lock" || kind == "shared_lock") {
+      if (!mutex_args.empty()) {
+        ResolvedMutex m = ResolveMutexExpr(mutex_args[0].first,
+                                           mutex_args[0].second);
+        if (!var.empty()) lock_vars_[var] = m;
+        if (!defer) Acquire(m, line, -1);
+      }
+      return close;
+    }
+    // lock_guard: one mutex; scoped_lock: several, acquired as one group
+    // (no ordering among them — std::scoped_lock deadlock-avoids).
+    int group = kind == "scoped_lock" ? next_group_++ : -1;
+    for (const auto& a : mutex_args) {
+      Acquire(ResolveMutexExpr(a.first, a.second), line, group);
+    }
+    return close;
+  }
+
+  /// v.lock() / v.unlock() on a bound lock object, or m.lock()/m.unlock()
+  /// directly on a known mutex.
+  void HandleLockToggle(size_t j, bool is_lock) {
+    if (j < 2 || !IsIdent(j - 2)) return;
+    const std::string& owner = toks_[j - 2].text;
+    int line = LineOf(j);
+    auto vit = lock_vars_.find(owner);
+    if (vit != lock_vars_.end()) {
+      if (is_lock) {
+        Acquire(vit->second, line, -1);
+      } else {
+        Release(vit->second.qual);
+      }
+      return;
+    }
+    // Direct mutex .lock()/.unlock(): only when it resolves to something
+    // we know is a mutex (member, file global, or local).
+    const MemberDecl* mem =
+        fn_.cls.empty() ? nullptr : MemberOf(fn_.cls, owner);
+    const MemberDecl* glob = FileGlobal(owner);
+    bool known_mutex = (mem != nullptr && mem->is_mutex) ||
+                       (glob != nullptr && glob->is_mutex) ||
+                       local_mutexes_.count(owner) != 0;
+    if (!known_mutex) return;
+    ResolvedMutex m = ResolveMutexExpr(j - 2, j - 1);
+    if (is_lock) {
+      Acquire(m, line, -1);
+    } else {
+      Release(m.qual);
+    }
+  }
+
+  /// cv.wait(lock, ...) — the lock is released while waiting and
+  /// re-acquired on wake-up, so every *other* held lock gains an edge to
+  /// the waited mutex (the re-acquisition nests under them).
+  void HandleCvWait(size_t j) {
+    size_t open = j + 1;
+    size_t first = open + 1;
+    if (!IsIdent(first)) return;
+    auto vit = lock_vars_.find(toks_[first].text);
+    if (vit == lock_vars_.end()) return;
+    const ResolvedMutex& m = vit->second;
+    int line = LineOf(j);
+    for (const Held& h : held_) {
+      if (h.qual == m.qual) continue;
+      auto key = std::make_pair(h.qual, m.qual);
+      if (edges_->count(key) == 0) {
+        (*edges_)[key] =
+            Witness{rel_path_, line,
+                    h.qual + " (" + h.file + ":" + std::to_string(h.line) +
+                        ") -> " + m.qual + " (re-acquired after wait, " +
+                        rel_path_ + ":" + std::to_string(line) + ")"};
+      }
+    }
+  }
+
+  void Emit(const std::string& rule, int line, const std::string& message) {
+    auto key = std::make_tuple(rule, line, message);
+    if (!emitted_.insert(key).second) return;
+    diags_->push_back(Diagnostic{rel_path_, line, rule, message});
+  }
+
+  void CheckGuard(const std::string& member, const std::set<std::string>& guards,
+                  int line) {
+    if (fn_.is_ctor_or_dtor) return;
+    for (const std::string& g : guards) {
+      if (HoldsBase(g)) return;
+    }
+    const std::string& g = *guards.begin();
+    Emit("guarded-by", line,
+         "member '" + member + "' is annotated FS_GUARDED_BY(" + g +
+             ") but is accessed without holding '" + g +
+             "'; acquire the mutex or annotate the enclosing function "
+             "FS_REQUIRES(" + g + ")");
+  }
+
+  void CheckCallback(const std::string& name, int line) {
+    if (held_.empty()) return;
+    Emit("no-lock-across-callback", line,
+         "invokes user-supplied callback '" + name + "' while holding '" +
+             held_.back().qual +
+             "'; a callback that re-enters the locked object deadlocks — "
+             "copy the callback and invoke it after releasing the lock");
+  }
+
+  void CheckExcludesCall(const std::string& method, const std::string& cls,
+                         int line) {
+    std::vector<std::string> excludes;
+    if (!cls.empty()) {
+      auto cit = tables_.method_ann.find(cls);
+      if (cit != tables_.method_ann.end()) {
+        auto mit = cit->second.find(method);
+        if (mit != cit->second.end()) excludes = mit->second.excludes_locks;
+      }
+    } else {
+      for (const auto& kv : tables_.method_ann) {
+        auto mit = kv.second.find(method);
+        if (mit != kv.second.end()) {
+          excludes.insert(excludes.end(), mit->second.excludes_locks.begin(),
+                          mit->second.excludes_locks.end());
+        }
+      }
+    }
+    for (const std::string& e : excludes) {
+      std::string base = BaseName(e);
+      if (HoldsBase(base)) {
+        Emit("lock-order", line,
+             "calls '" + method + "()' annotated FS_EXCLUDES(" + e +
+                 ") while holding '" + base +
+                 "'; the callee re-acquires it — self-deadlock");
+        return;
+      }
+    }
+  }
+
+  void CheckAccess(size_t j, const std::string& word) {
+    if (IsCppKeywordish(word)) return;
+    if (word == "FS_GUARDED_BY" || word == "FS_REQUIRES" ||
+        word == "FS_EXCLUDES") {
+      return;
+    }
+    if (j >= 1 && IsPunct(j - 1, "::")) return;  // qualified: Cls::kConst
+    if (IsPunct(j + 1, "::")) return;            // namespace/class qualifier
+    bool is_call = IsPunct(j + 1, "(");
+    int line = LineOf(j);
+    if (IsPrevAccess(j)) {
+      bool owner_this = j >= 2 && IsIdent(j - 2) && toks_[j - 2].text == "this";
+      if (is_call) {
+        if (tables_.callback_members.count(word) != 0 &&
+            tables_.noncallback_members.count(word) == 0 &&
+            !fn_.is_ctor_or_dtor) {
+          CheckCallback(word, line);
+        } else {
+          CheckExcludesCall(word, owner_this ? fn_.cls : std::string(), line);
+        }
+        return;
+      }
+      if (owner_this) {
+        const MemberDecl* m =
+            fn_.cls.empty() ? nullptr : MemberOf(fn_.cls, word);
+        if (m != nullptr && !m->guard.empty()) {
+          CheckGuard(word, {BaseName(m->guard)}, line);
+        }
+        return;
+      }
+      auto git = tables_.guards_by_member.find(word);
+      if (git != tables_.guards_by_member.end() &&
+          tables_.unannotated_somewhere.count(word) == 0) {
+        std::set<std::string> bases;
+        for (const std::string& g : git->second) bases.insert(BaseName(g));
+        CheckGuard(word, bases, line);
+      }
+      return;
+    }
+    // Bare identifier.
+    if (local_callbacks_.count(word) != 0 && is_call && !held_.empty()) {
+      CheckCallback(word, line);
+      return;
+    }
+    if (!fn_.cls.empty()) {
+      const MemberDecl* m = MemberOf(fn_.cls, word);
+      if (m != nullptr) {
+        if (m->is_callback && is_call && !fn_.is_ctor_or_dtor) {
+          CheckCallback(word, line);
+        } else if (!is_call && !m->guard.empty()) {
+          CheckGuard(word, {BaseName(m->guard)}, line);
+        }
+        return;
+      }
+      if (is_call) {
+        CheckExcludesCall(word, fn_.cls, line);
+        return;
+      }
+    }
+    const MemberDecl* g = FileGlobal(word);
+    if (g != nullptr && !is_call && !g->guard.empty()) {
+      CheckGuard(word, {BaseName(g->guard)}, line);
+    }
+  }
+
+  const Tables& tables_;
+  const std::string& rel_path_;
+  const std::vector<CstToken>& toks_;
+  const std::vector<size_t>& line_starts_;
+  const FunctionDecl& fn_;
+  EdgeMap* edges_;
+  std::vector<Diagnostic>* diags_;
+
+  std::vector<Held> held_;
+  std::map<std::string, ResolvedMutex> lock_vars_;
+  std::map<std::string, std::string> local_mutexes_;
+  std::set<std::string> local_callbacks_;
+  std::set<std::tuple<std::string, int, std::string>> emitted_;
+  int depth_ = 0;
+  int next_group_ = 0;
+};
+
+/// Tarjan strongly-connected components over the observed edge graph.
+class SccFinder {
+ public:
+  explicit SccFinder(const std::map<std::string, std::vector<std::string>>& adj)
+      : adj_(adj) {}
+
+  std::vector<std::vector<std::string>> Find() {
+    for (const auto& kv : adj_) {
+      if (index_.count(kv.first) == 0) Strong(kv.first);
+    }
+    return sccs_;
+  }
+
+ private:
+  void Strong(const std::string& v) {
+    index_[v] = low_[v] = next_++;
+    stack_.push_back(v);
+    on_stack_.insert(v);
+    auto it = adj_.find(v);
+    if (it != adj_.end()) {
+      for (const std::string& w : it->second) {
+        if (index_.count(w) == 0) {
+          Strong(w);
+          low_[v] = std::min(low_[v], low_[w]);
+        } else if (on_stack_.count(w) != 0) {
+          low_[v] = std::min(low_[v], index_[w]);
+        }
+      }
+    }
+    if (low_[v] == index_[v]) {
+      std::vector<std::string> scc;
+      std::string w;
+      do {
+        w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        scc.push_back(w);
+      } while (w != v);
+      if (scc.size() > 1) {
+        std::sort(scc.begin(), scc.end());
+        sccs_.push_back(std::move(scc));
+      }
+    }
+  }
+
+  const std::map<std::string, std::vector<std::string>>& adj_;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> low_;
+  std::vector<std::string> stack_;
+  std::set<std::string> on_stack_;
+  std::vector<std::vector<std::string>> sccs_;
+  int next_ = 0;
+};
+
+}  // namespace
+
+bool LockOrderManifest::Parse(const std::string& text, std::string* error) {
+  edges_.clear();
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    size_t line_end = nl == std::string::npos ? text.size() : nl;
+    std::string line = text.substr(pos, line_end - pos);
+    pos = line_end + 1;
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    size_t arrow = trimmed.find("->");
+    if (arrow == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) +
+                 ": expected '<held> -> <acquired>', got '" +
+                 std::string(trimmed) + "'";
+      }
+      return false;
+    }
+    std::string from(TrimWhitespace(trimmed.substr(0, arrow)));
+    std::string to(TrimWhitespace(trimmed.substr(arrow + 2)));
+    if (from.empty() || to.empty() || from == to) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": malformed edge";
+      }
+      return false;
+    }
+    edges_.insert({from, to});
+  }
+  // The declared order must be a DAG: a cycle in the manifest would bless
+  // the very deadlock the rule exists to prevent.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& e : edges_) adj[e.first].push_back(e.second);
+  for (auto& kv : adj) std::sort(kv.second.begin(), kv.second.end());
+  SccFinder finder(adj);
+  std::vector<std::vector<std::string>> sccs = finder.Find();
+  if (!sccs.empty()) {
+    if (error != nullptr) {
+      std::string names;
+      for (const std::string& n : sccs.front()) {
+        if (!names.empty()) names += ", ";
+        names += n;
+      }
+      *error = "declared acquisition order contains a cycle among {" + names +
+               "}";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool LockOrderManifest::Allows(const std::string& from,
+                               const std::string& to) const {
+  return edges_.count({from, to}) != 0;
+}
+
+void ConcurrencyAnalyzer::AddFile(const std::string& rel_path,
+                                  const LexedFile& lexed) {
+  FileEntry entry;
+  entry.rel_path = rel_path;
+  entry.cst = ParseCst(lexed);
+  entry.line_starts = lexed.line_starts;
+  files_.push_back(std::move(entry));
+}
+
+std::vector<Diagnostic> ConcurrencyAnalyzer::Analyze(
+    const LockOrderManifest* manifest) const {
+  Tables tables;
+  for (const FileEntry& f : files_) {
+    for (const ClassDecl& cd : f.cst.classes) {
+      auto& members = tables.class_members[cd.name];
+      for (const MemberDecl& m : cd.members) {
+        MemberDecl& slot = members[m.name];
+        // Merge across declarations (header + cc see the same class).
+        if (slot.name.empty()) slot = m;
+        if (!m.guard.empty()) slot.guard = m.guard;
+        slot.is_mutex = slot.is_mutex || m.is_mutex;
+        slot.is_callback = slot.is_callback || m.is_callback;
+      }
+      auto& anns = tables.method_ann[cd.name];
+      for (const MethodAnnotation& ma : cd.method_annotations) {
+        MethodAnnotation& slot = anns[ma.name];
+        slot.name = ma.name;
+        for (const std::string& r : ma.requires_locks) {
+          if (std::find(slot.requires_locks.begin(), slot.requires_locks.end(),
+                        r) == slot.requires_locks.end()) {
+            slot.requires_locks.push_back(r);
+          }
+        }
+        for (const std::string& e : ma.excludes_locks) {
+          if (std::find(slot.excludes_locks.begin(), slot.excludes_locks.end(),
+                        e) == slot.excludes_locks.end()) {
+            slot.excludes_locks.push_back(e);
+          }
+        }
+      }
+    }
+    for (const MemberDecl& g : f.cst.globals) {
+      tables.globals[f.rel_path][g.name] = g;
+    }
+  }
+  for (const auto& ckv : tables.class_members) {
+    for (const auto& mkv : ckv.second) {
+      const MemberDecl& m = mkv.second;
+      if (!m.guard.empty()) {
+        tables.guards_by_member[m.name].insert(m.guard);
+      } else {
+        tables.unannotated_somewhere.insert(m.name);
+      }
+      if (m.is_mutex) tables.mutex_member_classes[m.name].insert(ckv.first);
+      if (m.is_callback) {
+        tables.callback_members.insert(m.name);
+      } else {
+        tables.noncallback_members.insert(m.name);
+      }
+    }
+  }
+
+  EdgeMap edges;
+  std::vector<Diagnostic> diags;
+  for (const FileEntry& f : files_) {
+    for (const FunctionDecl& fn : f.cst.functions) {
+      FunctionWalker walker(tables, f.rel_path, f.cst, f.line_starts, fn,
+                            &edges, &diags);
+      walker.Run();
+    }
+  }
+
+  observed_edges_.clear();
+  for (const auto& e : edges) {
+    observed_edges_.push_back(e.first.first + " -> " + e.first.second);
+  }
+
+  // Deadlock cycles over the observed nested-acquisition graph.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& e : edges) adj[e.first.first].push_back(e.first.second);
+  for (auto& kv : adj) std::sort(kv.second.begin(), kv.second.end());
+  SccFinder finder(adj);
+  for (const std::vector<std::string>& scc : finder.Find()) {
+    std::set<std::string> in_scc(scc.begin(), scc.end());
+    // Collect the witnesses of every edge inside the cycle, ordered by
+    // their source location so the anchor is deterministic.
+    std::vector<std::pair<const std::pair<std::string, std::string>*,
+                          const Witness*>> cyc;
+    for (const auto& e : edges) {
+      if (in_scc.count(e.first.first) != 0 &&
+          in_scc.count(e.first.second) != 0) {
+        cyc.push_back({&e.first, &e.second});
+      }
+    }
+    std::sort(cyc.begin(), cyc.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second->file != b.second->file) {
+                  return a.second->file < b.second->file;
+                }
+                if (a.second->line != b.second->line) {
+                  return a.second->line < b.second->line;
+                }
+                return *a.first < *b.first;
+              });
+    if (cyc.empty()) continue;
+    std::string names;
+    for (const std::string& n : scc) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    std::string msg = "potential deadlock: lock acquisition cycle among {" +
+                      names + "}";
+    int chain_no = 0;
+    for (const auto& c : cyc) {
+      msg += "; chain " + std::to_string(++chain_no) + ": " + c.second->chain;
+    }
+    msg += " — establish one acquisition order (see tools/lock_order.txt)";
+    diags.push_back(Diagnostic{cyc.front().second->file,
+                               cyc.front().second->line, "lock-order", msg});
+  }
+
+  // Manifest conformance: every nested acquisition observed in src/ must be
+  // declared. (Fixtures and tests exercise inversions on purpose.)
+  if (manifest != nullptr) {
+    for (const auto& e : edges) {
+      const Witness& w = e.second;
+      if (w.file.compare(0, 4, "src/") != 0) continue;
+      if (manifest->Allows(e.first.first, e.first.second)) continue;
+      diags.push_back(Diagnostic{
+          w.file, w.line, "lock-order",
+          "nested acquisition '" + e.first.first + " -> " + e.first.second +
+              "' is not declared in tools/lock_order.txt; declare it (keeping "
+              "the manifest acyclic) or restructure the locking"});
+    }
+  }
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return diags;
+}
+
+}  // namespace lint
+}  // namespace fieldswap

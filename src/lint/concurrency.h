@@ -1,0 +1,80 @@
+#ifndef FIELDSWAP_LINT_CONCURRENCY_H_
+#define FIELDSWAP_LINT_CONCURRENCY_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/cst.h"
+#include "lint/rules.h"
+
+namespace fieldswap {
+namespace lint {
+
+/// The declared lock acquisition order (tools/lock_order.txt). Each line
+/// `A -> B` permits acquiring B while A is held; `#` starts a comment.
+/// The declared edges must themselves be acyclic.
+class LockOrderManifest {
+ public:
+  /// Parses manifest text. Returns false and fills *error on a malformed
+  /// line or if the declared order contains a cycle.
+  bool Parse(const std::string& text, std::string* error);
+
+  bool Allows(const std::string& from, const std::string& to) const;
+  size_t edge_count() const { return edges_.size(); }
+
+ private:
+  std::set<std::pair<std::string, std::string>> edges_;
+};
+
+/// Whole-tree flow-aware concurrency analysis over the CST layer:
+///
+///  * `guarded-by`   — a member annotated FS_GUARDED_BY(m) is touched in a
+///                     scope where `m` is not held (and the function is not
+///                     FS_REQUIRES(m), nor a constructor/destructor).
+///  * `lock-order`   — the nested-acquisition graph observed across every
+///                     registered file contains a cycle (potential
+///                     deadlock, reported with both acquisition chains), a
+///                     src/ file acquires nested locks in an order not
+///                     declared in the manifest, or a method annotated
+///                     FS_EXCLUDES(m) is called with `m` held.
+///  * `no-lock-across-callback` — a user-supplied std::function member is
+///                     invoked while any lock is held (re-entrancy
+///                     deadlock: the callback may call back into the
+///                     locked object).
+///
+/// Register every file first (annotations in headers apply to method
+/// definitions in .cc files), then call Analyze() once.
+class ConcurrencyAnalyzer {
+ public:
+  /// Parses and registers one file.
+  void AddFile(const std::string& rel_path, const LexedFile& lexed);
+
+  /// Runs the analysis over everything registered. `manifest` may be null
+  /// to skip the declared-order check (cycle detection still runs).
+  std::vector<Diagnostic> Analyze(const LockOrderManifest* manifest) const;
+
+  /// The observed nested-acquisition edges from the last Analyze() run,
+  /// formatted `A -> B`, sorted — the exact lines a complete
+  /// tools/lock_order.txt needs (used by fslint --dump-lock-order).
+  const std::vector<std::string>& observed_edges() const {
+    return observed_edges_;
+  }
+
+ private:
+  struct FileEntry {
+    std::string rel_path;
+    CstFile cst;
+    std::vector<size_t> line_starts;
+  };
+  std::vector<FileEntry> files_;
+  mutable std::vector<std::string> observed_edges_;
+};
+
+}  // namespace lint
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_LINT_CONCURRENCY_H_

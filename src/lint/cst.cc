@@ -1,0 +1,664 @@
+#include "lint/cst.h"
+
+#include <cctype>
+#include <set>
+
+namespace fieldswap {
+namespace lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character operators, longest first within each leading char.
+const char* const kMultiPunct[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*", "##",
+};
+
+}  // namespace
+
+std::vector<CstToken> TokenizeCode(const LexedFile& lexed) {
+  const std::string& s = lexed.code;
+  std::vector<CstToken> out;
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(s[j])) ++j;
+      out.push_back({TokKind::kIdent, s.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(s[i + 1]))) {
+      size_t j = i + 1;
+      while (j < n) {
+        char d = s[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+                    s[j - 1] == 'P')) {
+          ++j;  // exponent sign: 1e-6, 0x1p+3
+        } else {
+          break;
+        }
+      }
+      out.push_back({TokKind::kNumber, s.substr(i, j - i), i});
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      // The lexer blanked string contents (except #include paths), so the
+      // next '"' closes the literal.
+      size_t j = s.find('"', i + 1);
+      if (j == std::string::npos) j = n - 1;
+      out.push_back({TokKind::kString, s.substr(i, j - i + 1), i});
+      i = j + 1;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = s.find('\'', i + 1);
+      if (j == std::string::npos) j = n - 1;
+      out.push_back({TokKind::kString, s.substr(i, j - i + 1), i});
+      i = j + 1;
+      continue;
+    }
+    bool matched = false;
+    for (const char* op : kMultiPunct) {
+      size_t len = (op[2] == '\0') ? 2 : 3;
+      if (s.compare(i, len, op) == 0) {
+        out.push_back({TokKind::kPunct, std::string(op), i});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.push_back({TokKind::kPunct, std::string(1, c), i});
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t MatchingClose(const std::vector<CstToken>& tokens, size_t open) {
+  char o = tokens[open].text[0];
+  char close = o == '(' ? ')' : (o == '[' ? ']' : '}');
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    const CstToken& t = tokens[i];
+    if (t.kind != TokKind::kPunct || t.text.size() != 1) continue;
+    char c = t.text[0];
+    if (c == o) {
+      ++depth;
+    } else if (c == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.empty() ? 0 : tokens.size() - 1;
+}
+
+size_t SkipTemplateArgs(const std::vector<CstToken>& tokens, size_t i) {
+  if (i >= tokens.size() || tokens[i].kind != TokKind::kPunct ||
+      tokens[i].text != "<") {
+    return i;
+  }
+  int depth = 0;
+  for (size_t j = i; j < tokens.size(); ++j) {
+    const CstToken& t = tokens[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t.text == "(") {
+      j = MatchingClose(tokens, j);
+    } else if (t.text == ";" || t.text == "{" || t.text == "}" ||
+               t.text == "&&" || t.text == "||") {
+      return i;  // statement boundary: it was a comparison after all
+    }
+  }
+  return i;
+}
+
+namespace {
+
+const std::set<std::string>& CppKeywords() {
+  static const std::set<std::string> kw = {
+      "alignas",  "alignof",  "auto",     "bool",      "break",    "case",
+      "catch",    "char",     "class",    "const",     "constexpr",
+      "consteval", "constinit", "continue", "decltype", "default",  "delete",
+      "do",       "double",   "else",     "enum",      "explicit", "export",
+      "extern",   "false",    "float",    "for",       "friend",   "goto",
+      "if",       "inline",   "int",      "long",      "mutable",  "namespace",
+      "new",      "noexcept", "nullptr",  "operator",  "private",  "protected",
+      "public",   "register", "requires", "return",    "short",    "signed",
+      "sizeof",   "static",   "struct",   "switch",    "template", "this",
+      "thread_local", "throw", "true",    "try",       "typedef",  "typeid",
+      "typename", "union",    "unsigned", "using",     "virtual",  "void",
+      "volatile", "while",    "co_await", "co_return", "co_yield", "final",
+      "override",
+  };
+  return kw;
+}
+
+bool IsAnnotationMacro(const std::string& name) {
+  return name == "FS_GUARDED_BY" || name == "FS_REQUIRES" ||
+         name == "FS_EXCLUDES";
+}
+
+const std::set<std::string>& MutexTypeHeads() {
+  static const std::set<std::string> heads = {
+      "mutex",       "recursive_mutex",     "timed_mutex",
+      "shared_mutex", "shared_timed_mutex", "recursive_timed_mutex",
+      "OrderedMutex",
+  };
+  return heads;
+}
+
+/// Recursive-descent recoverer over the token stream.
+class CstParser {
+ public:
+  CstParser(const LexedFile& lexed, CstFile* out)
+      : lexed_(lexed), toks_(out->tokens), out_(out) {}
+
+  void Run() { ParseRegion(0, toks_.size(), /*cls=*/nullptr); }
+
+ private:
+  int LineOf(size_t idx) const {
+    return lexed_.LineAt(toks_[idx].offset);
+  }
+
+  bool IsPunct(size_t i, const char* p) const {
+    return i < toks_.size() && toks_[i].kind == TokKind::kPunct &&
+           toks_[i].text == p;
+  }
+
+  bool IsIdent(size_t i) const {
+    return i < toks_.size() && toks_[i].kind == TokKind::kIdent;
+  }
+
+  bool IsIdent(size_t i, const char* name) const {
+    return IsIdent(i) && toks_[i].text == name;
+  }
+
+  size_t TrySkipTemplateArgs(size_t i) const {
+    return SkipTemplateArgs(toks_, i);
+  }
+
+  /// Reads the arguments of an annotation macro at `i` (the macro ident).
+  /// Returns index past the closing ')'. Each comma-separated argument is
+  /// flattened to its token texts joined without spaces ("Cls::mu_").
+  size_t ReadAnnotationArgs(size_t i, std::vector<std::string>* args) const {
+    size_t open = i + 1;
+    if (!IsPunct(open, "(")) return i + 1;
+    size_t close = MatchingClose(toks_, open);
+    std::string cur;
+    for (size_t j = open + 1; j < close; ++j) {
+      if (IsPunct(j, ",")) {
+        if (!cur.empty()) args->push_back(cur);
+        cur.clear();
+      } else {
+        cur += toks_[j].text;
+      }
+    }
+    if (!cur.empty()) args->push_back(cur);
+    return close + 1;
+  }
+
+  /// Parses declarations in [begin, end). `cls` is the enclosing class, or
+  /// null at namespace scope.
+  void ParseRegion(size_t begin, size_t end, ClassDecl* cls) {
+    size_t i = begin;
+    while (i < end && i < toks_.size()) {
+      const CstToken& t = toks_[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == ";" || t.text == ":") {
+          ++i;
+          continue;
+        }
+        if (t.text == "{") {  // stray block (e.g. extern "C")
+          size_t close = MatchingClose(toks_, i);
+          ParseRegion(i + 1, close, cls);
+          i = close + 1;
+          continue;
+        }
+        if (t.text == "}") {
+          ++i;
+          continue;
+        }
+        if (t.text == "#") {  // preprocessor: skip the directive line
+          int line = LineOf(i);
+          size_t j = i + 1;
+          while (j < end && LineOf(j) == line) ++j;
+          i = j;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) {
+        ++i;
+        continue;
+      }
+      const std::string& word = t.text;
+      if (word == "template") {
+        ++i;
+        i = TrySkipTemplateArgs(i);
+        continue;
+      }
+      if (word == "public" || word == "private" || word == "protected") {
+        ++i;
+        if (IsPunct(i, ":")) ++i;
+        continue;
+      }
+      if (word == "using" || word == "typedef" || word == "friend" ||
+          word == "static_assert" || word == "goto") {
+        i = SkipToSemicolon(i, end);
+        continue;
+      }
+      if (word == "namespace") {
+        size_t j = i + 1;
+        while (j < end && !IsPunct(j, "{") && !IsPunct(j, ";") &&
+               !IsPunct(j, "=")) {
+          ++j;
+        }
+        if (IsPunct(j, "{")) {
+          size_t close = MatchingClose(toks_, j);
+          ParseRegion(j + 1, close, cls);
+          i = close + 1;
+        } else {
+          i = SkipToSemicolon(j, end);
+        }
+        continue;
+      }
+      if (word == "extern" && i + 1 < end &&
+          toks_[i + 1].kind == TokKind::kString) {
+        i += 2;  // extern "C" — fall through to whatever follows
+        continue;
+      }
+      if (word == "enum") {
+        i = SkipToSemicolon(i, end);
+        continue;
+      }
+      if (word == "class" || word == "struct" || word == "union") {
+        i = ParseClass(i, end);
+        continue;
+      }
+      // Generic declaration (variable, member, function, ...).
+      i = ParseDeclaration(i, end, cls);
+    }
+  }
+
+  /// Skips to just past the next ';' at the current nesting level,
+  /// skipping balanced (), [], {}.
+  size_t SkipToSemicolon(size_t i, size_t end) const {
+    while (i < end && i < toks_.size()) {
+      if (IsPunct(i, ";")) return i + 1;
+      if (IsPunct(i, "(") || IsPunct(i, "[") || IsPunct(i, "{")) {
+        i = MatchingClose(toks_, i) + 1;
+        continue;
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  /// toks_[i] is `class` / `struct` / `union`. Parses (possibly) a class
+  /// definition; returns the index to resume at.
+  size_t ParseClass(size_t i, size_t end) {
+    size_t j = i + 1;
+    // Find the body '{' or a ';' (forward declaration), skipping template
+    // arguments in base-class names.
+    size_t brace = 0;
+    while (j < end && j < toks_.size()) {
+      if (IsPunct(j, ";")) return j + 1;
+      if (IsPunct(j, "(")) {
+        // `struct X foo(...)` — a declaration using an elaborated type;
+        // re-parse generically from the type name.
+        return SkipToSemicolon(j, end);
+      }
+      if (IsPunct(j, "<")) {
+        size_t k = TrySkipTemplateArgs(j);
+        if (k == j) ++j; else j = k;
+        continue;
+      }
+      if (IsPunct(j, "{")) {
+        brace = j;
+        break;
+      }
+      if (IsPunct(j, "=")) {  // `class C = ...` in template params — bail
+        return SkipToSemicolon(j, end);
+      }
+      ++j;
+    }
+    if (brace == 0) return j;
+    // Name: last identifier before ':' (base clause) or before the brace,
+    // skipping `final` and attribute-ish tokens.
+    std::string name;
+    for (size_t k = i + 1; k < brace; ++k) {
+      if (IsPunct(k, ":")) break;
+      if (IsIdent(k) && toks_[k].text != "final" &&
+          toks_[k].text != "alignas") {
+        name = toks_[k].text;
+      }
+    }
+    size_t close = MatchingClose(toks_, brace);
+    ClassDecl cd;
+    cd.name = name;
+    cd.line = LineOf(i);
+    ParseRegion(brace + 1, close, &cd);
+    if (!cd.name.empty()) out_->classes.push_back(std::move(cd));
+    // `} trailing_declarator ;` — let the main loop skip it harmlessly.
+    return close + 1;
+  }
+
+  /// Scans a generic declaration starting at `i`. Records member/global
+  /// variables, method annotations, and function definitions (with body
+  /// ranges). Returns the resume index.
+  size_t ParseDeclaration(size_t i, size_t end, ClassDecl* cls) {
+    size_t j = i;
+    bool saw_eq = false;
+    bool saw_arrow_after_params = false;
+    size_t name_idx = 0;    // function name candidate (ident before params)
+    size_t params_open = 0;  // '(' of the candidate parameter list
+    size_t params_close = 0;
+    while (j < end && j < toks_.size()) {
+      const CstToken& t = toks_[j];
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "operator") {
+          // Consume the operator symbol(s) so `operator()` / `operator<`
+          // don't confuse the scan; treat as an unnamed function.
+          size_t k = j + 1;
+          while (k < end && toks_[k].kind == TokKind::kPunct &&
+                 !IsPunct(k, "(") && !IsPunct(k, ";") && !IsPunct(k, "{")) {
+            ++k;
+          }
+          if (IsPunct(k, "(") && params_open == 0) {
+            // operator()(...) — the FIRST parens are the operator symbol
+            // for call operators; peek: if next after close is '(',
+            // that second group is the params.
+            size_t close = MatchingClose(toks_, k);
+            if (close == k + 1 && IsPunct(close + 1, "(")) {
+              params_open = close + 1;
+              params_close = MatchingClose(toks_, params_open);
+              name_idx = j;
+              j = params_close + 1;
+              continue;
+            }
+            params_open = k;
+            params_close = MatchingClose(toks_, k);
+            name_idx = j;
+            j = params_close + 1;
+            continue;
+          }
+          j = k;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      if (t.kind != TokKind::kPunct) {
+        ++j;
+        continue;
+      }
+      const std::string& p = t.text;
+      if (p == ";") {
+        // Plain declaration.
+        if (params_open != 0 && name_idx != 0) {
+          RecordMethodAnnotation(i, j, name_idx, params_close, cls);
+        } else {
+          RecordVariable(i, j, cls);
+        }
+        return j + 1;
+      }
+      if (p == "}") return j;  // malformed; let caller see the close
+      if (p == "=") {
+        saw_eq = true;
+        ++j;
+        continue;
+      }
+      if (p == "(") {
+        size_t close = MatchingClose(toks_, j);
+        if (params_open == 0 && !saw_eq && j > i && IsIdent(j - 1) &&
+            !IsAnnotationMacro(toks_[j - 1].text) &&
+            CppKeywords().count(toks_[j - 1].text) == 0) {
+          name_idx = j - 1;
+          params_open = j;
+          params_close = close;
+        }
+        j = close + 1;
+        continue;
+      }
+      if (p == "[") {
+        j = MatchingClose(toks_, j) + 1;
+        continue;
+      }
+      if (p == "<") {
+        size_t k = TrySkipTemplateArgs(j);
+        if (k == j) ++j; else j = k;
+        continue;
+      }
+      if (p == "->") {
+        if (params_close != 0 && j > params_close) {
+          saw_arrow_after_params = true;
+        }
+        ++j;
+        continue;
+      }
+      if (p == ":") {
+        // Constructor initializer list (or bit-field). If we have params,
+        // treat as ctor-init: skip `name(args)` / `name{args}` pairs.
+        if (params_close != 0 && j > params_close) {
+          size_t k = j + 1;
+          while (k < end && k < toks_.size()) {
+            if (IsPunct(k, "(") || IsPunct(k, "{")) {
+              // Init entries are `name(...)` / `name{...}`, so a '{' whose
+              // predecessor is not an identifier (or template '>') must be
+              // the function body.
+              bool is_body =
+                  IsPunct(k, "{") && !(IsIdent(k - 1) || IsPunct(k - 1, ">") ||
+                                       IsPunct(k - 1, ">>"));
+              if (is_body) break;
+              k = MatchingClose(toks_, k) + 1;
+              continue;
+            }
+            if (IsPunct(k, ",") || IsIdent(k) || IsPunct(k, "::") ||
+                IsPunct(k, "<") || IsPunct(k, ">") || IsPunct(k, ">>") ||
+                toks_[k].kind == TokKind::kNumber ||
+                IsPunct(k, "...")) {
+              if (IsPunct(k, "<")) {
+                size_t m = TrySkipTemplateArgs(k);
+                if (m != k) { k = m; continue; }
+              }
+              ++k;
+              continue;
+            }
+            break;
+          }
+          j = k;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      if (p == "{") {
+        bool initializer = saw_eq || params_open == 0;
+        if (!initializer && j > 0 && IsIdent(j - 1) &&
+            !saw_arrow_after_params && j - 1 > params_close &&
+            !IsFunctionQualifier(toks_[j - 1].text)) {
+          // `Type var(x), other{y};` — brace-init directly on a declarator,
+          // not a function body (bodies follow ')', qualifiers, or '->T').
+          initializer = true;
+        }
+        if (initializer) {
+          j = MatchingClose(toks_, j) + 1;
+          continue;
+        }
+        size_t close = MatchingClose(toks_, j);
+        RecordFunction(i, j, close, name_idx, params_open, params_close, cls);
+        return close + 1;
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  static bool IsFunctionQualifier(const std::string& s) {
+    return s == "const" || s == "noexcept" || s == "override" ||
+           s == "final" || s == "mutable" || s == "try" || s == "volatile";
+  }
+
+  /// Member/global variable declaration in [begin, semi).
+  void RecordVariable(size_t begin, size_t semi, ClassDecl* cls) {
+    MemberDecl m;
+    m.line = LineOf(begin);
+    size_t name_idx = 0;
+    // Find annotation + the declared name. The name is the identifier
+    // right before FS_GUARDED_BY, or the last top-level identifier before
+    // `=` / `{` / `[` / the semicolon.
+    bool stop_names = false;
+    std::string type_head;
+    for (size_t k = begin; k < semi && k < toks_.size(); ++k) {
+      const CstToken& t = toks_[k];
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "FS_GUARDED_BY") {
+          std::vector<std::string> args;
+          k = ReadAnnotationArgs(k, &args) - 1;
+          if (!args.empty()) m.guard = args[0];
+          stop_names = true;
+          continue;
+        }
+        if (type_head.empty() && t.text != "std" && t.text != "util" &&
+            CppKeywords().count(t.text) == 0) {
+          type_head = t.text;
+        }
+        if (!stop_names) name_idx = k;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "<") {
+          size_t n = TrySkipTemplateArgs(k);
+          if (n != k) k = n - 1;
+          continue;
+        }
+        if (t.text == "(" || t.text == "[") {
+          k = MatchingClose(toks_, k);
+          continue;
+        }
+        if (t.text == "=" || t.text == "{") stop_names = true;
+        continue;
+      }
+    }
+    if (name_idx == 0 || !IsIdent(name_idx)) return;
+    m.name = toks_[name_idx].text;
+    if (CppKeywords().count(m.name) != 0) return;
+    m.line = LineOf(name_idx);
+    m.is_mutex = MutexTypeHeads().count(type_head) != 0;
+    m.is_callback = type_head == "function" || type_head == "move_only_function";
+    if (cls != nullptr) {
+      cls->members.push_back(std::move(m));
+    } else if (m.is_mutex || !m.guard.empty()) {
+      out_->globals.push_back(std::move(m));
+    }
+  }
+
+  /// In-class method declaration `ret name(params) quals FS_REQUIRES(m);` —
+  /// keep the annotations so out-of-line definitions inherit them.
+  void RecordMethodAnnotation(size_t begin, size_t semi, size_t name_idx,
+                              size_t params_close, ClassDecl* cls) {
+    (void)begin;
+    if (cls == nullptr) return;
+    MethodAnnotation ma;
+    ma.name = toks_[name_idx].text;
+    for (size_t k = params_close + 1; k < semi && k < toks_.size(); ++k) {
+      if (IsIdent(k, "FS_REQUIRES")) {
+        k = ReadAnnotationArgs(k, &ma.requires_locks) - 1;
+      } else if (IsIdent(k, "FS_EXCLUDES")) {
+        k = ReadAnnotationArgs(k, &ma.excludes_locks) - 1;
+      }
+    }
+    if (!ma.requires_locks.empty() || !ma.excludes_locks.empty()) {
+      cls->method_annotations.push_back(std::move(ma));
+    }
+  }
+
+  void RecordFunction(size_t begin, size_t brace, size_t close,
+                      size_t name_idx, size_t params_open,
+                      size_t params_close, ClassDecl* cls) {
+    FunctionDecl fn;
+    if (name_idx == 0 || !IsIdent(name_idx)) {
+      // Body with no recoverable name (operator, lambda-ish) — still walk
+      // it if we know the class, under an anonymous name.
+      fn.name = "(anonymous)";
+    } else {
+      fn.name = toks_[name_idx].text;
+    }
+    fn.line = name_idx != 0 ? LineOf(name_idx) : LineOf(begin);
+    // Class qualifier: `Cls::name(` — possibly `Outer::Cls::name`.
+    if (name_idx >= 2 && IsPunct(name_idx - 1, "::") &&
+        IsIdent(name_idx - 2)) {
+      fn.cls = toks_[name_idx - 2].text;
+    } else if (cls != nullptr) {
+      fn.cls = cls->name;
+    }
+    bool is_dtor = name_idx >= 1 && IsPunct(name_idx - 1, "~");
+    fn.is_ctor_or_dtor = !fn.cls.empty() && (fn.name == fn.cls || is_dtor);
+    // Annotations between ')' and '{' (before any ctor-init ':').
+    for (size_t k = params_close + 1; k < brace; ++k) {
+      if (IsIdent(k, "FS_REQUIRES")) {
+        k = ReadAnnotationArgs(k, &fn.requires_locks) - 1;
+      } else if (IsIdent(k, "FS_EXCLUDES")) {
+        k = ReadAnnotationArgs(k, &fn.excludes_locks) - 1;
+      }
+    }
+    // unique_lock<...>& parameters.
+    for (size_t k = params_open + 1; k < params_close; ++k) {
+      if (IsIdent(k, "unique_lock")) {
+        size_t m = TrySkipTemplateArgs(k + 1);
+        if (IsPunct(m, "&") && IsIdent(m + 1)) {
+          fn.lock_params.push_back(toks_[m + 1].text);
+        }
+      }
+    }
+    fn.body_begin = brace;
+    fn.body_end = close;
+    out_->functions.push_back(std::move(fn));
+  }
+
+  const LexedFile& lexed_;
+  const std::vector<CstToken>& toks_;
+  CstFile* out_;
+};
+
+}  // namespace
+
+CstFile ParseCst(const LexedFile& lexed) {
+  CstFile out;
+  out.tokens = TokenizeCode(lexed);
+  CstParser parser(lexed, &out);
+  parser.Run();
+  return out;
+}
+
+}  // namespace lint
+}  // namespace fieldswap

@@ -1,0 +1,103 @@
+#ifndef FIELDSWAP_LINT_CST_H_
+#define FIELDSWAP_LINT_CST_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace fieldswap {
+namespace lint {
+
+/// Token kinds over the lexer's `code` view. Strings and comments were
+/// already blanked by the lexer, so kString tokens only appear for the
+/// quoted paths of #include directives (the one string the lexer keeps).
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals, including 1e-6 / 0x1f / 1'000 / 2.5f
+  kString,  // "..." (include paths) and blanked char literals
+  kPunct,   // operators and punctuation, multi-char ops as one token
+};
+
+struct CstToken {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  size_t offset = 0;  // byte offset into LexedFile.code
+};
+
+/// Tokenizes the lexed code view. Multi-character operators (`::`, `->`,
+/// `==`, `<=`, `>>`, ...) come out as single tokens; numeric literals keep
+/// their suffixes and exponents attached.
+std::vector<CstToken> TokenizeCode(const LexedFile& lexed);
+
+/// A data member (or namespace-scope variable) recovered from a
+/// declaration, with any FS_GUARDED_BY annotation attached.
+struct MemberDecl {
+  std::string name;
+  int line = 0;
+  std::string guard;         // FS_GUARDED_BY argument, "" if unannotated
+  bool is_mutex = false;     // std::mutex family or util::OrderedMutex
+  bool is_callback = false;  // std::function-typed (user-supplied code)
+};
+
+/// FS_REQUIRES / FS_EXCLUDES captured from an in-class method
+/// *declaration*, so out-of-line definitions in the .cc inherit them.
+struct MethodAnnotation {
+  std::string name;
+  std::vector<std::string> requires_locks;
+  std::vector<std::string> excludes_locks;
+};
+
+/// A function definition with a body in this translation unit.
+struct FunctionDecl {
+  std::string cls;   // enclosing class or `Cls::` qualifier; "" if free
+  std::string name;
+  int line = 0;
+  bool is_ctor_or_dtor = false;
+  std::vector<std::string> requires_locks;
+  std::vector<std::string> excludes_locks;
+  /// Names of `std::unique_lock<...>&` parameters. Under FS_REQUIRES(m)
+  /// the analyzer binds them to `m`, so `.unlock()` / `.lock()` toggles
+  /// and `cv.wait(lock)` inside the body are modeled.
+  std::vector<std::string> lock_params;
+  size_t body_begin = 0;  // token index of the opening '{'
+  size_t body_end = 0;    // token index of the matching '}'
+};
+
+struct ClassDecl {
+  std::string name;
+  int line = 0;
+  std::vector<MemberDecl> members;
+  std::vector<MethodAnnotation> method_annotations;
+};
+
+/// The declaration-aware view of one file: not a C++ parse, just the
+/// bracket-matched subset the concurrency rules need. Nested classes are
+/// recorded as separate ClassDecl entries under their own names.
+struct CstFile {
+  std::vector<CstToken> tokens;
+  std::vector<ClassDecl> classes;
+  /// Namespace-scope variables that are mutexes or carry FS_GUARDED_BY.
+  std::vector<MemberDecl> globals;
+  std::vector<FunctionDecl> functions;
+};
+
+/// Recovers classes, members, annotations, and function bodies from the
+/// token stream. Never fails: constructs it cannot parse are skipped.
+CstFile ParseCst(const LexedFile& lexed);
+
+/// Index of the token matching the opener (`(`, `[`, `{`) at `open`;
+/// returns tokens.size() - 1 clamped if unbalanced.
+size_t MatchingClose(const std::vector<CstToken>& tokens, size_t open);
+
+/// If tokens[i] is `<` opening a plausible template argument list, returns
+/// the index just past the matching `>` (`>>` closes two levels). Returns
+/// `i` unchanged when the `<` reads as a comparison (hits a statement
+/// boundary first).
+size_t SkipTemplateArgs(const std::vector<CstToken>& tokens, size_t i);
+
+}  // namespace lint
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_LINT_CST_H_

@@ -4,8 +4,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <sstream>
 
+#include "lint/concurrency.h"
 #include "obs/metrics.h"
 
 namespace fieldswap {
@@ -94,7 +97,16 @@ LintReport LintPaths(const LintConfig& config,
   rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
                   rel_files.end());
 
+  // Phase 1: per-file rules. Every file is also registered with the
+  // concurrency analyzer so annotations in headers reach the method
+  // definitions in their .cc files.
   LintReport report;
+  ConcurrencyAnalyzer analyzer;
+  struct AnalyzedFile {
+    std::string rel;
+    FileAnalysis analysis;
+  };
+  std::vector<AnalyzedFile> analyzed;
   for (const auto& [rel, file] : rel_files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -103,13 +115,71 @@ LintReport LintPaths(const LintConfig& config,
     }
     std::ostringstream content;
     content << in.rdbuf();
-    FileLintResult result = LintSource(rel, content.str(), config.layers);
+    AnalyzedFile af;
+    af.rel = rel;
+    af.analysis = AnalyzeFileRules(rel, content.str(), config.layers);
+    analyzer.AddFile(rel, af.analysis.lexed);
+    analyzed.push_back(std::move(af));
     ++report.files_scanned;
-    report.suppressions_used += result.suppressions_used;
-    for (Diagnostic& diag : result.diagnostics) {
+  }
+
+  // Phase 2: whole-tree concurrency analysis against the lock-order
+  // manifest (when one is present).
+  LockOrderManifest manifest;
+  bool have_manifest = false;
+  std::vector<Diagnostic> manifest_errors;
+  if (config.check_lock_order) {
+    fs::path manifest_path = config.lock_order_path.empty()
+                                 ? root / "tools" / "lock_order.txt"
+                                 : fs::path(config.lock_order_path);
+    if (manifest_path.is_relative()) manifest_path = root / manifest_path;
+    std::ifstream min(manifest_path, std::ios::binary);
+    if (min) {
+      std::ostringstream text;
+      text << min.rdbuf();
+      std::string error;
+      if (manifest.Parse(text.str(), &error)) {
+        have_manifest = true;
+      } else {
+        manifest_errors.push_back(Diagnostic{
+            RelPath(manifest_path, root), 1, "lock-order",
+            "invalid lock-order manifest: " + error});
+      }
+    } else if (!config.lock_order_path.empty()) {
+      manifest_errors.push_back(Diagnostic{
+          RelPath(manifest_path, root), 1, "lock-order",
+          "cannot read lock-order manifest"});
+    }
+  }
+  std::vector<Diagnostic> concurrency =
+      analyzer.Analyze(have_manifest ? &manifest : nullptr);
+  report.observed_lock_edges = analyzer.observed_edges();
+  std::map<std::string, std::vector<Diagnostic>> concurrency_by_file;
+  for (Diagnostic& diag : concurrency) {
+    concurrency_by_file[diag.file].push_back(std::move(diag));
+  }
+
+  // Phase 3: each file's suppressions silence both rule families, then
+  // everything aggregates in sorted file order.
+  for (AnalyzedFile& af : analyzed) {
+    auto extra = concurrency_by_file.find(af.rel);
+    if (extra != concurrency_by_file.end()) {
+      af.analysis.diagnostics.insert(
+          af.analysis.diagnostics.end(),
+          std::make_move_iterator(extra->second.begin()),
+          std::make_move_iterator(extra->second.end()));
+    }
+    report.suppressions_used +=
+        ApplySuppressions(af.analysis.suppressions, &af.analysis.diagnostics);
+    SortDiagnostics(&af.analysis.diagnostics);
+    for (Diagnostic& diag : af.analysis.diagnostics) {
       ++report.violations_by_rule[diag.rule];
       report.diagnostics.push_back(std::move(diag));
     }
+  }
+  for (Diagnostic& diag : manifest_errors) {
+    ++report.violations_by_rule[diag.rule];
+    report.diagnostics.push_back(std::move(diag));
   }
   return report;
 }

@@ -20,6 +20,13 @@ struct LintConfig {
   std::vector<std::string> exclude_substrings = {"lint_fixtures"};
   /// Layer manifest; layering checks are skipped when null.
   const LayerGraph* layers = nullptr;
+  /// Lock-order manifest for the concurrency rules (see
+  /// lint/concurrency.h). Empty means ROOT/tools/lock_order.txt when that
+  /// file exists. Relative paths resolve against `root`.
+  std::string lock_order_path;
+  /// When false, skip the manifest-conformance half of `lock-order`
+  /// (deadlock-cycle detection still runs).
+  bool check_lock_order = true;
 };
 
 /// Aggregate result of linting many files.
@@ -30,6 +37,10 @@ struct LintReport {
   std::map<std::string, int> violations_by_rule;
   /// Paths that could not be read (reported and counted as failures).
   std::vector<std::string> unreadable_files;
+  /// Every nested lock acquisition observed across the scanned tree,
+  /// formatted `A -> B` and sorted — the exact lines a complete
+  /// tools/lock_order.txt needs (`fslint --dump-lock-order`).
+  std::vector<std::string> observed_lock_edges;
 
   bool clean() const {
     return diagnostics.empty() && unreadable_files.empty();

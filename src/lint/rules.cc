@@ -1,9 +1,12 @@
 #include "lint/rules.h"
 
 #include <algorithm>
-#include <regex>
+#include <cctype>
+#include <iterator>
 #include <set>
 
+#include "lint/concurrency.h"
+#include "lint/cst.h"
 #include "lint/lexer.h"
 #include "util/strings.h"
 
@@ -16,188 +19,274 @@ bool PathHasPrefix(const std::string& path, const std::string& prefix) {
   return path.compare(0, prefix.size(), prefix) == 0;
 }
 
-/// Matched source text cleaned up for a one-line diagnostic.
-std::string Snippet(const std::string& matched) {
+bool PathIsExempt(const std::string& rel_path,
+                  const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (PathHasPrefix(rel_path, prefix)) return true;
+  }
+  return false;
+}
+
+/// Source text between two tokens (inclusive), cleaned up for a one-line
+/// diagnostic.
+std::string Snippet(const LexedFile& lexed, const CstToken& first,
+                    const CstToken& last) {
+  size_t begin = first.offset;
+  size_t end = last.offset + last.text.size();
   std::string out;
-  for (char c : matched) out.push_back(c == '\n' ? ' ' : c);
-  std::string_view trimmed = TrimWhitespace(out);
-  std::string result(trimmed);
+  for (size_t i = begin; i < end && i < lexed.code.size(); ++i) {
+    char c = lexed.code[i];
+    out.push_back(c == '\n' ? ' ' : c);
+  }
+  std::string result(TrimWhitespace(out));
   if (result.size() > 48) result = result.substr(0, 45) + "...";
   return result;
 }
 
-/// A rule expressed as a single regex over the lexed code view, with path
-/// prefixes where the pattern is sanctioned and the rule stays quiet.
-struct RegexRule {
-  const char* name;
-  const char* message;
-  std::regex pattern;
-  std::vector<std::string> exempt_prefixes;
+/// Shared token-cursor helpers for the rule scanners.
+struct TokenView {
+  const LexedFile& lexed;
+  const std::vector<CstToken>& toks;
+
+  bool Ident(size_t i) const {
+    return i < toks.size() && toks[i].kind == TokKind::kIdent;
+  }
+  bool Ident(size_t i, const char* text) const {
+    return Ident(i) && toks[i].text == text;
+  }
+  bool Punct(size_t i, const char* text) const {
+    return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+           toks[i].text == text;
+  }
+  int Line(size_t i) const { return lexed.LineAt(toks[i].offset); }
 };
 
-const std::vector<RegexRule>& RegexRules() {
-  static const std::vector<RegexRule>* rules = [] {
-    auto* r = new std::vector<RegexRule>;
-    r->push_back(RegexRule{
-        "no-unseeded-rng",
-        "unseeded or ambient randomness; use util/rng's Rng with an "
-        "explicit seed so runs are reproducible",
-        std::regex(
-            R"(\b(srand|rand)\s*\(|\brandom_device\b)"
-            R"(|\bmt19937(_64)?\s*(\{\s*\}|\(\s*\)))"
-            R"(|\bmt19937(_64)?\s+[A-Za-z_]\w*\s*(;|\{\s*\}))"),
-        {"src/util/rng"}});
-    r->push_back(RegexRule{
-        "no-wall-clock",
-        "wall-clock read outside the obs timing layer; use obs::Stopwatch "
-        "(src/obs/timing.h) so timing stays out of deterministic code paths",
-        std::regex(
-            R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"
-            R"(|\bgettimeofday\s*\(|\btime\s*\(|\bclock\s*\()"),
-        {"src/obs/", "src/par/", "bench/"}});
-    r->push_back(RegexRule{
-        "no-raw-thread",
-        "raw threading primitive outside src/par; use par::ParallelFor / "
-        "par::ParallelMap so execution stays deterministic and pooled",
-        std::regex(R"(\bstd\s*::\s*(jthread|thread|async)\b)"),
-        {"src/par/"}});
-    r->push_back(RegexRule{
-        "no-float-equality",
-        "== / != against a floating-point literal; compare with an epsilon "
-        "or justify the exact-value comparison",
-        std::regex(
-            R"([=!]=\s*[+-]?(\d+\.\d*|\.\d+|\d+\.?\d*[eE][+-]?\d+)[fFlL]?)"
-            R"(|(\d+\.\d*|\.\d+|\d+\.?\d*[eE][+-]?\d+)[fFlL]?\s*[=!]=)"),
-        {}});
-    r->push_back(RegexRule{
-        "banned-function",
-        "banned unsafe/locale-silent C function; use snprintf / "
-        "std::string / util ParseInt instead",
-        std::regex(
-            R"(\b(sprintf|vsprintf|strcpy|strcat|gets|atoi|atol|atof)\s*\()"),
-        {}});
-    return r;
-  }();
-  return *rules;
+void Report(const TokenView& v, const std::string& rel_path, size_t first,
+            size_t last, const char* rule, const char* message,
+            std::vector<Diagnostic>* diagnostics) {
+  diagnostics->push_back(Diagnostic{
+      rel_path, v.Line(first), rule,
+      std::string(message) + ": '" +
+          Snippet(v.lexed, v.toks[first], v.toks[std::min(
+                                              last, v.toks.size() - 1)]) +
+          "'"});
 }
 
-/// One parsed `fslint: allow(<rule>): <justification>` comment. Covers the
-/// comment's own lines plus the line immediately after it.
-struct Suppression {
-  std::string rule;
-  int first_line = 0;
-  int last_line = 0;
-  bool justified = false;
-};
+// ------------------------------------------------------------ rng rule --
 
-void ParseSuppressions(const LexedFile& lexed, const std::string& rel_path,
-                       std::vector<Suppression>* suppressions,
-                       std::vector<Diagnostic>* diagnostics) {
-  static const std::regex kAllow(
-      R"(fslint:\s*allow\(\s*([A-Za-z0-9_-]+)\s*\)(\s*:\s*(\S[\s\S]*))?)");
-  for (const Comment& comment : lexed.comments) {
-    for (std::sregex_iterator it(comment.text.begin(), comment.text.end(),
-                                 kAllow),
-         end;
-         it != end; ++it) {
-      const std::smatch& m = *it;
-      std::string rule = m[1].str();
-      const std::vector<std::string>& known = RuleNames();
-      bool known_rule =
-          std::find(known.begin(), known.end(), rule) != known.end();
-      if (!known_rule || rule == "bad-suppression") {
-        diagnostics->push_back(Diagnostic{
-            rel_path, comment.start_line, "bad-suppression",
-            "allow() names unknown or unsuppressible rule '" + rule + "'"});
+void RunRngRule(const TokenView& v, const std::string& rel_path,
+                std::vector<Diagnostic>* diagnostics) {
+  if (PathIsExempt(rel_path, {"src/util/rng"})) return;
+  static const char* kMessage =
+      "unseeded or ambient randomness; use util/rng's Rng with an "
+      "explicit seed so runs are reproducible";
+  const auto& t = v.toks;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!v.Ident(i)) continue;
+    const std::string& w = t[i].text;
+    if ((w == "rand" || w == "srand") && v.Punct(i + 1, "(")) {
+      Report(v, rel_path, i, i + 1, "no-unseeded-rng", kMessage, diagnostics);
+      continue;
+    }
+    if (w == "random_device") {
+      Report(v, rel_path, i, i, "no-unseeded-rng", kMessage, diagnostics);
+      continue;
+    }
+    if (w == "mt19937" || w == "mt19937_64") {
+      // Default-constructed temporary: mt19937{} / mt19937().
+      if ((v.Punct(i + 1, "{") && v.Punct(i + 2, "}")) ||
+          (v.Punct(i + 1, "(") && v.Punct(i + 2, ")"))) {
+        Report(v, rel_path, i, i + 2, "no-unseeded-rng", kMessage,
+               diagnostics);
         continue;
       }
-      std::string justification(TrimWhitespace(m[3].str()));
-      // Block comments carry a trailing `*/` that is not justification.
-      if (EndsWith(justification, "*/")) {
-        justification = std::string(TrimWhitespace(
-            justification.substr(0, justification.size() - 2)));
+      // Default-constructed named engine: mt19937 gen; / mt19937 gen{}.
+      if (v.Ident(i + 1) &&
+          (v.Punct(i + 2, ";") ||
+           (v.Punct(i + 2, "{") && v.Punct(i + 3, "}")))) {
+        Report(v, rel_path, i, i + 2, "no-unseeded-rng", kMessage,
+               diagnostics);
       }
-      if (justification.empty()) {
-        diagnostics->push_back(Diagnostic{
-            rel_path, comment.start_line, "bad-suppression",
-            "suppression of '" + rule +
-                "' lacks a justification; write "
-                "fslint: allow(" + rule + "): <why this is safe>"});
-        continue;
-      }
-      suppressions->push_back(Suppression{rule, comment.start_line,
-                                          comment.end_line + 1, true});
     }
   }
 }
 
-void RunRegexRules(const LexedFile& lexed, const std::string& rel_path,
-                   std::vector<Diagnostic>* diagnostics) {
-  for (const RegexRule& rule : RegexRules()) {
-    bool exempt = false;
-    for (const std::string& prefix : rule.exempt_prefixes) {
-      if (PathHasPrefix(rel_path, prefix)) exempt = true;
+// ----------------------------------------------------- wall-clock rule --
+
+void RunWallClockRule(const TokenView& v, const std::string& rel_path,
+                      std::vector<Diagnostic>* diagnostics) {
+  if (PathIsExempt(rel_path, {"src/obs/", "src/par/", "bench/"})) return;
+  static const char* kMessage =
+      "wall-clock read outside the obs timing layer; use obs::Stopwatch "
+      "(src/obs/timing.h) so timing stays out of deterministic code paths";
+  const auto& t = v.toks;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!v.Ident(i)) continue;
+    const std::string& w = t[i].text;
+    if (w == "system_clock" || w == "steady_clock" ||
+        w == "high_resolution_clock") {
+      Report(v, rel_path, i, i, "no-wall-clock", kMessage, diagnostics);
+      continue;
     }
-    if (exempt) continue;
-    for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(),
-                                 rule.pattern),
-         end;
-         it != end; ++it) {
-      size_t offset = static_cast<size_t>(it->position());
-      diagnostics->push_back(Diagnostic{
-          rel_path, lexed.LineAt(offset), rule.name,
-          std::string(rule.message) + ": '" + Snippet(it->str()) + "'"});
+    if ((w == "gettimeofday" || w == "time" || w == "clock") &&
+        v.Punct(i + 1, "(")) {
+      Report(v, rel_path, i, i + 1, "no-wall-clock", kMessage, diagnostics);
     }
   }
+}
+
+// ----------------------------------------------------- raw-thread rule --
+
+void RunRawThreadRule(const TokenView& v, const std::string& rel_path,
+                      std::vector<Diagnostic>* diagnostics) {
+  if (PathIsExempt(rel_path, {"src/par/"})) return;
+  static const char* kMessage =
+      "raw threading primitive outside src/par; use par::ParallelFor / "
+      "par::ParallelMap so execution stays deterministic and pooled";
+  const auto& t = v.toks;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (v.Ident(i, "std") && v.Punct(i + 1, "::") && v.Ident(i + 2) &&
+        (t[i + 2].text == "thread" || t[i + 2].text == "jthread" ||
+         t[i + 2].text == "async")) {
+      Report(v, rel_path, i, i + 2, "no-raw-thread", kMessage, diagnostics);
+    }
+  }
+}
+
+// ------------------------------------------------- float-equality rule --
+
+bool IsFloatLiteral(const std::string& text) {
+  if (text.size() > 1 && (text[1] == 'x' || text[1] == 'X')) return false;
+  if (text.find('.') != std::string::npos) return true;
+  return text.find('e') != std::string::npos ||
+         text.find('E') != std::string::npos;
+}
+
+void RunFloatEqualityRule(const TokenView& v, const std::string& rel_path,
+                          std::vector<Diagnostic>* diagnostics) {
+  static const char* kMessage =
+      "== / != against a floating-point literal; compare with an epsilon "
+      "or justify the exact-value comparison";
+  const auto& t = v.toks;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct ||
+        (t[i].text != "==" && t[i].text != "!=")) {
+      continue;
+    }
+    size_t rhs = i + 1;
+    if (v.Punct(rhs, "+") || v.Punct(rhs, "-")) ++rhs;
+    bool rhs_float = rhs < t.size() && t[rhs].kind == TokKind::kNumber &&
+                     IsFloatLiteral(t[rhs].text);
+    bool lhs_float = i >= 1 && t[i - 1].kind == TokKind::kNumber &&
+                     IsFloatLiteral(t[i - 1].text);
+    if (rhs_float) {
+      Report(v, rel_path, i, rhs, "no-float-equality", kMessage, diagnostics);
+    } else if (lhs_float) {
+      Report(v, rel_path, i - 1, i, "no-float-equality", kMessage,
+             diagnostics);
+    }
+  }
+}
+
+// ------------------------------------------------ banned-function rule --
+
+void RunBannedFunctionRule(const TokenView& v, const std::string& rel_path,
+                           std::vector<Diagnostic>* diagnostics) {
+  static const char* kMessage =
+      "banned unsafe/locale-silent C function; use snprintf / "
+      "std::string / util ParseInt instead";
+  static const std::set<std::string> kBanned = {
+      "sprintf", "vsprintf", "strcpy", "strcat", "gets",
+      "atoi",    "atol",     "atof",
+  };
+  const auto& t = v.toks;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (v.Ident(i) && kBanned.count(t[i].text) != 0 && v.Punct(i + 1, "(")) {
+      Report(v, rel_path, i, i + 1, "banned-function", kMessage, diagnostics);
+    }
+  }
+}
+
+// -------------------------------------------- unordered-iteration rule --
+
+bool IsUnorderedContainer(const std::string& text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
 }
 
 /// Flags range-for loops over std::unordered_{map,set,...}: both inline
-/// (`for (auto& x : some.unordered_map_expr)`) and over variables the file
-/// itself declares with an unordered type. Iteration order of unordered
+/// (`for (auto& x : obj.unordered_member())`) and over variables this file
+/// declares with an unordered type. Iteration order of unordered
 /// containers is unspecified, which is exactly the hazard behind golden
 /// drift.
-void RunUnorderedIterationRule(const LexedFile& lexed,
-                               const std::string& rel_path,
+void RunUnorderedIterationRule(const TokenView& v, const std::string& rel_path,
                                std::vector<Diagnostic>* diagnostics) {
   static const char* kMessage =
       "range-for over an unordered container; iteration order is "
       "unspecified and breaks bit-identical output — use std::map/std::set "
       "or sort the keys first";
-  static const std::regex kInline(
-      R"(for\s*\([^;{}]*:[^;{})]*\bunordered_(map|set|multimap|multiset)\b)");
-  for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(), kInline),
-       end;
-       it != end; ++it) {
-    size_t offset = static_cast<size_t>(it->position());
-    diagnostics->push_back(Diagnostic{
-        rel_path, lexed.LineAt(offset), "no-unordered-iteration",
-        std::string(kMessage) + ": '" + Snippet(it->str()) + "'"});
+  const auto& t = v.toks;
+
+  // Names declared (anywhere in the file) with an unordered type:
+  // `unordered_map<...>[&] name` followed by a declarator-ending token.
+  std::set<std::string> unordered_vars;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!v.Ident(i) || !IsUnorderedContainer(t[i].text)) continue;
+    size_t j = SkipTemplateArgs(t, i + 1);
+    if (j == i + 1) continue;  // no template arguments: not a declaration
+    if (v.Punct(j, "&")) ++j;
+    if (!v.Ident(j)) continue;
+    if (v.Punct(j + 1, ";") || v.Punct(j + 1, "=") || v.Punct(j + 1, "{") ||
+        v.Punct(j + 1, "(") || v.Punct(j + 1, ")") || v.Punct(j + 1, ",")) {
+      unordered_vars.insert(t[j].text);
+    }
   }
 
-  static const std::regex kDecl(
-      R"(\bunordered_(map|set|multimap|multiset)\s*<[^;{}()]*>\s*&?\s*([A-Za-z_]\w*)\s*[;={(),])");
-  std::set<std::string> unordered_vars;
-  for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(), kDecl),
-       end;
-       it != end; ++it) {
-    unordered_vars.insert((*it)[2].str());
-  }
-  for (const std::string& var : unordered_vars) {
-    std::regex loop(R"(for\s*\([^;{})]*:\s*&?\s*)" + var + R"(\s*\))");
-    for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(), loop),
-         end;
-         it != end; ++it) {
-      size_t offset = static_cast<size_t>(it->position());
-      diagnostics->push_back(Diagnostic{
-          rel_path, lexed.LineAt(offset), "no-unordered-iteration",
-          std::string(kMessage) + ": '" + Snippet(it->str()) + "'"});
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!v.Ident(i, "for") || !v.Punct(i + 1, "(")) continue;
+    size_t close = MatchingClose(t, i + 1);
+    // Find the range-for ':' at paren depth 1 (skipping nested brackets;
+    // `::` is a single distinct token, so a lone ':' is unambiguous).
+    size_t colon = 0;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (v.Punct(j, "(") || v.Punct(j, "[") || v.Punct(j, "{")) {
+        j = MatchingClose(t, j);
+        continue;
+      }
+      if (v.Punct(j, ";")) break;  // classic three-clause for
+      if (v.Punct(j, ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    // Inline: the range expression names an unordered container type.
+    bool flagged = false;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (v.Ident(j) && IsUnorderedContainer(t[j].text)) {
+        Report(v, rel_path, i, close, "no-unordered-iteration", kMessage,
+               diagnostics);
+        flagged = true;
+        break;
+      }
+    }
+    if (flagged) continue;
+    // Tracked variable: the range expression is exactly `[&]var`.
+    size_t j = colon + 1;
+    if (v.Punct(j, "&")) ++j;
+    if (v.Ident(j) && j + 1 == close &&
+        unordered_vars.count(t[j].text) != 0) {
+      Report(v, rel_path, i, close, "no-unordered-iteration", kMessage,
+             diagnostics);
     }
   }
 }
 
+// --------------------------------------------------------- layering rule --
+
 /// Checks `#include "<layer>/..."` lines of src/ files against the layer
 /// manifest: any edge not explicitly allowed is a back-edge.
-void RunLayeringRule(const LexedFile& lexed, const std::string& rel_path,
+void RunLayeringRule(const TokenView& v, const std::string& rel_path,
                      const LayerGraph& layers,
                      std::vector<Diagnostic>* diagnostics) {
   std::string layer = layers.LayerForPath(rel_path);
@@ -215,24 +304,105 @@ void RunLayeringRule(const LexedFile& lexed, const std::string& rel_path,
     }
     return;
   }
-  static const std::regex kInclude(
-      R"re(#[ \t]*include[ \t]*"([^"\n]+)")re");
-  for (std::sregex_iterator it(lexed.code.begin(), lexed.code.end(),
-                               kInclude),
-       end;
-       it != end; ++it) {
-    std::string path = (*it)[1].str();
+  const auto& t = v.toks;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!v.Punct(i, "#") || !v.Ident(i + 1, "include") ||
+        t[i + 2].kind != TokKind::kString) {
+      continue;
+    }
+    const std::string& lit = t[i + 2].text;
+    if (lit.size() < 2 || lit.front() != '"') continue;
+    std::string path = lit.substr(1, lit.size() - 2);
     // Longest declared prefix decides the target, so nested layers
     // ("nn/kernels") guard their internals while "nn/kernels.h" — a file
     // of the parent layer, not the subdirectory — still resolves to "nn".
     std::string target = layers.LayerForInclude(path);
     if (target.empty()) continue;
     if (layers.Allowed(layer, target)) continue;
-    size_t offset = static_cast<size_t>(it->position());
     diagnostics->push_back(Diagnostic{
-        rel_path, lexed.LineAt(offset), "layering",
+        rel_path, v.Line(i), "layering",
         "back-edge: layer '" + layer + "' may not include '" + target +
             "/...' (see tools/layers.txt); including '" + path + "'"});
+  }
+}
+
+// ------------------------------------------------------- suppressions --
+
+void ParseSuppressions(const LexedFile& lexed, const std::string& rel_path,
+                       std::vector<Suppression>* suppressions,
+                       std::vector<Diagnostic>* diagnostics) {
+  for (const Comment& comment : lexed.comments) {
+    const std::string& text = comment.text;
+    size_t pos = 0;
+    while ((pos = text.find("fslint:", pos)) != std::string::npos) {
+      size_t p = pos + 7;
+      pos = p;  // resume after this marker next iteration
+      while (p < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[p]))) {
+        ++p;
+      }
+      if (text.compare(p, 6, "allow(") != 0) continue;
+      p += 6;
+      while (p < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[p]))) {
+        ++p;
+      }
+      size_t rule_start = p;
+      while (p < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[p])) ||
+              text[p] == '_' || text[p] == '-')) {
+        ++p;
+      }
+      std::string rule = text.substr(rule_start, p - rule_start);
+      while (p < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[p]))) {
+        ++p;
+      }
+      if (rule.empty() || p >= text.size() || text[p] != ')') continue;
+      ++p;
+      const std::vector<std::string>& known = RuleNames();
+      bool known_rule =
+          std::find(known.begin(), known.end(), rule) != known.end();
+      if (!known_rule || rule == "bad-suppression") {
+        diagnostics->push_back(Diagnostic{
+            rel_path, comment.start_line, "bad-suppression",
+            "allow() names unknown or unsuppressible rule '" + rule + "'"});
+        continue;
+      }
+      while (p < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[p]))) {
+        ++p;
+      }
+      std::string justification;
+      if (p < text.size() && text[p] == ':') {
+        // Justification runs to the next `fslint:` marker (several allow
+        // comments may share one merged comment block) or the comment end.
+        size_t next = text.find("fslint:", p + 1);
+        size_t end = next == std::string::npos ? text.size() : next;
+        justification = std::string(TrimWhitespace(text.substr(p + 1,
+                                                               end - p - 1)));
+        // Block comments carry a trailing `*/` that is not justification.
+        if (EndsWith(justification, "*/")) {
+          justification = std::string(TrimWhitespace(
+              justification.substr(0, justification.size() - 2)));
+        }
+        // Strip a leading `//` continuation from merged line comments.
+        while (EndsWith(justification, "//")) {
+          justification = std::string(TrimWhitespace(
+              justification.substr(0, justification.size() - 2)));
+        }
+      }
+      if (justification.empty()) {
+        diagnostics->push_back(Diagnostic{
+            rel_path, comment.start_line, "bad-suppression",
+            "suppression of '" + rule +
+                "' lacks a justification; write "
+                "fslint: allow(" + rule + "): <why this is safe>"});
+        continue;
+      }
+      suppressions->push_back(
+          Suppression{rule, comment.start_line, comment.end_line + 1});
+    }
   }
 }
 
@@ -240,48 +410,84 @@ void RunLayeringRule(const LexedFile& lexed, const std::string& rel_path,
 
 const std::vector<std::string>& RuleNames() {
   static const std::vector<std::string> kNames = {
-      "no-unseeded-rng",        "no-wall-clock",     "no-raw-thread",
-      "no-unordered-iteration", "no-float-equality", "banned-function",
-      "layering",               "bad-suppression",
+      "no-unseeded-rng",        "no-wall-clock",
+      "no-raw-thread",          "no-unordered-iteration",
+      "no-float-equality",      "banned-function",
+      "layering",               "guarded-by",
+      "lock-order",             "no-lock-across-callback",
+      "bad-suppression",
   };
   return kNames;
+}
+
+FileAnalysis AnalyzeFileRules(const std::string& rel_path,
+                              const std::string& content,
+                              const LayerGraph* layers) {
+  FileAnalysis analysis;
+  analysis.lexed = LexCppSource(content);
+  TokenView view{analysis.lexed, TokenizeCode(analysis.lexed)};
+
+  ParseSuppressions(analysis.lexed, rel_path, &analysis.suppressions,
+                    &analysis.diagnostics);
+  RunRngRule(view, rel_path, &analysis.diagnostics);
+  RunWallClockRule(view, rel_path, &analysis.diagnostics);
+  RunRawThreadRule(view, rel_path, &analysis.diagnostics);
+  RunFloatEqualityRule(view, rel_path, &analysis.diagnostics);
+  RunBannedFunctionRule(view, rel_path, &analysis.diagnostics);
+  RunUnorderedIterationRule(view, rel_path, &analysis.diagnostics);
+  if (layers != nullptr) {
+    RunLayeringRule(view, rel_path, *layers, &analysis.diagnostics);
+  }
+  return analysis;
+}
+
+int ApplySuppressions(const std::vector<Suppression>& suppressions,
+                      std::vector<Diagnostic>* diagnostics) {
+  int used = 0;
+  auto suppressed = [&](const Diagnostic& diag) {
+    if (diag.rule == "bad-suppression") return false;
+    for (const Suppression& s : suppressions) {
+      if (s.rule == diag.rule && diag.line >= s.first_line &&
+          diag.line <= s.last_line) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto it = std::remove_if(diagnostics->begin(), diagnostics->end(),
+                           suppressed);
+  used = static_cast<int>(diagnostics->end() - it);
+  diagnostics->erase(it, diagnostics->end());
+  return used;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::sort(diagnostics->begin(), diagnostics->end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
 }
 
 FileLintResult LintSource(const std::string& rel_path,
                           const std::string& content,
                           const LayerGraph* layers) {
-  LexedFile lexed = LexCppSource(content);
+  FileAnalysis analysis = AnalyzeFileRules(rel_path, content, layers);
 
-  std::vector<Suppression> suppressions;
-  std::vector<Diagnostic> raw;
-  ParseSuppressions(lexed, rel_path, &suppressions, &raw);
-  RunRegexRules(lexed, rel_path, &raw);
-  RunUnorderedIterationRule(lexed, rel_path, &raw);
-  if (layers != nullptr) RunLayeringRule(lexed, rel_path, *layers, &raw);
+  // Single-file concurrency analysis: class tables come from this file
+  // alone, and the manifest conformance check is skipped (no tree).
+  ConcurrencyAnalyzer analyzer;
+  analyzer.AddFile(rel_path, analysis.lexed);
+  std::vector<Diagnostic> concurrency = analyzer.Analyze(nullptr);
+  analysis.diagnostics.insert(analysis.diagnostics.end(),
+                              std::make_move_iterator(concurrency.begin()),
+                              std::make_move_iterator(concurrency.end()));
 
   FileLintResult result;
-  for (Diagnostic& diag : raw) {
-    bool suppressed = false;
-    if (diag.rule != "bad-suppression") {
-      for (const Suppression& s : suppressions) {
-        if (s.rule == diag.rule && diag.line >= s.first_line &&
-            diag.line <= s.last_line) {
-          suppressed = true;
-          break;
-        }
-      }
-    }
-    if (suppressed) {
-      ++result.suppressions_used;
-    } else {
-      result.diagnostics.push_back(std::move(diag));
-    }
-  }
-  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
+  result.suppressions_used =
+      ApplySuppressions(analysis.suppressions, &analysis.diagnostics);
+  result.diagnostics = std::move(analysis.diagnostics);
+  SortDiagnostics(&result.diagnostics);
   return result;
 }
 

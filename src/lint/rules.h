@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "lint/layers.h"
+#include "lint/lexer.h"
 
 namespace fieldswap {
 namespace lint {
@@ -17,6 +18,14 @@ struct Diagnostic {
   std::string message;
 };
 
+/// One parsed `fslint: allow(<rule>): <justification>` comment. Covers the
+/// comment's own lines plus the line immediately after it.
+struct Suppression {
+  std::string rule;
+  int first_line = 0;
+  int last_line = 0;
+};
+
 /// Result of linting a single file.
 struct FileLintResult {
   std::vector<Diagnostic> diagnostics;
@@ -25,15 +34,40 @@ struct FileLintResult {
   int suppressions_used = 0;
 };
 
+/// The file-scoped half of a lint run: lexed source, parsed suppressions,
+/// and the diagnostics of every per-file rule (the cross-file concurrency
+/// rules run separately over many files at once — see
+/// lint/concurrency.h).
+struct FileAnalysis {
+  LexedFile lexed;
+  std::vector<Suppression> suppressions;
+  std::vector<Diagnostic> diagnostics;
+};
+
 /// Names of every rule the engine can emit, in stable order. Includes the
 /// meta-rule `bad-suppression` (malformed / unjustified / unknown-rule
 /// suppression comments).
 const std::vector<std::string>& RuleNames();
 
-/// Lints one file's `content`. `rel_path` is the repo-relative path (used
-/// both for diagnostics and for per-rule allowlists such as "clocks are
-/// fine under src/obs/"). `layers` may be null to skip the layering check
-/// (e.g. for fixture snippets with no manifest).
+/// Runs the per-file rules and parses suppressions, without applying them.
+/// `layers` may be null to skip the layering check.
+FileAnalysis AnalyzeFileRules(const std::string& rel_path,
+                              const std::string& content,
+                              const LayerGraph* layers);
+
+/// Removes suppressed diagnostics in place (`bad-suppression` is never
+/// suppressible) and returns how many were silenced.
+int ApplySuppressions(const std::vector<Suppression>& suppressions,
+                      std::vector<Diagnostic>* diagnostics);
+
+/// Sorts diagnostics by (line, rule) for stable per-file output.
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics);
+
+/// Lints one file's `content`: per-file rules plus the concurrency rules
+/// run in single-file mode (guarded-by / lock-order cycles /
+/// no-lock-across-callback, without the manifest conformance check).
+/// `rel_path` is the repo-relative path (used both for diagnostics and for
+/// per-rule allowlists such as "clocks are fine under src/obs/").
 ///
 /// Suppressions: a comment `// fslint: allow(<rule>): <justification>`
 /// silences that rule on the comment's own line(s) and on the line

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace fieldswap {
 namespace obs {
 
@@ -92,9 +94,9 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, HistogramData> histograms_;
+  std::map<std::string, int64_t> counters_ FS_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ FS_GUARDED_BY(mu_);
+  std::map<std::string, HistogramData> histograms_ FS_GUARDED_BY(mu_);
 };
 
 /// Process-wide registry used by the FS_COUNTER/FS_GAUGE helpers below and

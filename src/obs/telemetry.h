@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace fieldswap {
 namespace obs {
 
@@ -54,8 +56,8 @@ class TrainingTelemetry {
   void Append(TelemetryRecord record);
 
   mutable std::mutex mu_;
-  std::string run_ = "default";
-  std::vector<TelemetryRecord> records_;
+  std::string run_ FS_GUARDED_BY(mu_) = "default";
+  std::vector<TelemetryRecord> records_ FS_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

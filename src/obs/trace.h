@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace fieldswap {
 namespace obs {
 
@@ -54,10 +56,10 @@ class TraceRecorder {
 
  private:
   mutable std::mutex mu_;
-  std::chrono::steady_clock::time_point origin_;
-  bool enabled_ = true;
-  std::vector<TraceEvent> events_;
-  int64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point origin_;  // set once, then read-only
+  bool enabled_ FS_GUARDED_BY(mu_) = true;
+  std::vector<TraceEvent> events_ FS_GUARDED_BY(mu_);
+  int64_t dropped_ FS_GUARDED_BY(mu_) = 0;
 };
 
 /// Process-wide recorder used by FS_TRACE_SPAN. First use arms the

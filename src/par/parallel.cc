@@ -11,7 +11,9 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "par/lock_validator.h"
 #include "util/strings.h"
+#include "util/thread_annotations.h"
 
 namespace fieldswap {
 namespace par {
@@ -40,7 +42,8 @@ struct Batch {
   size_t n = 0;
   std::atomic<size_t> next_index{0};
   std::atomic<size_t> tasks_completed{0};
-  std::exception_ptr first_error;  // guarded by the pool mutex
+  // Guarded by the owning pool's mu_ (the annotation names it by base).
+  std::exception_ptr first_error FS_GUARDED_BY(mu_);
 };
 
 /// Fixed-size pool of worker threads executing one indexed batch at a
@@ -62,7 +65,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<util::OrderedMutex> lock(mu_);
       shutdown_ = true;
     }
     job_cv_.notify_all();
@@ -74,12 +77,12 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the workers plus the calling
   /// thread; blocks until every task completed. One batch at a time.
   void Run(size_t n, const std::function<void(size_t)>& fn) {
-    std::lock_guard<std::mutex> run_lock(run_mu_);
+    std::lock_guard<util::OrderedMutex> run_lock(run_mu_);
     auto batch = std::make_shared<Batch>();
     batch->fn = fn;  // batch-owned copy: workers never see a dangling ref
     batch->n = n;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<util::OrderedMutex> lock(mu_);
       current_batch_ = batch;
       ++generation_;
     }
@@ -87,7 +90,7 @@ class ThreadPool {
     DrainTasks(*batch);
     std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      std::unique_lock<util::OrderedMutex> lock(mu_);
       done_cv_.wait(lock, [&] {
         return batch->tasks_completed.load(std::memory_order_acquire) == n;
       });
@@ -103,7 +106,7 @@ class ThreadPool {
     for (;;) {
       std::shared_ptr<Batch> batch;
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        std::unique_lock<util::OrderedMutex> lock(mu_);
         job_cv_.wait(lock, [&] {
           return shutdown_ || generation_ != seen_generation;
         });
@@ -126,26 +129,28 @@ class ThreadPool {
       try {
         RunOneTask(batch.fn, i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<util::OrderedMutex> lock(mu_);
         if (!batch.first_error) batch.first_error = std::current_exception();
       }
       if (batch.tasks_completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           batch.n) {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::lock_guard<util::OrderedMutex> lock(mu_);
         done_cv_.notify_all();
       }
     }
     t_in_region = was_in_region;
   }
 
-  std::mutex run_mu_;  // serializes concurrent external Run calls
+  // Serializes concurrent external Run calls; always acquired before mu_
+  // (tools/lock_order.txt: ThreadPool::run_mu_ -> ThreadPool::mu_).
+  util::OrderedMutex run_mu_{"ThreadPool::run_mu_"};
 
-  std::mutex mu_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  bool shutdown_ = false;
-  uint64_t generation_ = 0;
-  std::shared_ptr<Batch> current_batch_;
+  util::OrderedMutex mu_{"ThreadPool::mu_"};
+  std::condition_variable_any job_cv_;
+  std::condition_variable_any done_cv_;
+  bool shutdown_ FS_GUARDED_BY(mu_) = false;
+  uint64_t generation_ FS_GUARDED_BY(mu_) = 0;
+  std::shared_ptr<Batch> current_batch_ FS_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };
@@ -176,15 +181,15 @@ int DefaultThreads() {
 #endif
 }
 
-std::mutex& PoolMutex() {
-  static std::mutex mu;
+util::OrderedMutex& PoolMutex() {
+  static util::OrderedMutex mu{"parallel::PoolMutex()"};
   return mu;
 }
 
 /// Shared pool, lazily created and resized when the thread count changes.
 ThreadPool& PoolFor(int threads) {
   static std::unique_ptr<ThreadPool> pool;
-  std::lock_guard<std::mutex> lock(PoolMutex());
+  std::lock_guard<util::OrderedMutex> lock(PoolMutex());
   if (pool == nullptr || pool->num_workers() != threads - 1) {
     pool.reset();  // join old workers before spawning the new set
     pool = std::make_unique<ThreadPool>(threads - 1);

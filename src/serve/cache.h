@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "model/sequence_model.h"
+#include "util/thread_annotations.h"
 
 namespace fieldswap {
 namespace serve {
@@ -89,11 +90,13 @@ class LruCache {
 
   size_t capacity_;
   mutable std::mutex mu_;
-  std::list<Entry> order_;  // front = most recently used
-  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+  // Front = most recently used.
+  std::list<Entry> order_ FS_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index_
+      FS_GUARDED_BY(mu_);
+  int64_t hits_ FS_GUARDED_BY(mu_) = 0;
+  int64_t misses_ FS_GUARDED_BY(mu_) = 0;
+  int64_t evictions_ FS_GUARDED_BY(mu_) = 0;
 };
 
 /// Cache of per-document model encodings: repeat traffic skips re-encoding

@@ -24,7 +24,7 @@ uint64_t ModelRegistry::Publish(const std::string& tenant,
                                 std::shared_ptr<const ModelSnapshot> snapshot) {
   FS_CHECK(snapshot != nullptr)
       << "ModelRegistry::Publish(" << tenant << ") needs a snapshot";
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   TenantState& state = tenants_[tenant];
   PublishedVersion entry;
   entry.version = state.next_version++;
@@ -38,7 +38,7 @@ uint64_t ModelRegistry::Publish(const std::string& tenant,
 }
 
 bool ModelRegistry::Rollback(const std::string& tenant, uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return false;
   TenantState& state = it->second;
@@ -54,21 +54,21 @@ bool ModelRegistry::Rollback(const std::string& tenant, uint64_t version) {
 
 std::shared_ptr<const ModelSnapshot> ModelRegistry::Active(
     const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end() || it->second.lineage.empty()) return nullptr;
   return it->second.lineage[it->second.active_index].snapshot;
 }
 
 uint64_t ModelRegistry::ActiveVersion(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end() || it->second.lineage.empty()) return 0;
   return it->second.lineage[it->second.active_index].version;
 }
 
 PublishedVersion ModelRegistry::ActiveEntry(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end() || it->second.lineage.empty()) return {};
   return it->second.lineage[it->second.active_index];
@@ -76,14 +76,14 @@ PublishedVersion ModelRegistry::ActiveEntry(const std::string& tenant) const {
 
 std::vector<PublishedVersion> ModelRegistry::Lineage(
     const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return {};
   return it->second.lineage;
 }
 
 std::vector<std::string> ModelRegistry::Tenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tenants_.size());
   for (const auto& [name, state] : tenants_) {
@@ -93,7 +93,7 @@ std::vector<std::string> ModelRegistry::Tenants() const {
 }
 
 bool ModelRegistry::Has(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   return it != tenants_.end() && !it->second.lineage.empty();
 }
@@ -101,12 +101,12 @@ bool ModelRegistry::Has(const std::string& tenant) const {
 void ModelRegistry::SetQuota(const std::string& tenant, TenantQuota quota) {
   std::string error = quota.Validate();
   FS_CHECK(error.empty()) << error;
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   tenants_[tenant].quota = quota;
 }
 
 TenantQuota ModelRegistry::Quota(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return TenantQuota{};
   return it->second.quota;

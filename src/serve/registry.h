@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "par/lock_validator.h"
 #include "serve/snapshot.h"
+#include "util/thread_annotations.h"
 
 namespace fieldswap {
 namespace serve {
@@ -106,10 +108,14 @@ class ModelRegistry {
     TenantQuota quota;
   };
 
-  mutable std::mutex mu_;
+  // Nests under a server's lock: MultiTenantServer admission and batch
+  // formation consult the registry while holding their own mu_, so the
+  // canonical order is MultiTenantServer::mu_ -> ModelRegistry::mu_
+  // (tools/lock_order.txt). Registry methods never call out while locked.
+  mutable util::OrderedMutex mu_{"ModelRegistry::mu_"};
   // std::map: Tenants() iterates, and sorted order IS the scheduler's
   // deterministic round-robin order (fslint no-unordered-iteration).
-  std::map<std::string, TenantState> tenants_;
+  std::map<std::string, TenantState> tenants_ FS_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

@@ -146,7 +146,10 @@ ExtractResponse ExtractionServer::Reject(ServeStatus status,
 
 int64_t ExtractionServer::Submit(const Document& doc, double deadline_ms) {
   obs::Stopwatch admission_timer;
-  std::lock_guard<std::mutex> lock(mu_);
+  // Sample the clock before locking: options_.clock_ms is user-supplied
+  // and must never run under mu_ (fslint no-lock-across-callback).
+  const double now_ms = NowMs();
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   int64_t id = next_id_++;
   if (shutdown_) {
     ExtractResponse response =
@@ -170,7 +173,7 @@ int64_t ExtractionServer::Submit(const Document& doc, double deadline_ms) {
   PendingRequest request;
   request.id = id;
   request.doc = doc;
-  request.submit_ms = NowMs();
+  request.submit_ms = now_ms;
   request.deadline_at_ms =
       effective_deadline > 0 ? request.submit_ms + effective_deadline : 0;
   queue_.push_back(std::move(request));
@@ -182,7 +185,8 @@ int64_t ExtractionServer::Submit(const Document& doc, double deadline_ms) {
   return id;
 }
 
-void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
+void ExtractionServer::RunBatchLocked(
+    std::unique_lock<util::OrderedMutex>& lock) {
   batch_in_flight_ = true;
   std::shared_ptr<const ModelSnapshot> snapshot = snapshot_;
   std::vector<PendingRequest> batch;
@@ -315,7 +319,7 @@ void ExtractionServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 ExtractResponse ExtractionServer::Wait(int64_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::OrderedMutex> lock(mu_);
   for (;;) {
     auto it = done_.find(id);
     if (it != done_.end()) {
@@ -359,18 +363,18 @@ void ExtractionServer::SwapSnapshot(
       << "ServeOptions.int8_inference is set but swapped-in snapshot '"
       << snapshot->version()
       << "' has no int8 plan; build it with with_int8_plan=true";
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   snapshot_ = std::move(snapshot);
   obs::CounterAdd("fieldswap.serve.snapshot_swaps");
 }
 
 std::shared_ptr<const ModelSnapshot> ExtractionServer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   return snapshot_;
 }
 
 void ExtractionServer::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   if (shutdown_) return;
   shutdown_ = true;
   while (!queue_.empty()) {
@@ -387,7 +391,7 @@ void ExtractionServer::Shutdown() {
 }
 
 int ExtractionServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   return static_cast<int>(queue_.size());
 }
 

@@ -13,8 +13,10 @@
 
 #include "doc/document.h"
 #include "obs/timing.h"
+#include "par/lock_validator.h"
 #include "serve/cache.h"
 #include "serve/snapshot.h"
+#include "util/thread_annotations.h"
 
 namespace fieldswap {
 namespace serve {
@@ -150,12 +152,13 @@ class ExtractionServer {
   /// `deadline_ms` overrides options.default_deadline_ms for this request;
   /// 0 = no deadline, negative = use the default. Returns a ticket for
   /// Wait().
-  int64_t Submit(const Document& doc, double deadline_ms = -1);
+  int64_t Submit(const Document& doc, double deadline_ms = -1)
+      FS_EXCLUDES(mu_);
 
   /// Blocks until the request's response is available and returns it
   /// (each ticket can be claimed once). Callers waiting here collectively
   /// drive the batcher; see the class comment.
-  ExtractResponse Wait(int64_t id);
+  ExtractResponse Wait(int64_t id) FS_EXCLUDES(mu_);
 
   /// Submit + Wait for a single document.
   ExtractResponse Extract(const Document& doc, double deadline_ms = -1);
@@ -174,7 +177,7 @@ class ExtractionServer {
 
   /// Rejects all queued requests with kRejectedShutdown, wakes all waiters,
   /// and makes further Submits fail fast. Idempotent.
-  void Shutdown();
+  void Shutdown() FS_EXCLUDES(mu_);
 
   /// Requests admitted but not yet picked up by a batch.
   int queue_depth() const;
@@ -197,19 +200,20 @@ class ExtractionServer {
                          std::string error) const;
   /// Leader path: drains one batch and publishes its responses. Expects
   /// `lock` held on entry; temporarily releases it around model work.
-  void RunBatchLocked(std::unique_lock<std::mutex>& lock);
+  void RunBatchLocked(std::unique_lock<util::OrderedMutex>& lock)
+      FS_REQUIRES(mu_);
 
   ServeOptions options_;
   obs::Stopwatch uptime_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
-  std::deque<PendingRequest> queue_;
-  std::unordered_map<int64_t, ExtractResponse> done_;
-  int64_t next_id_ = 1;
-  bool batch_in_flight_ = false;
-  bool shutdown_ = false;
+  mutable util::OrderedMutex mu_{"ExtractionServer::mu_"};
+  std::condition_variable_any cv_;
+  std::shared_ptr<const ModelSnapshot> snapshot_ FS_GUARDED_BY(mu_);
+  std::deque<PendingRequest> queue_ FS_GUARDED_BY(mu_);
+  std::unordered_map<int64_t, ExtractResponse> done_ FS_GUARDED_BY(mu_);
+  int64_t next_id_ FS_GUARDED_BY(mu_) = 1;
+  bool batch_in_flight_ FS_GUARDED_BY(mu_) = false;
+  bool shutdown_ FS_GUARDED_BY(mu_) = false;
 
   EncodedDocCache encoded_cache_;
   LruCache<std::vector<EntitySpan>> result_cache_;

@@ -57,7 +57,10 @@ ExtractResponse MultiTenantServer::Reject(ServeStatus status,
 
 int64_t MultiTenantServer::Submit(const std::string& tenant,
                                   const Document& doc, double deadline_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Sample the clock before locking: options_.clock_ms is user-supplied
+  // and must never run under mu_ (fslint no-lock-across-callback).
+  const double now_ms = NowMs();
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   int64_t id = next_id_++;
   if (shutdown_) {
     done_[id] =
@@ -90,7 +93,7 @@ int64_t MultiTenantServer::Submit(const std::string& tenant,
   PendingRequest request;
   request.id = id;
   request.doc = doc;
-  request.submit_ms = NowMs();
+  request.submit_ms = now_ms;
   request.deadline_at_ms =
       effective_deadline > 0 ? request.submit_ms + effective_deadline : 0;
   request.batches_at_submit = batches_run_;
@@ -103,7 +106,8 @@ int64_t MultiTenantServer::Submit(const std::string& tenant,
   return id;
 }
 
-void MultiTenantServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
+void MultiTenantServer::RunBatchLocked(
+    std::unique_lock<util::OrderedMutex>& lock) {
   batch_in_flight_ = true;
   const int64_t batches_before = batches_run_;
 
@@ -316,7 +320,7 @@ void MultiTenantServer::RunBatchLocked(std::unique_lock<std::mutex>& lock) {
 }
 
 ExtractResponse MultiTenantServer::Wait(int64_t id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<util::OrderedMutex> lock(mu_);
   for (;;) {
     auto it = done_.find(id);
     if (it != done_.end()) {
@@ -354,7 +358,7 @@ std::vector<ExtractResponse> MultiTenantServer::ExtractBatch(
 }
 
 void MultiTenantServer::Shutdown() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   if (shutdown_) return;
   shutdown_ = true;
   for (auto& [name, state] : tenants_) {
@@ -373,19 +377,19 @@ void MultiTenantServer::Shutdown() {
 }
 
 int MultiTenantServer::queue_depth(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : static_cast<int>(it->second.queue.size());
 }
 
 TenantStats MultiTenantServer::stats(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? TenantStats{} : it->second.stats;
 }
 
 int64_t MultiTenantServer::batches_run() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<util::OrderedMutex> lock(mu_);
   return batches_run_;
 }
 

@@ -13,9 +13,11 @@
 
 #include "doc/document.h"
 #include "obs/timing.h"
+#include "par/lock_validator.h"
 #include "serve/cache.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "util/thread_annotations.h"
 
 namespace fieldswap {
 namespace serve {
@@ -84,11 +86,11 @@ class MultiTenantServer {
   /// quota-exhausted tenants, and a shut-down server complete immediately
   /// with the matching rejection. Returns a ticket for Wait().
   int64_t Submit(const std::string& tenant, const Document& doc,
-                 double deadline_ms = -1);
+                 double deadline_ms = -1) FS_EXCLUDES(mu_);
 
   /// Blocks until the response is available (each ticket claimable once).
   /// Waiters collectively drive the batcher, as in ExtractionServer.
-  ExtractResponse Wait(int64_t id);
+  ExtractResponse Wait(int64_t id) FS_EXCLUDES(mu_);
 
   /// Submit + Wait for one document.
   ExtractResponse Extract(const std::string& tenant, const Document& doc,
@@ -102,7 +104,7 @@ class MultiTenantServer {
 
   /// Rejects everything queued (all tenants) with kRejectedShutdown and
   /// makes further Submits fail fast. Idempotent.
-  void Shutdown();
+  void Shutdown() FS_EXCLUDES(mu_);
 
   /// Requests queued for one tenant right now.
   int queue_depth(const std::string& tenant) const;
@@ -144,24 +146,26 @@ class MultiTenantServer {
                          const Document& doc, std::string error) const;
   /// Leader path: forms one DRR batch, runs it, publishes responses.
   /// Expects `lock` held; releases it around model work.
-  void RunBatchLocked(std::unique_lock<std::mutex>& lock);
+  void RunBatchLocked(std::unique_lock<util::OrderedMutex>& lock)
+      FS_REQUIRES(mu_);
 
   std::shared_ptr<ModelRegistry> registry_;
   ServeOptions options_;
   obs::Stopwatch uptime_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable util::OrderedMutex mu_{"MultiTenantServer::mu_"};
+  std::condition_variable_any cv_;
   // std::map: batch formation iterates tenants, and sorted order is the
   // deterministic round-robin order (fslint no-unordered-iteration).
-  std::map<std::string, TenantState> tenants_;
-  std::string cursor_;  // last turn tenant; next turn starts after it
-  std::unordered_map<int64_t, ExtractResponse> done_;
-  int64_t next_id_ = 1;
-  size_t total_queued_ = 0;
-  int64_t batches_run_ = 0;
-  bool batch_in_flight_ = false;
-  bool shutdown_ = false;
+  std::map<std::string, TenantState> tenants_ FS_GUARDED_BY(mu_);
+  // Last turn tenant; the next turn starts after it.
+  std::string cursor_ FS_GUARDED_BY(mu_);
+  std::unordered_map<int64_t, ExtractResponse> done_ FS_GUARDED_BY(mu_);
+  int64_t next_id_ FS_GUARDED_BY(mu_) = 1;
+  size_t total_queued_ FS_GUARDED_BY(mu_) = 0;
+  int64_t batches_run_ FS_GUARDED_BY(mu_) = 0;
+  bool batch_in_flight_ FS_GUARDED_BY(mu_) = false;
+  bool shutdown_ FS_GUARDED_BY(mu_) = false;
 
   // Shared across tenants: keys fold in the snapshot sequence, so tenants
   // on the same backbone snapshot deduplicate work while distinct

@@ -5,19 +5,16 @@
 #include <iostream>
 #include <mutex>
 
+#include "util/thread_annotations.h"
+
 namespace fieldswap {
 namespace {
 
-std::mutex& SinkMutex() {
-  static std::mutex* mu = new std::mutex;
-  return *mu;
-}
-
-// Guarded by SinkMutex(); nullptr means "write to stderr".
-LogSink*& ActiveSink() {
-  static LogSink* sink = nullptr;
-  return sink;
-}
+// File-scope sink state (constant-initialized: std::mutex's constexpr
+// constructor keeps this safe at any static-init point). nullptr sink
+// means "write to stderr".
+std::mutex g_sink_mu;
+LogSink* g_sink FS_GUARDED_BY(g_sink_mu) = nullptr;
 
 std::atomic<LogSeverity>& MinSeverity() {
   static std::atomic<LogSeverity>* severity = [] {
@@ -84,9 +81,9 @@ bool ParseLogSeverity(std::string_view name, LogSeverity* out) {
 }
 
 LogSink* SetLogSink(LogSink* sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  LogSink* previous = ActiveSink();
-  ActiveSink() = sink;
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  LogSink* previous = g_sink;
+  g_sink = sink;
   return previous;
 }
 
@@ -101,9 +98,9 @@ LogMessage::~LogMessage() {
   bool fatal = severity_ == LogSeverity::kFatal;
   if (fatal || severity_ >= MinLogSeverity()) {
     std::string line = stream_.str();
-    std::lock_guard<std::mutex> lock(SinkMutex());
-    if (ActiveSink() != nullptr) {
-      ActiveSink()->Write(severity_, line);
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (g_sink != nullptr) {
+      g_sink->Write(severity_, line);
     } else {
       std::cerr << line;
       std::cerr.flush();

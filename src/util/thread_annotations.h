@@ -1,0 +1,41 @@
+#ifndef FIELDSWAP_UTIL_THREAD_ANNOTATIONS_H_
+#define FIELDSWAP_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Lock-discipline annotations, machine-checked by fslint's flow-aware
+/// concurrency rules (src/lint/concurrency.h, DESIGN.md "Concurrency
+/// analysis"). The macros expand to nothing — they are declarations of
+/// intent that the analyzer (not the compiler) enforces:
+///
+///   class Server {
+///    public:
+///     void Submit();                       // takes mu_ itself
+///     void RunLocked() FS_REQUIRES(mu_);   // caller must hold mu_
+///     void Flush() FS_EXCLUDES(mu_);       // caller must NOT hold mu_
+///    private:
+///     mutable util::OrderedMutex mu_;
+///     std::deque<Request> queue_ FS_GUARDED_BY(mu_);
+///   };
+///
+/// FS_GUARDED_BY(m)  on a data member (or namespace-scope variable): every
+///                   read or write must happen in a scope where `m` is held
+///                   (std::lock_guard / unique_lock / scoped_lock), or
+///                   inside a function annotated FS_REQUIRES(m).
+///                   Constructors and destructors are exempt — no other
+///                   thread can hold a reference yet/anymore.
+/// FS_REQUIRES(m)    on a function: the caller acquires `m` before calling;
+///                   the body may touch members guarded by `m` freely. When
+///                   the function also takes a std::unique_lock& parameter,
+///                   the analyzer binds that parameter to `m`, so
+///                   lock.unlock()/lock.lock() toggles are modeled.
+/// FS_EXCLUDES(m)    on a function: documents that the body (re-)acquires
+///                   `m`, so calling it with `m` held would self-deadlock.
+///
+/// The annotations pair with util::OrderedMutex (par/lock_validator.h) for
+/// runtime acquisition-order validation, and with tools/lock_order.txt for
+/// the static lock-order manifest.
+
+#define FS_GUARDED_BY(mutex)
+#define FS_REQUIRES(mutex)
+#define FS_EXCLUDES(mutex)
+
+#endif  // FIELDSWAP_UTIL_THREAD_ANNOTATIONS_H_

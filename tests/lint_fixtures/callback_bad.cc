@@ -1,0 +1,26 @@
+// Fixture: user-supplied callback invoked while holding a lock. A
+// callback that re-enters the locked object deadlocks, so
+// no-lock-across-callback flags the call under the lock and accepts the
+// copy-then-invoke-unlocked pattern. Never compiled.
+#include <functional>
+#include <mutex>
+
+class Notifier {
+ public:
+  void Fire() {
+    std::lock_guard<std::mutex> lock(notifier_mu_);
+    on_event_(1);  // line 12: no-lock-across-callback
+  }
+  void FireSafely() {
+    std::function<void(int)> copy;
+    {
+      std::lock_guard<std::mutex> lock(notifier_mu_);
+      copy = on_event_;
+    }
+    copy(1);  // ok: lock released before invoking
+  }
+
+ private:
+  std::mutex notifier_mu_;
+  std::function<void(int)> on_event_;
+};

@@ -1,0 +1,17 @@
+// Fixture: justified suppression of no-lock-across-callback. Never
+// compiled.
+#include <functional>
+#include <mutex>
+
+class QuietNotifier {
+ public:
+  void Fire() {
+    std::lock_guard<std::mutex> lock(quiet_mu_);
+    // fslint: allow(no-lock-across-callback): fixture exercising suppression
+    on_done_();
+  }
+
+ private:
+  std::mutex quiet_mu_;
+  std::function<void()> on_done_;
+};

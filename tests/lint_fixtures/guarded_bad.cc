@@ -1,0 +1,25 @@
+// Fixture: FS_GUARDED_BY members accessed without their guard. The
+// annotation macros come from util/thread_annotations.h; this fixture is
+// never compiled, so the bare macro names are fine.
+#include <mutex>
+
+class GuardedCounter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;  // ok: mu_ held
+  }
+  int Peek() const {
+    return count_;  // line 13: guarded-by
+  }
+  void Reset() FS_REQUIRES(mu_) { count_ = 0; }  // ok: caller holds mu_
+  void Drain() {
+    count_ = 0;  // line 17: guarded-by
+    while (count_ > 0) {  // line 18: guarded-by
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int count_ FS_GUARDED_BY(mu_) = 0;
+};

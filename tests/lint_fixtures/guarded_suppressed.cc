@@ -1,0 +1,14 @@
+// Fixture: justified suppression of guarded-by. Never compiled.
+#include <mutex>
+
+class SuppressedGauge {
+ public:
+  int Read() const {
+    // fslint: allow(guarded-by): racy read is deliberate in this fixture
+    return level_;
+  }
+
+ private:
+  mutable std::mutex gauge_mu_;
+  int level_ FS_GUARDED_BY(gauge_mu_) = 0;
+};

@@ -1,0 +1,18 @@
+// Fixture: an intentional lock-order inversion. Two functions acquire the
+// same two mutexes in opposite orders — the classic ABBA deadlock the
+// lock-order rule must report as an acquisition cycle, with both chains
+// and their file:line anchors. Never compiled.
+#include <mutex>
+
+std::mutex first_mu;
+std::mutex second_mu;
+
+void ForwardOrder() {
+  std::lock_guard<std::mutex> a(first_mu);
+  std::lock_guard<std::mutex> b(second_mu);  // first -> second
+}
+
+void InvertedOrder() {
+  std::lock_guard<std::mutex> b(second_mu);
+  std::lock_guard<std::mutex> a(first_mu);  // second -> first: cycle
+}

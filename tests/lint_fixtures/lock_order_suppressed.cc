@@ -1,0 +1,18 @@
+// Fixture: justified suppression of lock-order. The cycle diagnostic
+// anchors at its first witness line, so the suppression sits right above
+// the earliest nested acquisition. Never compiled.
+#include <mutex>
+
+std::mutex alpha_mu;
+std::mutex beta_mu;
+
+void AlphaThenBeta() {
+  std::lock_guard<std::mutex> a(alpha_mu);
+  // fslint: allow(lock-order): fixture exercising the suppression path
+  std::lock_guard<std::mutex> b(beta_mu);
+}
+
+void BetaThenAlpha() {
+  std::lock_guard<std::mutex> b(beta_mu);
+  std::lock_guard<std::mutex> a(alpha_mu);
+}

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "lint/concurrency.h"
 #include "lint/engine.h"
 #include "lint/layers.h"
 #include "lint/lexer.h"
@@ -243,11 +245,55 @@ TEST(FslintRules, CatchesBannedFunctions) {
   EXPECT_EQ(LinesAndRules(result), expected);
 }
 
+TEST(FslintRules, CatchesGuardedMemberAccessWithoutTheLock) {
+  FileLintResult result = LintFixture("guarded_bad.cc");
+  Expected expected = {{13, "guarded-by"},
+                       {17, "guarded-by"},
+                       {18, "guarded-by"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+  EXPECT_NE(result.diagnostics[0].message.find("FS_GUARDED_BY(mu_)"),
+            std::string::npos);
+  // Bump() (lock_guard held) and Reset() (FS_REQUIRES) are not flagged.
+}
+
+TEST(FslintRules, CatchesLockOrderInversionWithBothChains) {
+  FileLintResult result = LintFixture("lock_order_bad.cc");
+  Expected expected = {{12, "lock-order"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+  const std::string& message = result.diagnostics[0].message;
+  EXPECT_NE(message.find("lock acquisition cycle"), std::string::npos);
+  // Both chains appear, each anchored file:line at its witness.
+  EXPECT_NE(message.find("chain 1: lock_order_bad::first_mu "
+                         "(tests/lint_fixtures/lock_order_bad.cc:11) -> "
+                         "lock_order_bad::second_mu "
+                         "(tests/lint_fixtures/lock_order_bad.cc:12)"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("chain 2: lock_order_bad::second_mu "
+                         "(tests/lint_fixtures/lock_order_bad.cc:16) -> "
+                         "lock_order_bad::first_mu "
+                         "(tests/lint_fixtures/lock_order_bad.cc:17)"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("tools/lock_order.txt"), std::string::npos);
+}
+
+TEST(FslintRules, CatchesCallbackInvokedUnderLock) {
+  FileLintResult result = LintFixture("callback_bad.cc");
+  Expected expected = {{12, "no-lock-across-callback"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+  EXPECT_NE(result.diagnostics[0].message.find("Notifier::notifier_mu_"),
+            std::string::npos);
+  // FireSafely (copy under lock, invoke after release) is not flagged.
+}
+
 TEST(FslintRules, JustifiedSuppressionsSilenceEachRule) {
   for (const char* fixture :
        {"rng_suppressed.cc", "wall_clock_suppressed.cc",
         "unordered_suppressed.cc", "thread_suppressed.cc",
-        "float_eq_suppressed.cc", "banned_suppressed.cc"}) {
+        "float_eq_suppressed.cc", "banned_suppressed.cc",
+        "guarded_suppressed.cc", "lock_order_suppressed.cc",
+        "callback_suppressed.cc"}) {
     FileLintResult result = LintFixture(fixture);
     EXPECT_TRUE(result.diagnostics.empty())
         << fixture << ": " << (result.diagnostics.empty()
@@ -352,6 +398,86 @@ TEST(FslintLayering, UndeclaredSrcSubsystemIsReported) {
             std::string::npos);
 }
 
+// ------------------------------------------------------------- concurrency --
+
+TEST(FslintConcurrency, RequiresAnnotationSeedsTheHeldLock) {
+  const std::string content =
+      "class Q {\n"
+      " public:\n"
+      "  void DrainLocked() FS_REQUIRES(mu_) { pending_ = 0; }\n"
+      "  void Broken() { pending_ = 0; }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int pending_ FS_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  FileLintResult result = LintSource("src/serve/q.h", content, nullptr);
+  Expected expected = {{4, "guarded-by"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+}
+
+TEST(FslintConcurrency, OutOfLineDefinitionInheritsMethodAnnotations) {
+  const std::string content =
+      "class W {\n"
+      " public:\n"
+      "  void Tick() FS_REQUIRES(mu_);\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int beats_ FS_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "void W::Tick() { ++beats_; }\n";
+  FileLintResult result = LintSource("src/obs/w.cc", content, nullptr);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics[0].message;
+}
+
+TEST(FslintConcurrency, ExcludesCallUnderTheLockIsSelfDeadlock) {
+  const std::string content =
+      "class S {\n"
+      " public:\n"
+      "  void Poke() FS_EXCLUDES(mu_);\n"
+      "  void Loop() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    Poke();\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "};\n";
+  FileLintResult result = LintSource("src/core/s.h", content, nullptr);
+  Expected expected = {{6, "lock-order"}};
+  EXPECT_EQ(LinesAndRules(result), expected);
+  EXPECT_NE(result.diagnostics[0].message.find("self-deadlock"),
+            std::string::npos);
+}
+
+TEST(LockOrderManifestTest, RealManifestDeclaresTheCanonicalEdges) {
+  LockOrderManifest manifest;
+  std::string error;
+  ASSERT_TRUE(manifest.Parse(ReadRepoFile("tools/lock_order.txt"), &error))
+      << error;
+  EXPECT_TRUE(manifest.Allows("ThreadPool::run_mu_", "ThreadPool::mu_"));
+  EXPECT_TRUE(manifest.Allows("MultiTenantServer::mu_", "ModelRegistry::mu_"));
+  EXPECT_TRUE(manifest.Allows("parallel::PoolMutex()", "ThreadPool::mu_"));
+  // Direction matters: the reverse orders are not blessed.
+  EXPECT_FALSE(manifest.Allows("ThreadPool::mu_", "ThreadPool::run_mu_"));
+  EXPECT_FALSE(manifest.Allows("ModelRegistry::mu_", "MultiTenantServer::mu_"));
+}
+
+TEST(LockOrderManifestTest, RejectsCyclesAndMalformedLines) {
+  LockOrderManifest manifest;
+  std::string error;
+  // A manifest cycle would bless the deadlock the rule prevents.
+  EXPECT_FALSE(manifest.Parse("A -> B\nB -> A\n", &error));
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+  EXPECT_FALSE(manifest.Parse("A B\n", &error));
+  EXPECT_NE(error.find("expected"), std::string::npos);
+  EXPECT_FALSE(manifest.Parse("A -> A\n", &error));
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+  // Comments and blank lines are fine.
+  EXPECT_TRUE(manifest.Parse("# comment\n\nA -> B # trailing\n", &error))
+      << error;
+  EXPECT_TRUE(manifest.Allows("A", "B"));
+}
+
 // ------------------------------------------------------------------ engine --
 
 TEST(FslintEngine, FixturesAreExcludedByDefaultButScannableOnDemand) {
@@ -386,6 +512,13 @@ TEST(FslintEngine, TheRealTreeLintsClean) {
   std::string text;
   if (!report.clean()) text = RenderText(report);
   EXPECT_TRUE(report.clean()) << text;
+  // The whole-tree nested-acquisition graph is non-empty, and staying
+  // clean above means every src/ edge is declared in tools/lock_order.txt
+  // (manifest conformance is on by default when the file exists).
+  EXPECT_NE(std::find(report.observed_lock_edges.begin(),
+                      report.observed_lock_edges.end(),
+                      "ThreadPool::run_mu_ -> ThreadPool::mu_"),
+            report.observed_lock_edges.end());
 }
 
 }  // namespace

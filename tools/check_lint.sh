@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Runs the in-tree static analysis suite:
-#   1. fslint (src/lint) over src/, bench/, examples/, tests/ with the
-#      tools/layers.txt layering manifest — always.
+#   1. fslint (src/lint) over src/, bench/, examples/, tests/, tools/
+#      with the tools/layers.txt layering manifest and the
+#      tools/lock_order.txt lock-order manifest — always. This includes
+#      the concurrency rules (guarded-by, lock-order,
+#      no-lock-across-callback); tools/check_concurrency.sh additionally
+#      runs their dynamic counterpart, the FS_VALIDATE_LOCKS=1 runtime
+#      lock validator.
 #   2. clang-tidy over the compilation database — only when clang-tidy is
 #      installed; skipped with a note otherwise so the script stays usable
 #      in minimal containers.
@@ -23,7 +28,7 @@ if [[ ! -x "$FSLINT_BIN" ]]; then
 fi
 
 echo "== fslint =="
-"$FSLINT_BIN" --root "$REPO_ROOT" src bench examples tests
+"$FSLINT_BIN" --root "$REPO_ROOT" src bench examples tests tools
 
 echo
 echo "== clang-tidy =="

@@ -30,8 +30,12 @@ run_config() {
   cmake -B "$build_dir" -S . -DFIELDSWAP_SANITIZE="$sanitize" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$build_dir" -j
-  echo "=== [$name] ctest ==="
-  (cd "$build_dir" && ctest --output-on-failure -j)
+  echo "=== [$name] ctest (FS_VALIDATE_LOCKS=1) ==="
+  # The runtime lock validator rides along: every acquisition order the
+  # suite executes is checked against the global graph, so an inversion
+  # surfaces as a named lock-order violation instead of a TSan-invisible
+  # latent deadlock (src/par/lock_validator.h).
+  (cd "$build_dir" && FS_VALIDATE_LOCKS=1 ctest --output-on-failure -j)
   echo "=== [$name] OK ==="
 }
 

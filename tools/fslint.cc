@@ -40,6 +40,14 @@ int Usage(const char* argv0) {
       << "  --no-default-excludes\n"
       << "                   also lint default-excluded paths"
       << " (lint_fixtures)\n"
+      << "  --lock-order FILE\n"
+      << "                   lock-order manifest"
+      << " (default: ROOT/tools/lock_order.txt)\n"
+      << "  --no-lock-order  skip the manifest-conformance half of"
+      << " lock-order\n"
+      << "  --dump-lock-order\n"
+      << "                   print every observed nested acquisition as\n"
+      << "                   manifest lines ('A -> B') and exit\n"
       << "  --list-rules     print the rule names and exit\n";
   return 2;
 }
@@ -59,6 +67,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::vector<std::string> extra_excludes;
   bool default_excludes = true;
+  bool dump_lock_order = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -81,6 +90,12 @@ int main(int argc, char** argv) {
       extra_excludes.push_back(next("--exclude"));
     } else if (arg == "--no-default-excludes") {
       default_excludes = false;
+    } else if (arg == "--lock-order") {
+      config.lock_order_path = next("--lock-order");
+    } else if (arg == "--no-lock-order") {
+      config.check_lock_order = false;
+    } else if (arg == "--dump-lock-order") {
+      dump_lock_order = true;
     } else if (arg == "--list-rules") {
       for (const std::string& rule : fieldswap::lint::RuleNames()) {
         std::cout << rule << "\n";
@@ -127,6 +142,12 @@ int main(int argc, char** argv) {
   }
 
   LintReport report = fieldswap::lint::LintPaths(config, paths);
+  if (dump_lock_order) {
+    for (const std::string& edge : report.observed_lock_edges) {
+      std::cout << edge << "\n";
+    }
+    return 0;
+  }
   fieldswap::lint::PublishLintMetrics(report);
   std::cout << (json ? RenderJson(report) : RenderText(report));
   if (report.files_scanned == 0) {
