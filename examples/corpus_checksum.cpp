@@ -13,28 +13,17 @@
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
-#include <vector>
 
 #include "api/fieldswap_api.h"
-#include "util/hash.h"
 
 using fieldswap::AllEvalDomains;
-using fieldswap::Document;
-using fieldswap::DocumentToJson;
 using fieldswap::DomainSpec;
-using fieldswap::Fnv1a64;
-using fieldswap::GenerateCorpus;
+namespace api = fieldswap::api;
+namespace doc = fieldswap::doc;
 
 namespace {
-
-uint64_t CorpusChecksum(const std::vector<Document>& docs) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const Document& doc : docs) {
-    hash = hash * 31 + Fnv1a64(DocumentToJson(doc));
-  }
-  return hash;
-}
 
 std::string Hex(uint64_t value) {
   std::ostringstream out;
@@ -49,8 +38,12 @@ int main() {
   std::cerr << "threads " << fieldswap::par::Threads() << "\n";
   uint64_t combined = 0xcbf29ce484222325ULL;
   for (const DomainSpec& spec : AllEvalDomains()) {
-    std::vector<Document> docs = GenerateCorpus(spec, 25, 4242, "chk");
-    uint64_t checksum = CorpusChecksum(docs);
+    // Streamed: documents materialize per block inside CorpusChecksum and
+    // are dropped immediately — the fold matches the historical
+    // vector-based loop byte for byte.
+    std::unique_ptr<doc::CorpusReader> reader =
+        api::GenerateCorpusStream(spec.name, 25, 4242, "chk");
+    uint64_t checksum = doc::CorpusChecksum(*reader);
     combined = combined * 31 + checksum;
     std::cout << spec.name << " " << Hex(checksum) << "\n";
   }

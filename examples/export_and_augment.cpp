@@ -1,13 +1,15 @@
-// Corpus export / import and offline augmentation: generates a corpus,
-// writes it to JSONL, reloads it, augments it with FieldSwap, and writes
-// originals + synthetics back out — the workflow a downstream training
-// pipeline would use to consume this library's output from another stack.
+// Corpus export / import and offline augmentation: streams a generated
+// corpus to disk through a format driver, reopens it via auto-
+// identification, augments it with FieldSwap, and streams originals +
+// synthetics back out — the workflow a downstream training pipeline would
+// use to consume this library's output from another stack.
 //
-//   $ ./build/examples/export_and_augment [domain] [count] [out_dir]
-//   e.g. ./build/examples/export_and_augment earnings 25 /tmp
+//   $ ./build/examples/export_and_augment [domain] [count] [out_dir] [format]
+//   e.g. ./build/examples/export_and_augment earnings 25 /tmp native
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "api/fieldswap_api.h"
 #include "util/argparse.h"
@@ -18,52 +20,83 @@ using namespace fieldswap;
 int main(int argc, char** argv) {
   util::ArgParser args(
       "export_and_augment",
-      "Generates a corpus, round-trips it through JSONL, augments it with "
-      "FieldSwap, and writes originals + synthetics back out.");
-  std::string domain, count_text, out_dir;
+      "Generates a corpus, round-trips it through a corpus format driver, "
+      "augments it with FieldSwap, and writes originals + synthetics back "
+      "out.");
+  std::string domain, count_text, out_dir, format;
   args.AddPositional("domain", "earnings", "synthetic domain", &domain);
   args.AddPositional("count", "25", "documents to generate", &count_text);
   args.AddPositional("out_dir", ".", "output directory", &out_dir);
+  args.AddPositional("format", "jsonl",
+                     "output corpus format (jsonl or native)", &format);
   if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
   int count = ParseInt(count_text.c_str(), 25);
 
   DomainSpec spec = SpecByName(domain);
-  auto docs = GenerateCorpus(spec, count, /*seed=*/20240704, domain);
+  const std::string extension = format == "native" ? ".fsc" : ".jsonl";
 
-  std::string original_path = out_dir + "/" + domain + "_train.jsonl";
-  if (!SaveCorpusJsonl(original_path, docs)) {
-    std::cerr << "failed to write " << original_path << "\n";
+  // Stream generator -> writer: no corpus vector exists at any point.
+  std::string original_path = out_dir + "/" + domain + "_train" + extension;
+  doc::CorpusStatus status;
+  std::unique_ptr<doc::CorpusReader> generated =
+      api::GenerateCorpusStream(domain, count, /*seed=*/20240704, domain);
+  std::unique_ptr<doc::CorpusWriter> writer =
+      api::WriteCorpus(original_path, format, &status);
+  if (writer == nullptr) {
+    std::cerr << "failed to open " << original_path << " for writing: "
+              << status.ToString() << "\n";
     return 1;
   }
-  std::cout << "Wrote " << docs.size() << " documents to " << original_path
-            << "\n";
+  doc::ForEachDocument(*generated,
+                       [&](const Document& doc, size_t) { writer->Add(doc); });
+  if (!writer->Finish()) {
+    std::cerr << "failed to write " << original_path << ": "
+              << writer->status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Wrote " << writer->docs_written() << " documents to "
+            << original_path << " (" << writer->format() << ")\n";
 
-  // Round-trip through disk, as an external pipeline would.
-  auto loaded = LoadCorpusJsonl(original_path);
-  if (!loaded.has_value()) {
-    std::cerr << "failed to re-read " << original_path << "\n";
+  // Round-trip through disk, as an external pipeline would; the registry
+  // identifies the format from the file itself.
+  std::unique_ptr<doc::CorpusReader> loaded =
+      api::OpenCorpus(original_path, "", &status);
+  if (loaded == nullptr) {
+    std::cerr << "failed to re-read " << original_path << ": "
+              << status.ToString() << "\n";
     return 1;
   }
 
   FieldSwapPipelineOptions options;
   options.strategy = MappingStrategy::kHumanExpert;
   options.swap.max_synthetics = 500;
-  AugmentationResult result = RunFieldSwap(*loaded, spec, nullptr, options);
+  AugmentationResult result = api::Augment(*loaded, spec, options);
 
-  std::vector<Document> augmented = *loaded;
-  for (Document& synthetic : result.synthetics) {
-    augmented.push_back(std::move(synthetic));
+  std::string augmented_path =
+      out_dir + "/" + domain + "_augmented" + extension;
+  std::unique_ptr<doc::CorpusWriter> augmented_writer =
+      api::WriteCorpus(augmented_path, format, &status);
+  if (augmented_writer == nullptr) {
+    std::cerr << "failed to open " << augmented_path << " for writing: "
+              << status.ToString() << "\n";
+    return 1;
   }
-  std::string augmented_path = out_dir + "/" + domain + "_augmented.jsonl";
-  if (!SaveCorpusJsonl(augmented_path, augmented)) {
-    std::cerr << "failed to write " << augmented_path << "\n";
+  doc::ForEachDocument(*loaded, [&](const Document& doc, size_t) {
+    augmented_writer->Add(doc);
+  });
+  for (const Document& synthetic : result.synthetics) {
+    augmented_writer->Add(synthetic);
+  }
+  if (!augmented_writer->Finish()) {
+    std::cerr << "failed to write " << augmented_path << ": "
+              << augmented_writer->status().ToString() << "\n";
     return 1;
   }
   std::cout << "FieldSwap generated " << result.stats.generated
             << " synthetics (" << result.stats.discarded_unchanged
-            << " discarded); wrote " << augmented.size() << " documents to "
-            << augmented_path << "\n"
-            << "Train your extractor on the augmented file; every line is "
-               "one JSON document with tokens, boxes, lines, and labels.\n";
+            << " discarded); wrote " << augmented_writer->docs_written()
+            << " documents to " << augmented_path << "\n"
+            << "Train your extractor on the augmented file; each record is "
+               "one document with tokens, boxes, lines, and labels.\n";
   return 0;
 }

@@ -3,11 +3,20 @@
 #include <utility>
 
 #include "nn/serialize.h"
+#include "synth/corpus_stream.h"
 
 namespace fieldswap {
 namespace api {
+namespace {
 
-const char* Version() { return "fieldswap 1.0"; }
+/// Every corpus entry point funnels through here so the synthetic driver —
+/// which doc/ cannot register itself without inverting the layering — is
+/// in the registry before any identify/open/list call.
+void EnsureCorpusFormats() { synth::RegisterSyntheticCorpusDriver(); }
+
+}  // namespace
+
+const char* Version() { return "fieldswap 1.1"; }
 
 SequenceLabelingModel NewModel(const std::string& domain,
                                const SequenceModelConfig& config) {
@@ -49,11 +58,57 @@ EvalResult Evaluate(const SequenceLabelingModel& model,
   return EvaluateModel(model, docs);
 }
 
+TrainResult Train(SequenceLabelingModel& model,
+                  const doc::CorpusReader& originals,
+                  const doc::CorpusReader* synthetics,
+                  const TrainOptions& options) {
+  return TrainSequenceModel(model, originals, synthetics, options);
+}
+
+EvalResult Evaluate(const SequenceLabelingModel& model,
+                    const doc::CorpusReader& docs) {
+  return EvaluateModel(model, docs);
+}
+
 AugmentationResult Augment(const std::vector<Document>& originals,
                            const DomainSpec& spec,
                            const FieldSwapPipelineOptions& options,
                            const CandidateScoringModel* candidate_model) {
   return RunFieldSwap(originals, spec, candidate_model, options);
+}
+
+AugmentationResult Augment(const doc::CorpusReader& originals,
+                           const DomainSpec& spec,
+                           const FieldSwapPipelineOptions& options,
+                           const CandidateScoringModel* candidate_model) {
+  return RunFieldSwap(doc::ReadAllDocuments(originals), spec, candidate_model,
+                      options);
+}
+
+std::unique_ptr<doc::CorpusReader> OpenCorpus(const std::string& path,
+                                              const std::string& format,
+                                              doc::CorpusStatus* status) {
+  EnsureCorpusFormats();
+  return doc::OpenCorpus(path, format, status);
+}
+
+std::unique_ptr<doc::CorpusWriter> WriteCorpus(const std::string& path,
+                                               const std::string& format,
+                                               doc::CorpusStatus* status) {
+  EnsureCorpusFormats();
+  return doc::CreateCorpus(path, format, status);
+}
+
+std::vector<doc::FormatInfo> ListFormats() {
+  EnsureCorpusFormats();
+  return doc::FormatDriverRegistry::Global().ListFormats();
+}
+
+std::unique_ptr<doc::CorpusReader> GenerateCorpusStream(
+    const std::string& domain, int count, uint64_t seed,
+    const std::string& id_prefix) {
+  return synth::MakeSyntheticCorpusReader(SpecByName(domain), count, seed,
+                                          id_prefix);
 }
 
 std::unique_ptr<serve::ExtractionServer> Serve(SequenceLabelingModel model,

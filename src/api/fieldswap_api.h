@@ -17,7 +17,18 @@
 ///      thread control.
 ///   2. Thin convenience wrappers in fieldswap::api for the common
 ///      lifecycle: NewModel -> Train (or LoadModel) -> Extract / Evaluate /
-///      Serve, plus Augment for standalone FieldSwap augmentation.
+///      Serve, plus Augment for standalone FieldSwap augmentation, and the
+///      corpus-format surface: OpenCorpus / WriteCorpus / ListFormats /
+///      GenerateCorpusStream (ISSUE 10).
+///
+/// Corpus compatibility stance: the streaming doc::CorpusReader overloads
+/// of Train / Evaluate are the cores; the std::vector<Document> overloads
+/// are documented thin adapters over them and will stay source- and
+/// behavior-compatible — a vector call and a reader call over the same
+/// documents produce bit-identical results at any FIELDSWAP_THREADS.
+/// Corpus files written by WriteCorpus are readable by every later library
+/// version of the same major line: the native container embeds a format
+/// version readers check, and JSONL is plain DocumentToJson lines.
 
 #include <memory>
 #include <string>
@@ -26,6 +37,7 @@
 #include "core/key_phrases.h"
 #include "core/pipeline.h"
 #include "core/swap.h"
+#include "doc/corpus.h"
 #include "doc/serialize.h"
 #include "eval/experiment.h"
 #include "eval/golden.h"
@@ -81,9 +93,23 @@ TrainResult Train(SequenceLabelingModel& model,
                   const std::vector<Document>& synthetics = {},
                   const TrainOptions& options = {});
 
+/// Streaming overload: trains from corpus readers (file-backed, synthetic,
+/// or vector views) without materializing the corpora. Bit-identical to
+/// the vector overload over the same documents.
+TrainResult Train(SequenceLabelingModel& model,
+                  const doc::CorpusReader& originals,
+                  const doc::CorpusReader* synthetics = nullptr,
+                  const TrainOptions& options = {});
+
 /// Span-level precision/recall/F1 against a labeled corpus.
 EvalResult Evaluate(const SequenceLabelingModel& model,
                     const std::vector<Document>& docs);
+
+/// Streaming overload: evaluates over a corpus reader in bounded memory
+/// (one block of documents at a time). Bit-identical to the vector
+/// overload over the same documents.
+EvalResult Evaluate(const SequenceLabelingModel& model,
+                    const doc::CorpusReader& docs);
 
 /// Runs the FieldSwap augmentation pipeline over a training corpus.
 AugmentationResult Augment(const std::vector<Document>& originals,
@@ -91,6 +117,46 @@ AugmentationResult Augment(const std::vector<Document>& originals,
                            const FieldSwapPipelineOptions& options = {},
                            const CandidateScoringModel* candidate_model =
                                nullptr);
+
+/// Streaming overload: reads `originals` through a corpus reader. The
+/// pipeline's swap stage needs the training pool resident (it pairs
+/// documents across the pool), so this materializes internally; the
+/// adapter exists so callers can feed any corpus format to augmentation
+/// without touching LoadCorpusJsonl themselves.
+AugmentationResult Augment(const doc::CorpusReader& originals,
+                           const DomainSpec& spec,
+                           const FieldSwapPipelineOptions& options = {},
+                           const CandidateScoringModel* candidate_model =
+                               nullptr);
+
+/// Opens a corpus file through the format-driver registry — native binary
+/// (.fsc), JSONL (.jsonl), or a synthetic generator spec (.synth). Empty
+/// `format` auto-identifies by magic bytes, then extension. Null with the
+/// reason (including the registered format names) in `*status`.
+std::unique_ptr<doc::CorpusReader> OpenCorpus(const std::string& path,
+                                              const std::string& format = "",
+                                              doc::CorpusStatus* status =
+                                                  nullptr);
+
+/// Creates a streaming corpus writer. Empty `format` picks the writable
+/// driver whose extension matches `path`, defaulting to native. The file
+/// lands atomically (temp + rename) at Finish().
+std::unique_ptr<doc::CorpusWriter> WriteCorpus(const std::string& path,
+                                               const std::string& format = "",
+                                               doc::CorpusStatus* status =
+                                                   nullptr);
+
+/// Metadata for every registered corpus format, registration order.
+std::vector<doc::FormatInfo> ListFormats();
+
+/// A lazy reader over the synthetic generator: documents materialize per
+/// Get, so corpus size costs ~24 bytes/document up front. Reading index i
+/// yields exactly GenerateCorpus(SpecByName(domain), count, seed,
+/// id_prefix)[i]. Aborts on an unknown domain (SpecByName lists the valid
+/// names in its message).
+std::unique_ptr<doc::CorpusReader> GenerateCorpusStream(
+    const std::string& domain, int count, uint64_t seed,
+    const std::string& id_prefix = "doc");
 
 /// Wraps a trained model into a hot-swappable snapshot and returns a
 /// batched ExtractionServer ready for traffic.

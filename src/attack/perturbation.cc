@@ -409,28 +409,48 @@ AttackSuite BuildAttackSuite(const DomainSpec& spec) {
   return suite;
 }
 
+uint64_t PerturbCorpusStream(const doc::CorpusReader& docs,
+                             const DocumentPerturbation& attack,
+                             double severity, uint64_t seed,
+                             doc::CorpusWriter& out, size_t block_size) {
+  FS_TRACE_SPAN("attack.perturb_corpus");
+  // One child stream per document, pre-split serially in global index
+  // order (the block loop preserves it); the name salt keeps different
+  // attacks on the same (corpus, seed) uncorrelated.
+  Rng master(seed ^ Fnv1a64(attack.name()));
+  if (block_size == 0) block_size = doc::kDefaultStreamBlock;
+  const size_t n = docs.size();
+  uint64_t written = 0;
+  for (size_t base = 0; base < n; base += block_size) {
+    const size_t count = std::min(block_size, n - base);
+    std::vector<Rng> rngs;
+    rngs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      rngs.push_back(master.Split(static_cast<uint64_t>(base + i)));
+    }
+    std::vector<Document> perturbed = par::ParallelMap(count, [&](size_t i) {
+      Document copy = doc::ReadDocumentOrDie(docs, base + i);
+      Rng rng = rngs[i];
+      attack.Apply(copy, severity, rng);
+      return copy;
+    });
+    for (const Document& document : perturbed) {
+      if (!out.Add(document)) return written;
+      ++written;
+    }
+  }
+  obs::CounterAdd("fieldswap.attack.docs_perturbed",
+                  static_cast<int64_t>(n));
+  return written;
+}
+
 std::vector<Document> PerturbCorpus(const std::vector<Document>& docs,
                                     const DocumentPerturbation& attack,
                                     double severity, uint64_t seed) {
-  FS_TRACE_SPAN("attack.perturb_corpus");
-  // One child stream per document, pre-split serially; the name salt keeps
-  // different attacks on the same (corpus, seed) uncorrelated.
-  Rng master(seed ^ Fnv1a64(attack.name()));
-  std::vector<Rng> rngs;
-  rngs.reserve(docs.size());
-  for (size_t i = 0; i < docs.size(); ++i) {
-    rngs.push_back(master.Split(static_cast<uint64_t>(i)));
-  }
-  std::vector<Document> perturbed =
-      par::ParallelMap(docs.size(), [&](size_t i) {
-        Document copy = docs[i];
-        Rng rng = rngs[i];
-        attack.Apply(copy, severity, rng);
-        return copy;
-      });
-  obs::CounterAdd("fieldswap.attack.docs_perturbed",
-                  static_cast<int64_t>(docs.size()));
-  return perturbed;
+  doc::VectorCorpusReaderView view(docs);
+  doc::VectorCorpusWriter collector;
+  PerturbCorpusStream(view, attack, severity, seed, collector);
+  return collector.TakeDocs();
 }
 
 }  // namespace attack

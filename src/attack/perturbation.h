@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "doc/corpus.h"
 #include "doc/document.h"
 #include "synth/spec.h"
 #include "util/rng.h"
@@ -105,6 +106,19 @@ AttackSuite BuildAttackSuite(const DomainSpec& spec);
 std::vector<Document> PerturbCorpus(const std::vector<Document>& docs,
                                     const DocumentPerturbation& attack,
                                     double severity, uint64_t seed);
+
+/// Streaming core of PerturbCorpus (ISSUE 10): pulls documents from a
+/// reader one block at a time, perturbs the block on the pool, and appends
+/// results to `out` serially in document order — memory stays bounded by
+/// one block. Child rngs are split from the master stream serially in
+/// *global* document order across blocks, so the output is byte-identical
+/// to PerturbCorpus on the materialized corpus, at any FIELDSWAP_THREADS
+/// and any block size. Returns the number of documents written.
+uint64_t PerturbCorpusStream(const doc::CorpusReader& docs,
+                             const DocumentPerturbation& attack,
+                             double severity, uint64_t seed,
+                             doc::CorpusWriter& out,
+                             size_t block_size = doc::kDefaultStreamBlock);
 
 }  // namespace attack
 }  // namespace fieldswap

@@ -109,6 +109,8 @@ class Parser {
     return pos_ < text_.size() && text_[pos_] == c;
   }
 
+  size_t pos() const { return pos_; }
+
  private:
   void SkipSpace() {
     while (pos_ < text_.size() &&
@@ -179,24 +181,42 @@ std::string DocumentToJson(const Document& doc) {
 }
 
 std::optional<Document> DocumentFromJson(const std::string& json) {
+  return DocumentFromJson(json, nullptr);
+}
+
+std::optional<Document> DocumentFromJson(const std::string& json,
+                                         std::string* error) {
   Parser parser(json);
+  // Every failure names the section being parsed and where the parser
+  // stopped, so a bad corpus line is diagnosable without bisecting JSON by
+  // hand.
+  auto fail = [&](const std::string& what) -> std::optional<Document> {
+    if (error != nullptr) {
+      *error = what + " near byte " + std::to_string(parser.pos());
+    }
+    return std::nullopt;
+  };
+
   std::string id, domain;
   double width = 0, height = 0;
-  if (!parser.Literal("{\"id\":") || !parser.String(id)) return std::nullopt;
+  if (!parser.Literal("{\"id\":") || !parser.String(id)) {
+    return fail("malformed document header (expected {\"id\":...)");
+  }
   if (!parser.Literal(",\"domain\":") || !parser.String(domain)) {
-    return std::nullopt;
+    return fail("malformed \"domain\" field");
   }
   if (!parser.Literal(",\"width\":") || !parser.Number(width)) {
-    return std::nullopt;
+    return fail("malformed \"width\" field");
   }
   if (!parser.Literal(",\"height\":") || !parser.Number(height)) {
-    return std::nullopt;
+    return fail("malformed \"height\" field");
   }
 
   Document doc(id, domain, width, height);
 
-  if (!parser.Literal(",\"tokens\":[")) return std::nullopt;
-  std::vector<int> token_lines;
+  if (!parser.Literal(",\"tokens\":[")) {
+    return fail("missing \"tokens\" array");
+  }
   while (!parser.PeekIs(']')) {
     std::string text;
     double x0, y0, x1, y1;
@@ -207,28 +227,40 @@ std::optional<Document> DocumentFromJson(const std::string& json) {
         !parser.Number(x1) || !parser.Literal(",") || !parser.Number(y1) ||
         !parser.Literal("],\"line\":") || !parser.Int(line) ||
         !parser.Literal("}")) {
-      return std::nullopt;
+      return fail("malformed token " + std::to_string(doc.num_tokens()));
     }
     doc.AddToken(text, BBox{x0, y0, x1, y1});
-    token_lines.push_back(line);
     parser.Literal(",");  // optional separator
   }
-  if (!parser.Literal("]")) return std::nullopt;
+  if (!parser.Literal("]")) return fail("unterminated \"tokens\" array");
 
-  if (!parser.Literal(",\"lines\":[")) return std::nullopt;
+  if (!parser.Literal(",\"lines\":[")) {
+    return fail("missing \"lines\" array");
+  }
   std::vector<Line> lines;
   while (!parser.PeekIs(']')) {
-    if (!parser.Literal("[")) return std::nullopt;
+    if (!parser.Literal("[")) {
+      return fail("malformed line " + std::to_string(lines.size()));
+    }
     Line line;
     while (!parser.PeekIs(']')) {
       int index;
-      if (!parser.Int(index)) return std::nullopt;
+      if (!parser.Int(index)) {
+        return fail("malformed line " + std::to_string(lines.size()));
+      }
       line.token_indices.push_back(index);
       parser.Literal(",");
     }
-    if (!parser.Literal("]")) return std::nullopt;
+    if (!parser.Literal("]")) {
+      return fail("unterminated line " + std::to_string(lines.size()));
+    }
     for (int ti : line.token_indices) {
-      if (ti < 0 || ti >= doc.num_tokens()) return std::nullopt;
+      if (ti < 0 || ti >= doc.num_tokens()) {
+        return fail("line " + std::to_string(lines.size()) +
+                    " references token " + std::to_string(ti) +
+                    " out of range [0, " + std::to_string(doc.num_tokens()) +
+                    ")");
+      }
       line.box = line.token_indices.front() == ti
                      ? doc.token(ti).box
                      : line.box.Union(doc.token(ti).box);
@@ -236,10 +268,12 @@ std::optional<Document> DocumentFromJson(const std::string& json) {
     lines.push_back(std::move(line));
     parser.Literal(",");
   }
-  if (!parser.Literal("]")) return std::nullopt;
+  if (!parser.Literal("]")) return fail("unterminated \"lines\" array");
   doc.set_lines(std::move(lines));
 
-  if (!parser.Literal(",\"annotations\":[")) return std::nullopt;
+  if (!parser.Literal(",\"annotations\":[")) {
+    return fail("missing \"annotations\" array");
+  }
   while (!parser.PeekIs(']')) {
     std::string field;
     int first, count;
@@ -247,15 +281,21 @@ std::optional<Document> DocumentFromJson(const std::string& json) {
         !parser.Literal(",\"first\":") || !parser.Int(first) ||
         !parser.Literal(",\"count\":") || !parser.Int(count) ||
         !parser.Literal("}")) {
-      return std::nullopt;
+      return fail("malformed annotation " +
+                  std::to_string(doc.annotations().size()));
     }
     if (first < 0 || count <= 0 || first + count > doc.num_tokens()) {
-      return std::nullopt;
+      return fail("annotation \"" + field + "\" span [" +
+                  std::to_string(first) + ", " + std::to_string(first + count) +
+                  ") out of bounds for " + std::to_string(doc.num_tokens()) +
+                  " tokens");
     }
     doc.AddAnnotation(EntitySpan{field, first, count});
     parser.Literal(",");
   }
-  if (!parser.Literal("]}")) return std::nullopt;
+  if (!parser.Literal("]}")) {
+    return fail("unterminated \"annotations\" array");
+  }
   return doc;
 }
 
@@ -270,14 +310,28 @@ bool SaveCorpusJsonl(const std::string& path,
 }
 
 std::optional<std::vector<Document>> LoadCorpusJsonl(const std::string& path) {
+  return LoadCorpusJsonl(path, nullptr);
+}
+
+std::optional<std::vector<Document>> LoadCorpusJsonl(
+    const std::string& path, doc::CorpusStatus* status) {
   std::ifstream is(path);
-  if (!is) return std::nullopt;
+  if (!is) {
+    if (status != nullptr) *status = {"cannot open " + path, 0};
+    return std::nullopt;
+  }
   std::vector<Document> docs;
   std::string line;
+  long line_number = 0;
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty()) continue;
-    std::optional<Document> doc = DocumentFromJson(line);
-    if (!doc.has_value()) return std::nullopt;
+    std::string parse_error;
+    std::optional<Document> doc = DocumentFromJson(line, &parse_error);
+    if (!doc.has_value()) {
+      if (status != nullptr) *status = {parse_error, line_number};
+      return std::nullopt;
+    }
     docs.push_back(std::move(*doc));
   }
   return docs;

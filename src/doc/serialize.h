@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "doc/corpus.h"
 #include "doc/document.h"
 
 namespace fieldswap {
@@ -19,6 +20,12 @@ std::string DocumentToJson(const Document& doc);
 /// supported (no general JSON parsing).
 std::optional<Document> DocumentFromJson(const std::string& json);
 
+/// As above, but reports *why* parsing failed: `*error` (when non-null)
+/// receives which section was malformed and the byte position, e.g.
+/// "malformed token 3 near byte 214".
+std::optional<Document> DocumentFromJson(const std::string& json,
+                                         std::string* error);
+
 /// Writes one document per line (JSONL). Returns false on I/O error.
 bool SaveCorpusJsonl(const std::string& path,
                      const std::vector<Document>& docs);
@@ -26,6 +33,13 @@ bool SaveCorpusJsonl(const std::string& path,
 /// Reads a JSONL corpus written by SaveCorpusJsonl. Returns nullopt on I/O
 /// or parse error.
 std::optional<std::vector<Document>> LoadCorpusJsonl(const std::string& path);
+
+/// As above, but on failure fills `*status` (when non-null) with the
+/// 1-based line number and the parse error for that line — the message the
+/// JSONL format driver threads through its Open/Get error path, so a bad
+/// corpus names the offending line instead of a bare nullopt.
+std::optional<std::vector<Document>> LoadCorpusJsonl(
+    const std::string& path, doc::CorpusStatus* status);
 
 }  // namespace fieldswap
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "doc/corpus.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -101,7 +102,10 @@ LearningCurve ExperimentRunner::Run(const ExperimentSetting& setting) {
         TrainSequenceModel(model, originals, synthetics, train);
 
         FS_TRACE_SPAN("eval.evaluate");
-        return EvaluateModel(model, test_docs_);
+        // Reader-based eval core; the view is free and the test corpus is
+        // shared read-only across concurrent trials.
+        doc::VectorCorpusReaderView test_view(test_docs_);
+        return EvaluateModel(model, test_view);
       };
       std::vector<EvalResult> trial_evals;
       if (config_.train.telemetry != nullptr) {

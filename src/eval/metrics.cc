@@ -51,17 +51,30 @@ EvalResult FinalizeScores(std::map<std::string, FieldScore> scores) {
 }
 
 EvalResult EvaluateModel(const SequenceLabelingModel& model,
-                         const std::vector<Document>& test_docs) {
-  // Prediction fans out across the pool; scores accumulate serially in
-  // document order so the result is identical for any thread count.
-  std::vector<std::vector<EntitySpan>> predictions = par::ParallelMap(
-      test_docs.size(),
-      [&](size_t i) { return model.Predict(test_docs[i]); });
+                         const doc::CorpusReader& test_docs) {
+  // Per block: prediction fans out across the pool; gold + predicted spans
+  // come back per document and scores accumulate serially in document
+  // order, so the result is identical for any thread count.
+  struct DocSpans {
+    std::vector<EntitySpan> gold;
+    std::vector<EntitySpan> predicted;
+  };
   std::map<std::string, FieldScore> scores;
-  for (size_t i = 0; i < test_docs.size(); ++i) {
-    AccumulateSpanScores(test_docs[i].annotations(), predictions[i], scores);
-  }
+  doc::BlockedMapDocuments(
+      test_docs, doc::kDefaultStreamBlock,
+      [&](const Document& document, size_t) {
+        return DocSpans{document.annotations(), model.Predict(document)};
+      },
+      [&](size_t, const DocSpans& spans) {
+        AccumulateSpanScores(spans.gold, spans.predicted, scores);
+      });
   return FinalizeScores(std::move(scores));
+}
+
+EvalResult EvaluateModel(const SequenceLabelingModel& model,
+                         const std::vector<Document>& test_docs) {
+  doc::VectorCorpusReaderView view(test_docs);
+  return EvaluateModel(model, view);
 }
 
 }  // namespace fieldswap

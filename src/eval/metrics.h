@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "doc/corpus.h"
 #include "doc/document.h"
 #include "doc/schema.h"
 #include "model/sequence_model.h"
@@ -47,7 +48,15 @@ void AccumulateSpanScores(const std::vector<EntitySpan>& gold,
 /// Finalizes macro/micro F1 from accumulated per-field counts.
 EvalResult FinalizeScores(std::map<std::string, FieldScore> scores);
 
-/// Runs the model over `test_docs` and scores it.
+/// Runs the model over every document of `test_docs` and scores it. This
+/// is the streaming core (ISSUE 10): documents materialize one block at a
+/// time (doc::BlockedMapDocuments), prediction fans out within the block,
+/// and scores accumulate serially in document order — so memory is bounded
+/// by one block and the result is bit-identical at any FIELDSWAP_THREADS.
+EvalResult EvaluateModel(const SequenceLabelingModel& model,
+                         const doc::CorpusReader& test_docs);
+
+/// Vector entry point, kept as a thin adapter over the reader core.
 EvalResult EvaluateModel(const SequenceLabelingModel& model,
                          const std::vector<Document>& test_docs);
 

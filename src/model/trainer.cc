@@ -29,12 +29,12 @@ double MicroF1OnDocs(const SequenceLabelingModel& model,
 }
 
 TrainResult TrainSequenceModel(SequenceLabelingModel& model,
-                               const std::vector<Document>& originals,
-                               const std::vector<Document>& synthetics,
+                               const doc::CorpusReader& originals,
+                               const doc::CorpusReader* synthetics,
                                const TrainOptions& options) {
   FS_TRACE_SPAN("train.sequence_model");
   obs::CounterAdd("fieldswap.train.runs");
-  FS_CHECK(!originals.empty());
+  FS_CHECK(originals.size() > 0);
   std::string options_error = options.Validate();
   FS_CHECK(options_error.empty()) << options_error;
   Rng rng(options.seed);
@@ -44,29 +44,31 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
       originals.size(), originals.size());
   size_t val_count = std::max<size_t>(1, originals.size() / 10);
   if (originals.size() == 1) val_count = 0;  // degenerate: validate on train
-  std::vector<const Document*> train_docs;
+  std::vector<size_t> train_indices;
   std::vector<Document> val_docs;
   for (size_t i = 0; i < order.size(); ++i) {
     if (i < val_count) {
-      val_docs.push_back(originals[order[i]]);
+      val_docs.push_back(doc::ReadDocumentOrDie(originals, order[i]));
     } else {
-      train_docs.push_back(&originals[order[i]]);
+      train_indices.push_back(order[i]);
     }
   }
-  if (val_docs.empty()) val_docs.push_back(originals[0]);
+  if (val_docs.empty()) val_docs.push_back(doc::ReadDocumentOrDie(originals, 0));
 
-  // Pre-encode original and synthetic pools once. Each document encodes
-  // independently on the pool; ParallelMap keeps the pool order identical
-  // to the serial loop's.
+  // Pre-encode original and synthetic pools once. Each task pulls its
+  // document from the reader and encodes it independently on the pool, so
+  // at most one raw Document per in-flight task is resident; ParallelMap
+  // keeps the pool order identical to the serial loop's.
   std::vector<EncodedDoc> encoded_orig;
   std::vector<EncodedDoc> encoded_synth;
   {
     FS_TRACE_SPAN("train.encode_pools");
-    encoded_orig = par::ParallelMap(train_docs.size(), [&](size_t i) {
-      return model.EncodeDoc(*train_docs[i]);
+    encoded_orig = par::ParallelMap(train_indices.size(), [&](size_t i) {
+      return model.EncodeDoc(doc::ReadDocumentOrDie(originals, train_indices[i]));
     });
-    encoded_synth = par::ParallelMap(synthetics.size(), [&](size_t i) {
-      return model.EncodeDoc(synthetics[i]);
+    const size_t synth_count = synthetics != nullptr ? synthetics->size() : 0;
+    encoded_synth = par::ParallelMap(synth_count, [&](size_t i) {
+      return model.EncodeDoc(doc::ReadDocumentOrDie(*synthetics, i));
     });
   }
 
@@ -124,6 +126,15 @@ TrainResult TrainSequenceModel(SequenceLabelingModel& model,
   RestoreParams(params, best_snapshot);
   result.best_validation_f1 = std::max(best_f1, 0.0);
   return result;
+}
+
+TrainResult TrainSequenceModel(SequenceLabelingModel& model,
+                               const std::vector<Document>& originals,
+                               const std::vector<Document>& synthetics,
+                               const TrainOptions& options) {
+  doc::VectorCorpusReaderView orig_view(originals);
+  doc::VectorCorpusReaderView synth_view(synthetics);
+  return TrainSequenceModel(model, orig_view, &synth_view, options);
 }
 
 }  // namespace fieldswap

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "doc/corpus.h"
 #include "doc/document.h"
 #include "model/options.h"
 #include "model/sequence_model.h"
@@ -25,6 +26,20 @@ struct TrainResult {
 
 /// Trains `model` on original + synthetic documents per TrainOptions.
 /// On return the model holds the best-validation parameters.
+///
+/// This is the streaming core (ISSUE 10): documents are pulled from the
+/// readers one task at a time during pool encoding, so only the encoded
+/// pools — not the raw corpus — are resident. The RNG stream (shuffle,
+/// validation split, per-step pool draws) is byte-identical to what the
+/// historical vector-based path produced, so golden F1 values are
+/// unchanged. Pass null `synthetics` for an empty synthetic pool.
+TrainResult TrainSequenceModel(SequenceLabelingModel& model,
+                               const doc::CorpusReader& originals,
+                               const doc::CorpusReader* synthetics,
+                               const TrainOptions& options);
+
+/// Vector entry point, kept as a thin adapter over the reader core —
+/// existing call sites and tests stay source-compatible.
 TrainResult TrainSequenceModel(SequenceLabelingModel& model,
                                const std::vector<Document>& originals,
                                const std::vector<Document>& synthetics,

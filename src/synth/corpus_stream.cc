@@ -1,0 +1,171 @@
+#include "synth/corpus_stream.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "synth/domains.h"
+#include "synth/generator.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace fieldswap {
+namespace synth {
+namespace {
+
+/// Per-document generation seed, drawn serially in GenerateCorpus order.
+struct DocSeed {
+  int template_id = 0;
+  Rng rng{0};
+};
+
+class SyntheticCorpusReader : public doc::CorpusReader {
+ public:
+  SyntheticCorpusReader(DomainSpec spec, int count, uint64_t seed,
+                        std::string id_prefix)
+      : spec_(std::move(spec)), id_prefix_(std::move(id_prefix)), seed_(seed) {
+    // This serial interleaved draw (template, then child Rng, per document)
+    // must match GenerateCorpus byte for byte — golden.json pins corpus
+    // checksums computed through that path.
+    Rng rng(seed);
+    seeds_.reserve(static_cast<size_t>(std::max(count, 0)));
+    for (int i = 0; i < count; ++i) {
+      DocSeed doc_seed;
+      doc_seed.template_id = static_cast<int>(rng.Index(
+          static_cast<size_t>(std::max(spec_.num_templates, 1))));
+      doc_seed.rng = rng.Split(static_cast<uint64_t>(i));
+      seeds_.push_back(doc_seed);
+    }
+  }
+
+  size_t size() const override { return seeds_.size(); }
+
+  bool Get(size_t index, Document* document,
+           doc::CorpusStatus* status) const override {
+    if (index >= seeds_.size()) {
+      if (status != nullptr) {
+        status->message = "document index out of range";
+        status->line = 0;
+      }
+      return false;
+    }
+    // GenerateDocument is a pure function of its arguments (the Rng is
+    // passed by value), so concurrent Gets are safe and repeat Gets of the
+    // same index are identical.
+    *document = GenerateDocument(spec_, id_prefix_ + "-" + std::to_string(index),
+                                 seeds_[index].template_id, seeds_[index].rng);
+    return true;
+  }
+
+  std::string format() const override { return "synthetic"; }
+
+  std::string storage_info() const override {
+    return "domain " + spec_.name + "\n" +
+           "count " + std::to_string(seeds_.size()) + "\n" +
+           "seed " + std::to_string(seed_) + "\n" +
+           "id_prefix " + id_prefix_ + "\n";
+  }
+
+ private:
+  DomainSpec spec_;
+  std::string id_prefix_;
+  uint64_t seed_ = 0;
+  std::vector<DocSeed> seeds_;
+};
+
+bool KnownDomain(const std::string& name) {
+  for (const DomainSpec& spec : AllEvalDomains()) {
+    if (spec.name == name) return true;
+  }
+  return InvoicesSpec().name == name;
+}
+
+class SyntheticFormatDriver : public doc::FormatDriver {
+ public:
+  std::string name() const override { return "synthetic"; }
+  std::string extension() const override { return ".synth"; }
+  std::string description() const override {
+    return "lazy generated corpus described by a .synth JSON spec "
+           "(domain/count/seed); documents materialize per Get";
+  }
+  bool can_write() const override { return false; }
+
+  bool Identify(std::string_view magic,
+                const std::string& path) const override {
+    constexpr std::string_view kMagic = "{\"fieldswap_synthetic\"";
+    if (magic.size() >= kMagic.size() &&
+        magic.substr(0, kMagic.size()) == kMagic) {
+      return true;
+    }
+    const std::string ext = extension();
+    return path.size() >= ext.size() &&
+           path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+  }
+
+  std::unique_ptr<doc::CorpusReader> Open(
+      const std::string& path, doc::CorpusStatus* status) const override {
+    auto fail = [status](const std::string& message) {
+      if (status != nullptr) {
+        status->message = message;
+        status->line = 0;
+      }
+      return nullptr;
+    };
+    std::ifstream in(path);
+    if (!in) return fail("cannot open " + path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::optional<util::JsonValue> json = util::JsonValue::Parse(text);
+    if (!json.has_value() || !json->is_object()) {
+      return fail(path + ": not a JSON object");
+    }
+    if (json->Find("fieldswap_synthetic") == nullptr) {
+      return fail(path + ": missing \"fieldswap_synthetic\" marker");
+    }
+    const util::JsonValue* domain = json->Find("domain");
+    if (domain == nullptr || !domain->is_string()) {
+      return fail(path + ": missing string field \"domain\"");
+    }
+    if (!KnownDomain(domain->string_value())) {
+      return fail(path + ": unknown domain '" + domain->string_value() +
+                  "' (known: fara, fcc_forms, brokerage_statements, "
+                  "earnings, loan_payments, invoices)");
+    }
+    const util::JsonValue* count = json->Find("count");
+    if (count == nullptr || !count->is_number() ||
+        count->number_value() < 0 || count->number_value() > 2e9) {
+      return fail(path + ": missing or invalid numeric field \"count\"");
+    }
+    uint64_t seed = 0;
+    if (const util::JsonValue* v = json->Find("seed")) {
+      if (!v->is_number()) return fail(path + ": \"seed\" must be a number");
+      seed = static_cast<uint64_t>(v->number_value());
+    }
+    std::string id_prefix = "doc";
+    if (const util::JsonValue* v = json->Find("id_prefix")) {
+      if (!v->is_string()) {
+        return fail(path + ": \"id_prefix\" must be a string");
+      }
+      id_prefix = v->string_value();
+    }
+    return MakeSyntheticCorpusReader(SpecByName(domain->string_value()),
+                                     static_cast<int>(count->number_value()),
+                                     seed, id_prefix);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<doc::CorpusReader> MakeSyntheticCorpusReader(
+    const DomainSpec& spec, int count, uint64_t seed,
+    const std::string& id_prefix) {
+  return std::make_unique<SyntheticCorpusReader>(spec, count, seed, id_prefix);
+}
+
+void RegisterSyntheticCorpusDriver() {
+  doc::FormatDriverRegistry::Global().Register(
+      std::make_unique<SyntheticFormatDriver>());
+}
+
+}  // namespace synth
+}  // namespace fieldswap

@@ -1,0 +1,47 @@
+#ifndef FIELDSWAP_SYNTH_CORPUS_STREAM_H_
+#define FIELDSWAP_SYNTH_CORPUS_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "doc/corpus.h"
+#include "synth/spec.h"
+
+namespace fieldswap {
+namespace synth {
+
+/// A lazy doc::CorpusReader over the synthetic generator: `Get(i)` runs
+/// GenerateDocument on demand, so a million-document corpus costs 24 bytes
+/// per document (template id + child Rng) instead of materializing every
+/// Document. The per-document seeds are drawn serially at construction in
+/// exactly GenerateCorpus's order — template via `rng.Index`, child via
+/// `rng.Split(i)` — so reading index i yields the byte-identical document
+/// GenerateCorpus(spec, count, seed, id_prefix)[i] would hold, at any
+/// FIELDSWAP_THREADS value.
+std::unique_ptr<doc::CorpusReader> MakeSyntheticCorpusReader(
+    const DomainSpec& spec, int count, uint64_t seed,
+    const std::string& id_prefix);
+
+/// Registers the "synthetic" format driver with the global registry
+/// (idempotent; the registry ignores duplicate names). The driver opens
+/// `.synth` spec files — a one-object JSON description of a generated
+/// corpus:
+///
+///   {"fieldswap_synthetic": 1, "domain": "earnings", "count": 1000,
+///    "seed": 42, "id_prefix": "doc"}
+///
+/// `domain` must name a built-in DomainSpec ("fara", "fcc_forms",
+/// "brokerage_statements", "earnings", "loan_payments", "invoices");
+/// `id_prefix` defaults to "doc", `seed` to 0. The format is read-only:
+/// the spec *is* the corpus, there is nothing to write.
+///
+/// doc/ cannot register this driver itself (it would invert the layering:
+/// doc must not depend on the generator), so every api:: corpus entry
+/// point calls this before touching the registry.
+void RegisterSyntheticCorpusDriver();
+
+}  // namespace synth
+}  // namespace fieldswap
+
+#endif  // FIELDSWAP_SYNTH_CORPUS_STREAM_H_

@@ -146,6 +146,17 @@ TEST(LayerGraph, RealManifestParsesAndEncodesDesignRules) {
   EXPECT_FALSE(layers.Allowed("serve/flat", "par"));
   EXPECT_FALSE(layers.Allowed("serve/flat", "serve"))
       << "the bridge points one way: serve -> serve/flat";
+  // doc/formats is the same shape one layer down (ISSUE 10): doc may
+  // reach its record-file container, but the byte layer may touch only
+  // util — never documents, the parallel pool, or doc itself.
+  EXPECT_TRUE(layers.IsLayer("doc/formats"));
+  EXPECT_TRUE(layers.Allowed("doc", "doc/formats"));
+  EXPECT_TRUE(layers.Allowed("doc", "par"));
+  EXPECT_TRUE(layers.Allowed("doc/formats", "util"));
+  EXPECT_FALSE(layers.Allowed("doc/formats", "doc"))
+      << "the bridge points one way: doc -> doc/formats";
+  EXPECT_FALSE(layers.Allowed("doc/formats", "par"));
+  EXPECT_FALSE(layers.Allowed("doc/formats", "obs"));
   // Outside src/, only the facade (plus serve/obs/util conveniences) is
   // reachable — internals must come through api/fieldswap_api.h or
   // api/internals.h.
@@ -169,6 +180,9 @@ TEST(LayerGraph, LayerForPath) {
   // parent for files under serve/flat/, and the bridge stays in serve.
   EXPECT_EQ(layers.LayerForPath("src/serve/flat/format.cc"), "serve/flat");
   EXPECT_EQ(layers.LayerForPath("src/serve/flat_snapshot.cc"), "serve");
+  EXPECT_EQ(layers.LayerForPath("src/doc/formats/record_file.cc"),
+            "doc/formats");
+  EXPECT_EQ(layers.LayerForPath("src/doc/corpus.cc"), "doc");
   EXPECT_EQ(layers.LayerForPath("src/api/fieldswap_api.h"), "api");
   EXPECT_EQ(layers.LayerForPath("src/mystery/x.cc"), "");
   // Declared top-level directories are layers too; undeclared ones

@@ -76,6 +76,8 @@ const BenchSpec kSuite[] = {
      true},
     {"attack_sweep", "bench/attack_sweep",
      "attack_sweep_f1_degradation_under_form_attacks.metrics.json", true},
+    {"corpus_stream", "bench/corpus_stream",
+     "corpus_streaming_format_drivers_bounded_memory.metrics.json", true},
 };
 
 std::optional<std::string> ReadFile(const std::string& path) {

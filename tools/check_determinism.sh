@@ -6,7 +6,10 @@
 # byte-identical JSONL responses at 1 thread / batch 1 vs 8 threads /
 # batch 16 — the last check repeated per kernel backend (scalar, avx2,
 # ...): within a backend, thread count and batch size must never change a
-# served byte, in both float and int8 inference.
+# served byte, in both float and int8 inference. A final corpus-streaming
+# leg converts a lazy .synth spec through the native and JSONL format
+# drivers and requires the sharded corpus checksum to be bit-identical
+# across thread counts and across all three formats.
 #
 # Usage: tools/check_determinism.sh [build_dir]   (default: build)
 #
@@ -130,5 +133,53 @@ if diff "$tmpdir/tenant_serial.jsonl" "$tmpdir/tenant_pooled.jsonl" > /dev/null;
   echo "OK [multi-tenant]: full interleaved stream bit-identical"
 else
   echo "FAIL [multi-tenant]: interleaved stream differs across threads/batch size" >&2
+  exit 1
+fi
+
+# Corpus-streaming leg: the format-driver stack (see DESIGN.md "Format
+# drivers and corpus streaming") must hold the same contract. A .synth
+# spec streams the generator lazily; converting it to native and JSONL and
+# checksumming each at FIELDSWAP_THREADS=1 vs 4 must produce identical
+# `info` output per format, and all three formats must agree on the
+# corpus checksum (JSON quantizes doubles to %.3f on write, the binary
+# codec stores raw f64 bits — both land on the same canonical JSON at
+# checksum time).
+CORPUS_BIN="$BUILD_DIR/tools/fieldswap_corpus"
+if [[ ! -x "$CORPUS_BIN" ]]; then
+  echo "error: $CORPUS_BIN not built" >&2
+  exit 2
+fi
+cat > "$tmpdir/stream.synth" <<'SPEC'
+{"fieldswap_synthetic": 1, "domain": "earnings", "count": 60,
+ "seed": 777, "id_prefix": "det"}
+SPEC
+echo "=== corpus streaming: convert .synth -> native and jsonl ==="
+"$CORPUS_BIN" convert "$tmpdir/stream.synth" "$tmpdir/stream.fsc"
+"$CORPUS_BIN" convert "$tmpdir/stream.synth" "$tmpdir/stream.jsonl"
+for corpus in stream.synth stream.fsc stream.jsonl; do
+  for threads in 1 4; do
+    echo "=== corpus info --checksum [$corpus] with FIELDSWAP_THREADS=$threads ==="
+    FIELDSWAP_THREADS=$threads "$CORPUS_BIN" info "$tmpdir/$corpus" --checksum \
+      | tee "$tmpdir/info_${corpus}_${threads}.txt"
+  done
+  echo "=== diffing corpus info [$corpus] (threads=1 vs threads=4) ==="
+  if diff "$tmpdir/info_${corpus}_1.txt" "$tmpdir/info_${corpus}_4.txt"; then
+    echo "OK [$corpus]: sharded corpus checksum bit-identical across thread counts"
+  else
+    echo "FAIL [$corpus]: corpus checksum differs between FIELDSWAP_THREADS=1 and 4" >&2
+    exit 1
+  fi
+done
+echo "=== cross-format corpus checksum equality ==="
+synth_sum="$(grep '^corpus_checksum' "$tmpdir/info_stream.synth_1.txt")"
+native_sum="$(grep '^corpus_checksum' "$tmpdir/info_stream.fsc_1.txt")"
+jsonl_sum="$(grep '^corpus_checksum' "$tmpdir/info_stream.jsonl_1.txt")"
+if [[ "$synth_sum" == "$native_sum" && "$native_sum" == "$jsonl_sum" ]]; then
+  echo "OK [cross-format]: synthetic, native, and jsonl agree on $synth_sum"
+else
+  echo "FAIL [cross-format]: checksums diverge across formats:" >&2
+  echo "  synth:  $synth_sum" >&2
+  echo "  native: $native_sum" >&2
+  echo "  jsonl:  $jsonl_sum" >&2
   exit 1
 fi

@@ -1,0 +1,185 @@
+// fieldswap_corpus — inspect and convert corpus files through the format
+// driver registry (ISSUE 10).
+//
+// Subcommands:
+//   convert <in> <out>   stream every document from <in> into <out>
+//                        (formats auto-identified / picked by extension;
+//                        force with --format / --out-format; cap with
+//                        --limit). Conversion is streaming: memory stays
+//                        bounded by one document regardless of corpus size.
+//   info <in>            corpus summary: format, document count, and the
+//                        driver's storage details (header fields, byte
+//                        counts). --checksum adds the deterministic corpus
+//                        checksum (same value at any FIELDSWAP_THREADS).
+//   index <in>           one `<i> <offset> <bytes>` line per record, from
+//                        the driver's random-access index (file-backed
+//                        formats only).
+//   formats              list the registered corpus formats.
+//
+//   $ fieldswap_corpus convert corpus.jsonl corpus.fsc
+//   $ fieldswap_corpus convert spec.synth sample.jsonl --limit 100
+//   $ fieldswap_corpus info corpus.fsc --checksum
+//   $ fieldswap_corpus index corpus.fsc | head
+//   $ fieldswap_corpus formats
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "api/fieldswap_api.h"
+#include "util/argparse.h"
+#include "util/strings.h"
+
+namespace api = fieldswap::api;
+namespace doc = fieldswap::doc;
+namespace par = fieldswap::par;
+namespace util = fieldswap::util;
+using fieldswap::Document;
+
+namespace {
+
+std::string Hex(uint64_t value) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << value;
+  return out.str();
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "fieldswap_corpus: " << message << "\n";
+  return 2;
+}
+
+std::unique_ptr<doc::CorpusReader> OpenOrFail(const std::string& path,
+                                              const std::string& format) {
+  doc::CorpusStatus status;
+  std::unique_ptr<doc::CorpusReader> reader =
+      api::OpenCorpus(path, format, &status);
+  if (reader == nullptr) {
+    Fail("cannot open " + path + ": " + status.ToString());
+  }
+  return reader;
+}
+
+int RunFormats() {
+  for (const doc::FormatInfo& info : api::ListFormats()) {
+    std::cout << info.name << "\t" << info.extension << "\t"
+              << (info.can_write ? "read-write" : "read-only") << "\t"
+              << info.description << "\n";
+  }
+  return 0;
+}
+
+int RunConvert(const std::string& in_path, const std::string& out_path,
+               const std::string& in_format, const std::string& out_format,
+               int limit) {
+  std::unique_ptr<doc::CorpusReader> reader = OpenOrFail(in_path, in_format);
+  if (reader == nullptr) return 2;
+  doc::CorpusStatus status;
+  std::unique_ptr<doc::CorpusWriter> writer =
+      api::WriteCorpus(out_path, out_format, &status);
+  if (writer == nullptr) {
+    return Fail("cannot create " + out_path + ": " + status.ToString());
+  }
+  const doc::CorpusSlice slice(
+      *reader, limit >= 0 ? static_cast<size_t>(limit) : reader->size());
+  bool write_failed = false;
+  doc::ForEachDocument(slice, [&](const Document& document, size_t) {
+    if (!write_failed && !writer->Add(document)) write_failed = true;
+  });
+  if (write_failed || !writer->Finish()) {
+    return Fail("write to " + out_path + " failed: " +
+                writer->status().ToString());
+  }
+  std::cerr << "fieldswap_corpus: " << writer->docs_written()
+            << " documents, " << reader->format() << " -> "
+            << writer->format() << "\n";
+  return 0;
+}
+
+int RunInfo(const std::string& in_path, const std::string& in_format,
+            bool checksum) {
+  std::unique_ptr<doc::CorpusReader> reader = OpenOrFail(in_path, in_format);
+  if (reader == nullptr) return 2;
+  std::cout << "path " << in_path << "\n"
+            << "format " << reader->format() << "\n"
+            << "documents " << reader->size() << "\n";
+  std::cout << reader->storage_info();
+  if (checksum) {
+    std::cout << "corpus_checksum " << Hex(doc::CorpusChecksum(*reader))
+              << "\n";
+  }
+  return 0;
+}
+
+int RunIndex(const std::string& in_path, const std::string& in_format) {
+  std::unique_ptr<doc::CorpusReader> reader = OpenOrFail(in_path, in_format);
+  if (reader == nullptr) return 2;
+  uint64_t offset = 0, bytes = 0;
+  if (reader->size() > 0 && !reader->RecordSpan(0, &offset, &bytes)) {
+    return Fail("format '" + reader->format() +
+                "' has no per-record file extents to index");
+  }
+  for (size_t i = 0; i < reader->size(); ++i) {
+    if (!reader->RecordSpan(i, &offset, &bytes)) {
+      return Fail("record " + std::to_string(i) + " has no extent");
+    }
+    std::cout << i << " " << offset << " " << bytes << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "fieldswap_corpus",
+      "Inspect and convert corpus files (convert/info/index/formats) "
+      "through the pluggable format drivers.");
+  std::string command, in_path, out_path, in_format, out_format;
+  int limit = -1, threads = 0;
+  bool checksum = false;
+  args.AddPositional("command", "",
+                     "convert | info | index | formats", &command);
+  args.AddPositional("input", "", "input corpus path", &in_path);
+  args.AddPositional("output", "", "output corpus path (convert only)",
+                     &out_path);
+  args.AddString("format", "",
+                 "input format (native, jsonl, synthetic); empty "
+                 "auto-identifies by magic bytes, then extension",
+                 &in_format);
+  args.AddString("out-format", "",
+                 "output format for convert; empty picks by the output "
+                 "path's extension, defaulting to native",
+                 &out_format);
+  args.AddInt("limit", -1,
+              "convert at most this many documents (-1 = all)", &limit);
+  args.AddInt("threads", 0,
+              "FIELDSWAP_THREADS override for --checksum (0 = keep)",
+              &threads);
+  args.AddBool("checksum",
+               "info: add the deterministic corpus checksum (folds "
+               "DocumentToJson FNV per document; identical at any thread "
+               "count)",
+               &checksum);
+  if (!args.Parse(argc, argv)) return args.help_requested() ? 0 : 2;
+  if (threads > 0) par::SetThreads(threads);
+
+  if (command == "formats") return RunFormats();
+  if (command.empty() || in_path.empty()) {
+    return Fail("usage: fieldswap_corpus <convert|info|index|formats> "
+                "<input> [output] (see --help)");
+  }
+  if (command == "convert") {
+    if (out_path.empty()) {
+      return Fail("convert needs an output path");
+    }
+    return RunConvert(in_path, out_path, in_format, out_format, limit);
+  }
+  if (command == "info") return RunInfo(in_path, in_format, checksum);
+  if (command == "index") return RunIndex(in_path, in_format);
+  return Fail("unknown command '" + command +
+              "' (expected convert, info, index, or formats)");
+}

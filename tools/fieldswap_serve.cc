@@ -2,8 +2,10 @@
 // ExtractionServer, or a fleet of tenants through the multi-tenant
 // registry server.
 //
-// Documents come from a JSONL file (--input corpus.jsonl, or '-' for
-// stdin) or are generated synthetically (--generate N). The model is
+// Documents come from any registered corpus format — native .fsc, .jsonl,
+// or a .synth generator spec, auto-identified or forced with --format
+// (--input corpus.fsc, or '-' for JSONL on stdin) — or are generated
+// synthetically (--generate N). The model is
 // loaded from a checkpoint (--model ckpt.bin, paired with --domain) or
 // quick-trained in-process. One JSON object per document goes to stdout;
 // all timings and serving statistics go to stderr, so stdout is
@@ -180,20 +182,28 @@ int main(int argc, char** argv) {
       "fieldswap_serve",
       "Serve a JSONL corpus through the batched extraction server "
       "(responses to stdout, timings to stderr).");
-  std::string domain, input, model_path, kernel_backend, tenant_manifest,
-      order;
+  std::string domain, input, corpus_format, model_path, kernel_backend,
+      tenant_manifest, order;
   int generate = 0, batch = 0, queue = 0, train_docs = 0, train_steps = 0,
       seed = 0, repeat = 0;
   double deadline_ms = 0;
-  bool stats = false, int8 = false, list_kernel_backends = false;
+  bool stats = false, int8 = false, list_kernel_backends = false,
+       list_formats = false;
   args.AddString("domain", "invoices",
                  "synthetic domain (invoices, fara, fcc_forms, "
                  "brokerage_statements, earnings, loan_payments)",
                  &domain);
   args.AddString("input", "",
-                 "JSONL corpus to serve ('-' reads stdin; empty generates "
-                 "--generate synthetic documents)",
+                 "corpus to serve — native .fsc, .jsonl, or .synth spec, "
+                 "auto-identified ('-' reads JSONL from stdin; empty "
+                 "generates --generate synthetic documents)",
                  &input);
+  args.AddString("format", "",
+                 "corpus format of --input (native, jsonl, synthetic); "
+                 "empty auto-identifies by magic bytes, then extension",
+                 &corpus_format);
+  args.AddBool("list-formats",
+               "print the registered corpus formats and exit", &list_formats);
   args.AddString("model", "",
                  "checkpoint to load (must match --domain); empty "
                  "quick-trains a model in-process",
@@ -245,6 +255,14 @@ int main(int argc, char** argv) {
   if (list_kernel_backends) {
     for (const std::string& name : fieldswap::nn::AvailableKernelBackends()) {
       std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (list_formats) {
+    for (const fieldswap::doc::FormatInfo& info : api::ListFormats()) {
+      std::cout << info.name << "\t" << info.extension << "\t"
+                << (info.can_write ? "read-write" : "read-only") << "\t"
+                << info.description << "\n";
     }
     return 0;
   }
@@ -409,13 +427,19 @@ int main(int argc, char** argv) {
       docs.push_back(std::move(*doc));
     }
   } else {
-    std::optional<std::vector<Document>> loaded =
-        fieldswap::LoadCorpusJsonl(input);
-    if (!loaded.has_value()) {
-      std::cerr << "fieldswap_serve: cannot load corpus " << input << "\n";
+    // Any registered format works here: the driver registry sniffs the
+    // file (or honors --format) and hands back a reader; serving then
+    // materializes it because the server replays the corpus --repeat
+    // times.
+    fieldswap::doc::CorpusStatus corpus_status;
+    std::unique_ptr<fieldswap::doc::CorpusReader> reader =
+        api::OpenCorpus(input, corpus_format, &corpus_status);
+    if (reader == nullptr) {
+      std::cerr << "fieldswap_serve: cannot open corpus " << input << ": "
+                << corpus_status.ToString() << "\n";
       return 2;
     }
-    docs = std::move(*loaded);
+    docs = fieldswap::doc::ReadAllDocuments(*reader);
   }
   if (docs.empty()) {
     std::cerr << "fieldswap_serve: no documents to serve\n";
